@@ -1,0 +1,64 @@
+// Command spqbench regenerates the paper's evaluation figures (Section 7)
+// on the in-process simulated cluster. Each figure is printed as a text
+// table with one row per swept x-value and one column (series) per
+// algorithm, mirroring the plots of the paper.
+//
+// Usage:
+//
+//	spqbench -fig all                 # every figure (the default)
+//	spqbench -fig 5a                  # one panel
+//	spqbench -fig 8 -scale-unit 1000  # larger scalability sweep
+//	spqbench -quick                   # endpoints of each sweep only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spq/internal/bench"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure id (5a..5d, 6a..6d, 7a..7d, 8, 9a..9d, df) or 'all'")
+		sizeReal = flag.Int("size-real", 0, "objects for FL/TW surrogates (default 150000)")
+		sizeSyn  = flag.Int("size-syn", 0, "objects for UN/CL (default 100000)")
+		unit     = flag.Int("scale-unit", 0, "Figure 8 size step (default 400: sizes 25600..204800)")
+		mapSlots = flag.Int("map-slots", 0, "map worker slots (default NumCPU)")
+		redSlots = flag.Int("reduce-slots", 0, "reduce worker slots (default NumCPU)")
+		quick    = flag.Bool("quick", false, "run only the endpoints of each sweep")
+		counters = flag.Bool("counters", false, "also print features-examined counters per figure")
+	)
+	flag.Parse()
+
+	h := bench.New(bench.Config{
+		SizeReal:      *sizeReal,
+		SizeSynthetic: *sizeSyn,
+		ScaleUnit:     *unit,
+		MapSlots:      *mapSlots,
+		ReduceSlots:   *redSlots,
+		Quick:         *quick,
+	})
+
+	ids := bench.FigureIDs()
+	if *fig != "all" {
+		ids = []string{*fig}
+	}
+	start := time.Now()
+	for _, id := range ids {
+		t0 := time.Now()
+		figure, err := h.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spqbench: %v\n", err)
+			os.Exit(1)
+		}
+		figure.WriteTable(os.Stdout)
+		if *counters {
+			figure.WriteCounters(os.Stdout)
+		}
+		fmt.Printf("(figure %s took %.1fs)\n\n", id, time.Since(t0).Seconds())
+	}
+	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+}

@@ -1,0 +1,290 @@
+package spq
+
+import (
+	"fmt"
+	"sync"
+
+	"spq/internal/core"
+	"spq/internal/data"
+	"spq/internal/dfs"
+	"spq/internal/geo"
+	"spq/internal/mapreduce"
+	"spq/internal/text"
+)
+
+// Storage selects where the engine keeps its datasets.
+type Storage int
+
+// Storage modes.
+const (
+	// StorageDFS stores objects as text files in the simulated distributed
+	// file system; queries read them through block-aligned input splits
+	// with locality-aware scheduling. This is the full reproduction of the
+	// paper's Hadoop/HDFS stack and the default.
+	StorageDFS Storage = iota
+	// StorageMemory keeps objects in memory and feeds them to MapReduce
+	// through an in-memory source. Faster, and sufficient when only the
+	// algorithms (not the storage substrate) matter.
+	StorageMemory
+	// StorageDFSBinary stores objects in the SequenceFile-like binary
+	// format (length-prefixed records with sync markers) instead of text
+	// lines. Splittable like text, but parsing is a binary decode instead
+	// of string splitting — the classic Hadoop optimization.
+	StorageDFSBinary
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Nodes is the number of DFS DataNodes (default 16, the paper's
+	// cluster size).
+	Nodes int
+	// MapSlots and ReduceSlots bound task concurrency (default 8 each).
+	MapSlots    int
+	ReduceSlots int
+	// BlockSize is the DFS block size in bytes (default 256 KiB).
+	BlockSize int
+	// Replication is the DFS replication factor (default 3).
+	Replication int
+	// Storage selects DFS-backed (default) or in-memory datasets.
+	Storage Storage
+	// Seed drives DFS block placement.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 16
+	}
+	if c.MapSlots <= 0 {
+		c.MapSlots = 8
+	}
+	if c.ReduceSlots <= 0 {
+		c.ReduceSlots = 8
+	}
+	return c
+}
+
+// Engine owns a simulated cluster (DFS + worker slots), a keyword
+// dictionary, and the loaded datasets. It is safe for concurrent queries
+// once sealed; loading methods must not race with queries.
+type Engine struct {
+	cfg     Config
+	fs      *dfs.FileSystem
+	cluster *mapreduce.Cluster
+	dict    *text.Dict
+
+	mu       sync.Mutex
+	objects  []data.Object
+	bounds   geo.Rect
+	sealed   bool
+	fileSeq  int
+	curFiles []string
+}
+
+// NewEngine creates an engine with the given configuration.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	fs := dfs.New(dfs.Config{
+		NumNodes:    cfg.Nodes,
+		BlockSize:   cfg.BlockSize,
+		Replication: cfg.Replication,
+		Seed:        cfg.Seed,
+	})
+	return &Engine{
+		cfg:     cfg,
+		fs:      fs,
+		cluster: mapreduce.NewCluster(fs, cfg.MapSlots, cfg.ReduceSlots),
+		dict:    text.NewDict(),
+		bounds:  geo.Rect{MinX: 1, MaxX: -1}, // empty
+	}
+}
+
+// AddData loads data objects (the objects ranked and returned by queries).
+func (e *Engine) AddData(objs ...DataObject) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sealed {
+		return fmt.Errorf("spq: engine already sealed; datasets are write-once")
+	}
+	for _, o := range objs {
+		p := geo.Point{X: o.X, Y: o.Y}
+		e.objects = append(e.objects, data.Object{Kind: data.DataObject, ID: o.ID, Loc: p})
+		e.growBounds(p)
+	}
+	return nil
+}
+
+// AddFeature loads feature objects (the keyword-annotated objects that
+// score data objects).
+func (e *Engine) AddFeature(feats ...Feature) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sealed {
+		return fmt.Errorf("spq: engine already sealed; datasets are write-once")
+	}
+	for _, f := range feats {
+		e.objects = append(e.objects, toFeatureObject(f, e.dict))
+		e.growBounds(geo.Point{X: f.X, Y: f.Y})
+	}
+	return nil
+}
+
+func (e *Engine) growBounds(p geo.Point) {
+	e.bounds = e.bounds.Union(geo.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y})
+}
+
+// Len returns the number of loaded data and feature objects.
+func (e *Engine) Len() (dataObjects, features int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, o := range e.objects {
+		if o.Kind == data.DataObject {
+			dataObjects++
+		} else {
+			features++
+		}
+	}
+	return dataObjects, features
+}
+
+// Bounds returns the bounding box of the loaded objects.
+func (e *Engine) Bounds() (minX, minY, maxX, maxY float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.bounds.MinX, e.bounds.MinY, e.bounds.MaxX, e.bounds.MaxY
+}
+
+// Seal publishes the loaded datasets to storage (write-once, like HDFS).
+// Query seals implicitly; calling Seal explicitly lets the caller observe
+// storage errors early. Loading after Seal fails.
+func (e *Engine) Seal() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sealLocked()
+}
+
+func (e *Engine) sealLocked() error {
+	if e.sealed {
+		return nil
+	}
+	if len(e.objects) == 0 {
+		return fmt.Errorf("spq: no objects loaded")
+	}
+	switch e.cfg.Storage {
+	case StorageDFS:
+		name := fmt.Sprintf("spq-objects-%d.txt", e.fileSeq)
+		e.fileSeq++
+		w, err := e.fs.Writer(name)
+		if err != nil {
+			return fmt.Errorf("spq: seal: %w", err)
+		}
+		for _, o := range e.objects {
+			if err := data.EncodeLine(w, o, e.dict); err != nil {
+				return fmt.Errorf("spq: seal: %w", err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			return fmt.Errorf("spq: seal: %w", err)
+		}
+		e.curFiles = []string{name}
+	case StorageDFSBinary:
+		name := fmt.Sprintf("spq-objects-%d.seq", e.fileSeq)
+		e.fileSeq++
+		w, err := e.fs.Writer(name)
+		if err != nil {
+			return fmt.Errorf("spq: seal: %w", err)
+		}
+		sw := data.NewSeqWriter(w, name)
+		for _, o := range e.objects {
+			if err := sw.Append(o); err != nil {
+				return fmt.Errorf("spq: seal: %w", err)
+			}
+		}
+		if err := sw.Close(); err != nil {
+			return fmt.Errorf("spq: seal: %w", err)
+		}
+		e.curFiles = []string{name}
+	}
+	e.sealed = true
+	return nil
+}
+
+// source returns the MapReduce input source for the sealed datasets.
+func (e *Engine) source() mapreduce.Source[data.Object] {
+	switch e.cfg.Storage {
+	case StorageDFS:
+		return mapreduce.NewTextInput(e.fs, func(line []byte) (data.Object, error) {
+			return data.ParseLine(line, e.dict)
+		}, e.curFiles...)
+	case StorageDFSBinary:
+		return data.NewSeqInput(e.fs, e.curFiles...)
+	default:
+		return mapreduce.NewMemorySource(e.objects, e.cfg.MapSlots*2)
+	}
+}
+
+// Query runs a spatial preference query and returns the ranked results.
+func (e *Engine) Query(q Query, opts ...QueryOption) ([]Result, error) {
+	rep, err := e.QueryReport(q, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Results, nil
+}
+
+// QueryReport runs a query and additionally returns the execution metrics
+// of the underlying MapReduce job.
+func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
+	if err := validateQuery(q); err != nil {
+		return nil, err
+	}
+	cfg := queryConfig{alg: core.ESPQSco, gridN: 16}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.gridN <= 0 {
+		return nil, fmt.Errorf("spq: grid size %d, must be positive", cfg.gridN)
+	}
+
+	e.mu.Lock()
+	if err := e.sealLocked(); err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	bounds := e.bounds
+	if cfg.bounds != nil {
+		bounds = *cfg.bounds
+	}
+	src := e.source()
+	e.mu.Unlock()
+
+	// A degenerate bounding box (single point or a line of objects) still
+	// needs a two-dimensional grid; pad it.
+	if bounds.Width() == 0 || bounds.Height() == 0 {
+		pad := q.Radius
+		if pad == 0 {
+			pad = 1
+		}
+		bounds = bounds.Expand(pad)
+	}
+
+	cq := core.Query{K: q.K, Radius: q.Radius, Keywords: e.dict.InternAll(q.Keywords), Mode: q.Mode}
+	rep, err := core.Run(cfg.alg, src, cq, core.Options{
+		Cluster:     e.cluster,
+		Bounds:      bounds,
+		GridN:       cfg.gridN,
+		NumReducers: cfg.reducers,
+		SpillEvery:  cfg.spillEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Algorithm:    rep.Algorithm,
+		Results:      toResults(rep.Results),
+		Counters:     rep.Counters,
+		MapMillis:    float64(rep.Stats.MapDuration.Microseconds()) / 1000,
+		ReduceMillis: float64(rep.Stats.ReduceDuration.Microseconds()) / 1000,
+		TotalMillis:  float64(rep.Stats.Duration.Microseconds()) / 1000,
+	}, nil
+}

@@ -1,0 +1,95 @@
+// Hotels: a city-scale hotel finder comparing all three algorithms.
+//
+// The example synthesizes a city of 4,000 hotels and 4,000 restaurants
+// spread over clustered neighborhoods (restaurants carry cuisine and
+// amenity keywords), then answers the motivating query of the paper's
+// introduction — "find the best hotels that have a highly relevant
+// restaurant nearby" — with each algorithm, showing that all three return
+// the same ranking while examining very different amounts of data.
+//
+//	go run ./examples/hotels
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"spq"
+)
+
+var cuisines = []string{
+	"italian", "chinese", "mexican", "greek", "indian", "sushi", "thai",
+	"french", "bbq", "vegan", "seafood", "burgers", "tapas", "ramen",
+}
+
+var amenities = []string{
+	"romantic", "cheap", "gourmet", "terrace", "wine", "cocktails",
+	"family", "late", "brunch", "rooftop",
+}
+
+func main() {
+	r := rand.New(rand.NewSource(7))
+	eng := spq.NewEngine(spq.Config{})
+
+	// Neighborhood centers of the synthetic city (10km x 10km).
+	type hood struct{ x, y float64 }
+	hoods := make([]hood, 12)
+	for i := range hoods {
+		hoods[i] = hood{r.Float64() * 10, r.Float64() * 10}
+	}
+	sample := func() (float64, float64) {
+		h := hoods[r.Intn(len(hoods))]
+		return clamp(h.x+r.NormFloat64()*0.6, 0, 10), clamp(h.y+r.NormFloat64()*0.6, 0, 10)
+	}
+
+	for i := 0; i < 4000; i++ {
+		x, y := sample()
+		if err := eng.AddData(spq.DataObject{ID: uint64(i), X: x, Y: y}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 4000; i++ {
+		x, y := sample()
+		kws := []string{cuisines[r.Intn(len(cuisines))]}
+		for n := r.Intn(3); n > 0; n-- {
+			kws = append(kws, amenities[r.Intn(len(amenities))])
+		}
+		if err := eng.AddFeature(spq.Feature{ID: uint64(10000 + i), X: x, Y: y, Keywords: kws}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	query := spq.Query{
+		K:        5,
+		Radius:   0.25, // 250 m
+		Keywords: []string{"italian", "romantic", "wine"},
+	}
+	fmt.Printf("Query: top-%d hotels with a restaurant matching %v within %.2f km\n\n",
+		query.K, query.Keywords, query.Radius)
+
+	for _, alg := range spq.Algorithms() {
+		rep, err := eng.QueryReport(query, spq.WithAlgorithm(alg), spq.WithGrid(20))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s  %6.1f ms  features examined: %-6d results:",
+			rep.Algorithm, rep.TotalMillis, rep.Counters["spq.reduce.features.examined"])
+		for _, res := range rep.Results {
+			fmt.Printf("  h%d(%.2f)", res.ID, res.Score)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nAll algorithms return the same scores; the early-termination")
+	fmt.Println("algorithms (eSPQlen, eSPQsco) examine far fewer feature objects.")
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

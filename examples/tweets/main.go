@@ -1,0 +1,60 @@
+// Tweets: ranking locations by the relevance of nearby geotagged posts.
+//
+// This is the paper's second motivating workload: the feature objects are
+// tweets (here the built-in Twitter surrogate dataset: hotspot-skewed
+// locations, Zipfian keyword frequencies), and the data objects are
+// candidate locations ranked by the best-matching tweet within the query
+// radius. The example runs the default algorithm (eSPQsco) end to end over
+// the simulated HDFS + MapReduce stack and prints the job's execution
+// profile, including duplication and early-termination counters.
+//
+//	go run ./examples/tweets
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"spq"
+)
+
+func main() {
+	eng := spq.NewEngine(spq.Config{
+		Nodes:       16, // the paper's cluster size
+		MapSlots:    8,
+		ReduceSlots: 8,
+	})
+	fmt.Println("loading 40,000 synthetic tweets + candidate locations...")
+	if err := eng.LoadSynthetic("twitter", 40000); err != nil {
+		log.Fatal(err)
+	}
+
+	// Query the three most tweeted-about topics.
+	topics := eng.FrequentKeywords(3)
+	fmt.Printf("querying hottest topics: %s\n\n", strings.Join(topics, ", "))
+
+	rep, err := eng.QueryReport(
+		spq.Query{K: 10, Radius: 0.002, Keywords: topics},
+		spq.WithGrid(32),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("top-%d locations (algorithm %s, %.1f ms):\n", len(rep.Results), rep.Algorithm, rep.TotalMillis)
+	for i, r := range rep.Results {
+		fmt.Printf("%2d. location %-6d score %.3f at (%.4f, %.4f)\n", i+1, r.ID, r.Score, r.X, r.Y)
+	}
+
+	fmt.Println("\njob profile:")
+	names := make([]string, 0, len(rep.Counters))
+	for n := range rep.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-35s %d\n", n, rep.Counters[n])
+	}
+}

@@ -1,0 +1,13 @@
+package bench
+
+import (
+	"math/rand"
+
+	"spq/internal/grid"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func dupModel(cellEdge, radius float64) float64 {
+	return grid.DuplicationFactorModel(cellEdge, radius)
+}

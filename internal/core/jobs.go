@@ -1,0 +1,414 @@
+package core
+
+import (
+	"fmt"
+
+	"spq/internal/data"
+	"spq/internal/geo"
+	"spq/internal/grid"
+	"spq/internal/mapreduce"
+)
+
+// Algorithm selects one of the paper's three MapReduce algorithms.
+type Algorithm int
+
+// The algorithms of Sections 4 and 5.
+const (
+	// PSPQ is the grid-partitioned algorithm without early termination
+	// (Algorithms 1–2).
+	PSPQ Algorithm = iota
+	// ESPQLen accesses feature objects by increasing keyword-list length
+	// and stops via the Equation-1 bound (Algorithms 3–4, Lemma 2).
+	ESPQLen
+	// ESPQSco accesses feature objects by decreasing Jaccard score and
+	// stops after k covered data objects (Algorithms 5–6, Lemma 3).
+	ESPQSco
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case PSPQ:
+		return "pSPQ"
+	case ESPQLen:
+		return "eSPQlen"
+	case ESPQSco:
+		return "eSPQsco"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Algorithms lists all three, in the paper's presentation order.
+func Algorithms() []Algorithm { return []Algorithm{PSPQ, ESPQLen, ESPQSco} }
+
+// Options configure one MapReduce execution.
+type Options struct {
+	// Cluster supplies the worker slots (and DFS for text sources).
+	Cluster *mapreduce.Cluster
+	// Bounds is the spatial extent of the dataset; the query-time grid is
+	// laid over it (Section 4.1: "the grid is defined at query time").
+	Bounds geo.Rect
+	// GridN makes the grid GridN x GridN (the paper's "grid size").
+	GridN int
+	// NumReducers defaults to the number of grid cells, the paper's
+	// configuration. Smaller values make reduce tasks process several
+	// cells each.
+	NumReducers int
+	// DisableKeywordPrune turns off the Map-side pruning of features with
+	// no query keyword (Algorithm 1, line 9). Only used by the ablation
+	// benchmark; pruning never changes results.
+	DisableKeywordPrune bool
+	// LoadBalance assigns cells to reduce tasks by estimated cost (LPT
+	// over a sampled |Oi|·|Fi| model) instead of round-robin. Only
+	// meaningful when NumReducers is smaller than the number of cells; it
+	// addresses the reducer imbalance the paper observes on clustered
+	// data (Section 7.2.4). Results are unaffected.
+	LoadBalance bool
+	// SamplePerSplit bounds how many objects per input split the load
+	// balancer samples (default 512; <=0 means scan everything).
+	SamplePerSplit int
+	// SpillEvery, when positive, bounds per-map-task buffered records and
+	// activates external sorting (see mapreduce.Job.SpillEvery).
+	SpillEvery int
+	// MaxAttempts and FaultInjector are forwarded to the job for the
+	// failure tests.
+	MaxAttempts   int
+	FaultInjector func(kind mapreduce.TaskKind, taskID, attempt int) error
+}
+
+func (o Options) gridN() int {
+	if o.GridN <= 0 {
+		return 1
+	}
+	return o.GridN
+}
+
+func (o Options) numReducers() int {
+	if o.NumReducers > 0 {
+		return o.NumReducers
+	}
+	n := o.gridN()
+	return n * n
+}
+
+// Aliases shared by the reduce implementations.
+type (
+	taskCtx    = mapreduce.TaskContext
+	valueIter  = mapreduce.Values[CellKey, data.Object]
+	reduceFunc = func(*taskCtx, *valueIter, func(cellResult)) error
+)
+
+// Report is the outcome of one SPQ job: the global top-k after merging the
+// per-cell lists, plus the job's counters and timing.
+type Report struct {
+	Algorithm Algorithm
+	Results   []ResultItem
+	Counters  map[string]int64
+	Stats     mapreduce.Stats
+}
+
+// cellResult is the reduce output: one per-cell ranked data object.
+type cellResult struct {
+	Item ResultItem
+}
+
+// Run executes the selected algorithm over the source and returns the
+// merged top-k. The source yields both datasets (data and feature objects
+// are distinguished by Object.Kind, exactly as the Map functions of the
+// paper receive "x: input object" without assumptions on its location or
+// provenance).
+func Run(alg Algorithm, src mapreduce.Source[data.Object], q Query, opts Options) (*Report, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Cluster == nil {
+		opts.Cluster = mapreduce.NewCluster(nil, 1, 1)
+	}
+	if opts.Bounds.Empty() || opts.Bounds.Area() == 0 {
+		return nil, fmt.Errorf("core: empty bounds %v", opts.Bounds)
+	}
+	g := grid.New(opts.Bounds, opts.gridN(), opts.gridN())
+
+	partition := CellKeyPartition
+	if opts.LoadBalance && opts.numReducers() < g.NumCells() {
+		sample := opts.SamplePerSplit
+		if sample == 0 {
+			sample = 512
+		}
+		weights, werr := CellWeights(src, g, q, sample)
+		if werr != nil {
+			return nil, fmt.Errorf("core: load balancing sample: %w", werr)
+		}
+		assign := BalanceCells(weights, opts.numReducers())
+		partition = func(k CellKey, numReducers int) int { return int(assign[k.Cell]) }
+	}
+
+	job := &mapreduce.Job[data.Object, CellKey, data.Object, cellResult]{
+		Name:          fmt.Sprintf("%s-k%d-r%g", alg, q.K, q.Radius),
+		Source:        src,
+		NumReducers:   opts.numReducers(),
+		Partition:     partition,
+		GroupEqual:    CellKeyGroup,
+		KeyCodec:      CellKeyCodec(),
+		ValueCodec:    data.ObjectCodec(),
+		SpillEvery:    opts.SpillEvery,
+		MaxAttempts:   opts.MaxAttempts,
+		FaultInjector: opts.FaultInjector,
+	}
+	if !alg.SupportsMode(q.Mode) {
+		return nil, fmt.Errorf("core: %v does not support %v scoring (early termination is unsound for it); use PSPQ", alg, q.Mode)
+	}
+	switch alg {
+	case PSPQ:
+		job.Map = mapPSPQ(g, q, opts)
+		job.Less = CellKeyAscLess
+		if q.Mode == ScoreNearest {
+			job.Reduce = reduceNearest(q)
+		} else {
+			job.Reduce = reduceScan(q, scanOpts{})
+		}
+	case ESPQLen:
+		job.Map = mapESPQLen(g, q, opts)
+		job.Less = CellKeyAscLess
+		// Algorithm 4 = Algorithm 2 + the Equation-1 bound check.
+		job.Reduce = reduceScan(q, scanOpts{lenBound: true})
+	case ESPQSco:
+		job.Map = mapESPQSco(g, q, opts)
+		job.Less = CellKeyDescLess
+		if q.Mode == ScoreRange {
+			job.Reduce = reduceESPQSco(q)
+		} else {
+			// Influence: a feature's contribution is at most its textual
+			// score, so under descending-score order the group can stop as
+			// soon as w(x,q) <= τ — but the first covering feature is no
+			// longer final, so Algorithm 6 gives way to the Algorithm-2
+			// scan with a descending-order break.
+			job.Reduce = reduceScan(q, scanOpts{descBreak: true})
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %d", int(alg))
+	}
+
+	res, err := mapreduce.Run(opts.Cluster, job)
+	if err != nil {
+		return nil, err
+	}
+	perCell := make([]ResultItem, len(res.Output))
+	for i, o := range res.Output {
+		perCell[i] = o.Item
+	}
+	return &Report{
+		Algorithm: alg,
+		Results:   MergeTopK(q.K, perCell),
+		Counters:  res.Counters,
+		Stats:     res.Stats,
+	}, nil
+}
+
+// Counter names specific to the SPQ jobs.
+const (
+	// CounterFeaturesPruned counts feature objects dropped by the Map-side
+	// keyword intersection test.
+	CounterFeaturesPruned = "spq.map.features.pruned"
+	// CounterDuplicates counts Lemma-1 duplicate emissions of features.
+	CounterDuplicates = "spq.map.features.duplicated"
+	// CounterFeaturesExamined counts feature objects actually scored
+	// against data objects in the Reduce phase — the quantity early
+	// termination minimizes.
+	CounterFeaturesExamined = "spq.reduce.features.examined"
+	// CounterScoreComputations counts (data, feature) distance/score
+	// evaluations in the Reduce phase.
+	CounterScoreComputations = "spq.reduce.score.computations"
+	// CounterEarlyTerminations counts reduce groups that stopped before
+	// exhausting their feature list.
+	CounterEarlyTerminations = "spq.reduce.early_terminations"
+)
+
+// emitFeature handles the shared feature-object fan-out of all three Map
+// functions: primary cell plus Lemma-1 duplication targets, each with the
+// algorithm-specific Order.
+func emitFeature(ctx *mapreduce.TaskContext, g *grid.Grid, radius float64, o data.Object, order float64, emit func(CellKey, data.Object)) {
+	emit(CellKey{Cell: g.CellOf(o.Loc), Order: order}, o)
+	// The target slice is per-call: one Map closure is shared by all
+	// concurrently running map tasks, so captured scratch space would race.
+	targets := g.DuplicationTargets(o.Loc, radius, nil)
+	for _, c := range targets {
+		emit(CellKey{Cell: c, Order: order}, o)
+	}
+	if len(targets) > 0 {
+		ctx.Counter(CounterDuplicates, int64(len(targets)))
+	}
+}
+
+// mapPSPQ is Algorithm 1. Data objects get Order 0 and feature objects
+// Order 1, so data objects precede features in each cell.
+func mapPSPQ(g *grid.Grid, q Query, opts Options) func(*mapreduce.TaskContext, data.Object, func(CellKey, data.Object)) error {
+	return func(ctx *mapreduce.TaskContext, o data.Object, emit func(CellKey, data.Object)) error {
+		if o.Kind == data.DataObject {
+			emit(CellKey{Cell: g.CellOf(o.Loc), Order: 0}, o)
+			return nil
+		}
+		if !opts.DisableKeywordPrune && !o.Keywords.Intersects(q.Keywords) {
+			ctx.Counter(CounterFeaturesPruned, 1)
+			return nil
+		}
+		emitFeature(ctx, g, q.Radius, o, 1, emit)
+		return nil
+	}
+}
+
+// mapESPQLen is Algorithm 3: the feature Order is |f.W|, so the reduce
+// phase sees short keyword lists (high Equation-1 bounds) first.
+func mapESPQLen(g *grid.Grid, q Query, opts Options) func(*mapreduce.TaskContext, data.Object, func(CellKey, data.Object)) error {
+	return func(ctx *mapreduce.TaskContext, o data.Object, emit func(CellKey, data.Object)) error {
+		if o.Kind == data.DataObject {
+			emit(CellKey{Cell: g.CellOf(o.Loc), Order: 0}, o)
+			return nil
+		}
+		if !opts.DisableKeywordPrune && !o.Keywords.Intersects(q.Keywords) {
+			ctx.Counter(CounterFeaturesPruned, 1)
+			return nil
+		}
+		emitFeature(ctx, g, q.Radius, o, float64(o.Keywords.Len()), emit)
+		return nil
+	}
+}
+
+// mapESPQSco is Algorithm 5: the Jaccard score is computed in the Map
+// phase and used as the feature Order; data objects get Order 2, strictly
+// above any Jaccard value, so under the descending comparator they still
+// arrive first.
+func mapESPQSco(g *grid.Grid, q Query, opts Options) func(*mapreduce.TaskContext, data.Object, func(CellKey, data.Object)) error {
+	return func(ctx *mapreduce.TaskContext, o data.Object, emit func(CellKey, data.Object)) error {
+		if o.Kind == data.DataObject {
+			emit(CellKey{Cell: g.CellOf(o.Loc), Order: 2}, o)
+			return nil
+		}
+		w := q.Score(o)
+		if !opts.DisableKeywordPrune && w == 0 {
+			ctx.Counter(CounterFeaturesPruned, 1)
+			return nil
+		}
+		emitFeature(ctx, g, q.Radius, o, w, emit)
+		return nil
+	}
+}
+
+// scanOpts select the termination behaviour of reduceScan.
+type scanOpts struct {
+	// lenBound enables the Equation-1 early-termination check of
+	// Algorithm 4 (valid under eSPQlen's increasing-length order).
+	lenBound bool
+	// descBreak stops the group once w(x,q) <= τ (valid under eSPQsco's
+	// descending-score order, where no later feature can contribute more).
+	descBreak bool
+}
+
+// reduceScan is Algorithm 2 (and, with opts.lenBound, Algorithm 4): load
+// the cell's data objects into memory, then stream feature objects,
+// improving data-object scores and maintaining the top-k list Lk with
+// threshold τ. It generalizes the paper's max-within-range scoring to any
+// monotone contribution (range and influence modes). Under eSPQlen
+// ordering, the Equation-1 bound of the current feature bounds every later
+// feature, so τ ≥ w̄(f,q) stops the group (Lemma 2).
+func reduceScan(q Query, opts scanOpts) reduceFunc {
+	r2 := q.Radius * q.Radius
+	return func(ctx *taskCtx, values *valueIter, emit func(cellResult)) error {
+		var objs []data.Object
+		scores := make(map[int]float64) // index into objs -> best score
+		topk := NewTopK(q.K)
+		for {
+			x, ok := values.Next()
+			if !ok {
+				break
+			}
+			if x.Kind == data.DataObject {
+				objs = append(objs, x)
+				continue
+			}
+			if opts.lenBound {
+				if topk.Threshold() >= q.UpperBound(x.Keywords.Len()) {
+					ctx.Counter(CounterEarlyTerminations, 1)
+					break
+				}
+			}
+			w := q.Score(x)
+			ctx.Counter(CounterFeaturesExamined, 1)
+			if w <= topk.Threshold() && topk.Len() >= q.K {
+				// Algorithm 2 line 9: w(x,q) > τ required to affect Lk
+				// (any contribution is at most w).
+				if opts.descBreak {
+					// Descending-score order: every later feature scores
+					// no higher, so the whole group is done.
+					ctx.Counter(CounterEarlyTerminations, 1)
+					break
+				}
+				continue
+			}
+			if w == 0 {
+				continue
+			}
+			ctx.Counter(CounterScoreComputations, int64(len(objs)))
+			for i, p := range objs {
+				d2 := geo.Dist2(p.Loc, x.Loc)
+				if d2 > r2 {
+					continue
+				}
+				if c := q.contribution(w, d2); c > scores[i] {
+					scores[i] = c
+					topk.Update(ResultItem{ID: p.ID, Loc: p.Loc, Score: c})
+				}
+			}
+		}
+		for _, item := range topk.Items() {
+			emit(cellResult{Item: item})
+		}
+		return nil
+	}
+}
+
+// reduceESPQSco is Algorithm 6: data objects are loaded first; features
+// then arrive in decreasing score order, so the first feature within
+// distance r of a data object fixes that object's final score. After k
+// data objects are reported the group terminates (Lemma 3).
+func reduceESPQSco(q Query) reduceFunc {
+	r2 := q.Radius * q.Radius
+	return func(ctx *taskCtx, values *valueIter, emit func(cellResult)) error {
+		var objs []data.Object
+		reported := make(map[int]bool)
+		cnt := 0
+		for {
+			x, ok := values.Next()
+			if !ok {
+				break
+			}
+			if x.Kind == data.DataObject {
+				objs = append(objs, x)
+				continue
+			}
+			w := q.Score(x)
+			if w == 0 {
+				// Only zero-score features can follow; the group is done.
+				ctx.Counter(CounterEarlyTerminations, 1)
+				break
+			}
+			ctx.Counter(CounterFeaturesExamined, 1)
+			ctx.Counter(CounterScoreComputations, int64(len(objs)))
+			for i, p := range objs {
+				if reported[i] || geo.Dist2(p.Loc, x.Loc) > r2 {
+					continue
+				}
+				// Here w(x,q) = τ(p): no later feature scores higher.
+				reported[i] = true
+				emit(cellResult{Item: ResultItem{ID: p.ID, Loc: p.Loc, Score: w}})
+				cnt++
+				if cnt == q.K {
+					ctx.Counter(CounterEarlyTerminations, 1)
+					return nil
+				}
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,214 @@
+// Package core implements the paper's primary contribution: parallel and
+// distributed processing of spatial preference queries using keywords
+// (SPQ). Given a data object dataset O, a feature dataset F and a query
+// q(k, r, W), the query returns the k data objects p with the highest
+// score τ(p) = max{ w(f,q) : f ∈ F, d(p,f) ≤ r }, where w(f,q) is the
+// Jaccard similarity of q.W and f.W (Definitions 1 and 2).
+//
+// Three MapReduce algorithms are provided (Sections 4 and 5):
+//
+//   - PSPQ: grid partitioning with feature duplication, no early
+//     termination (Algorithms 1–2),
+//   - ESPQLen: feature objects sorted by increasing keyword-list length
+//     with the Equation-1 bound for early termination (Algorithms 3–4),
+//   - ESPQSco: feature objects sorted by decreasing Jaccard score, early
+//     termination after k covered data objects (Algorithms 5–6),
+//
+// plus four centralized reference evaluators (naive, grid-indexed,
+// R-tree, inverted-index) used for cross-validation, the influence and
+// nearest-neighbor scoring extensions (scoring.go) and cost-based reducer
+// load balancing for skewed data (balance.go).
+//
+// Convention for zero scores: a data object with no relevant feature
+// within distance r has τ(p) = 0 and is never reported; consequently a
+// query may return fewer than k results. This matches the paper's
+// algorithms, where objects enter the top-k list only when a feature
+// object improves their score.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"spq/internal/data"
+	"spq/internal/geo"
+	"spq/internal/text"
+)
+
+// Query is a spatial preference query using keywords, q(k, r, W).
+type Query struct {
+	// K is the number of data objects to return.
+	K int
+	// Radius is the neighborhood distance threshold r.
+	Radius float64
+	// Keywords is the query keyword set q.W, interned in the same
+	// dictionary as the feature dataset.
+	Keywords text.KeywordSet
+	// Mode selects how in-range features contribute to scores. The zero
+	// value is the paper's range mode (Definition 2); see ScoringMode for
+	// the influence and nearest-neighbor extensions.
+	Mode ScoringMode
+}
+
+// Validate reports structural problems with the query.
+func (q Query) Validate() error {
+	switch {
+	case q.K <= 0:
+		return fmt.Errorf("core: query k = %d, must be positive", q.K)
+	case q.Radius < 0:
+		return fmt.Errorf("core: query radius = %g, must be non-negative", q.Radius)
+	case q.Keywords.Len() == 0:
+		return fmt.Errorf("core: query has no keywords")
+	case q.Mode != ScoreRange && q.Mode != ScoreInfluence && q.Mode != ScoreNearest:
+		return fmt.Errorf("core: unknown scoring mode %d", int(q.Mode))
+	}
+	return nil
+}
+
+// Score returns w(f,q), the non-spatial score of a feature object for the
+// query (Definition 1). Data objects score 0.
+func (q Query) Score(f data.Object) float64 {
+	if f.Kind != data.FeatureObject {
+		return 0
+	}
+	return text.Jaccard(q.Keywords, f.Keywords)
+}
+
+// UpperBound returns w̄(f,q), the Equation-1 best possible score for a
+// feature with the given keyword-list length.
+func (q Query) UpperBound(featureLen int) float64 {
+	return text.UpperBound(featureLen, q.Keywords.Len())
+}
+
+// ResultItem is one ranked data object.
+type ResultItem struct {
+	ID    uint64
+	Loc   geo.Point
+	Score float64
+}
+
+// resultLess orders results by descending score, breaking ties by
+// ascending id for determinism.
+func resultLess(a, b ResultItem) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+// SortResults sorts items into canonical result order (descending score,
+// ascending id).
+func SortResults(items []ResultItem) {
+	sort.Slice(items, func(i, j int) bool { return resultLess(items[i], items[j]) })
+}
+
+// MergeTopK merges any number of partial top-k lists into the global
+// top-k, the final centralized step of Section 4.2 ("the final result is
+// produced by merging the k results of each of the R cells").
+func MergeTopK(k int, lists ...[]ResultItem) []ResultItem {
+	var all []ResultItem
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	SortResults(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// TopK maintains the paper's list Lk: the k data objects with the highest
+// scores seen so far, with τ (Threshold) the k-th best score. Scores only
+// improve, mirroring score(p) ← max{score(p), w(x,q)} of Algorithm 2.
+// The zero value is not usable; call NewTopK.
+type TopK struct {
+	k     int
+	items map[uint64]ResultItem
+	tau   float64
+}
+
+// NewTopK returns an empty list Lk with capacity k.
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		panic(fmt.Sprintf("core: TopK with k = %d", k))
+	}
+	return &TopK{k: k, items: make(map[uint64]ResultItem, k+1)}
+}
+
+// Threshold returns τ, the score of the k-th best data object so far, or 0
+// while fewer than k objects are tracked.
+func (t *TopK) Threshold() float64 { return t.tau }
+
+// Len returns the number of tracked objects (≤ k).
+func (t *TopK) Len() int { return len(t.items) }
+
+// Update offers an improved score for a data object. Following the paper's
+// convention only positive scores are considered. It returns whether the
+// list changed.
+func (t *TopK) Update(item ResultItem) bool {
+	if item.Score <= 0 {
+		return false
+	}
+	cur, tracked := t.items[item.ID]
+	if tracked {
+		if item.Score <= cur.Score {
+			return false
+		}
+		t.items[item.ID] = item
+		t.recomputeTau()
+		return true
+	}
+	if len(t.items) < t.k {
+		t.items[item.ID] = item
+		t.recomputeTau()
+		return true
+	}
+	// Full: only a score strictly above τ displaces the current minimum.
+	if item.Score <= t.tau {
+		return false
+	}
+	t.evictMin()
+	t.items[item.ID] = item
+	t.recomputeTau()
+	return true
+}
+
+// recomputeTau rescans the tracked items; k is small, so O(k) per update
+// is the same trade the paper's sorted list makes.
+func (t *TopK) recomputeTau() {
+	if len(t.items) < t.k {
+		t.tau = 0
+		return
+	}
+	min := -1.0
+	for _, it := range t.items {
+		if min < 0 || it.Score < min {
+			min = it.Score
+		}
+	}
+	t.tau = min
+}
+
+// evictMin removes the worst item (lowest score; ties broken by highest
+// id, the complement of result order).
+func (t *TopK) evictMin() {
+	var victim uint64
+	first := true
+	var worst ResultItem
+	for id, it := range t.items {
+		if first || it.Score < worst.Score || (it.Score == worst.Score && id > victim) {
+			victim, worst, first = id, it, false
+		}
+	}
+	delete(t.items, victim)
+}
+
+// Items returns the tracked objects in canonical result order.
+func (t *TopK) Items() []ResultItem {
+	out := make([]ResultItem, 0, len(t.items))
+	for _, it := range t.items {
+		out = append(out, it)
+	}
+	SortResults(out)
+	return out
+}

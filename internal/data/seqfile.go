@@ -1,0 +1,334 @@
+package data
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"spq/internal/dfs"
+	"spq/internal/mapreduce"
+)
+
+// Binary object files, modeled after Hadoop's SequenceFile: a short header
+// followed by length-prefixed binary records, with a 16-byte sync marker
+// inserted every syncInterval records. The marker lets a reader positioned
+// at an arbitrary byte offset (the start of a DFS block split) resynchronize
+// on the next record boundary, so binary files are splittable exactly like
+// newline-delimited text.
+//
+// Layout:
+//
+//	magic   [4]byte  "SPQ1"
+//	marker  [16]byte  file-unique sync marker
+//	repeat:
+//	    either  marker [16]byte            (sync point)
+//	    or      length uvarint, payload    (one encoded Object)
+//
+// A record length of 0 is never produced, and the marker is chosen so that
+// it cannot collide with a record prefix (see newSyncMarker).
+
+var seqMagic = [4]byte{'S', 'P', 'Q', '1'}
+
+// syncInterval is the number of records between sync markers.
+const syncInterval = 64
+
+// newSyncMarker derives a deterministic 16-byte marker from the file name.
+// The first byte is forced to 0x00: record headers start with a non-zero
+// uvarint length byte (records are never empty), so a marker can never be
+// confused with the start of a record.
+func newSyncMarker(name string) [16]byte {
+	h := fnv.New128a()
+	h.Write([]byte(name))
+	var m [16]byte
+	h.Sum(m[:0])
+	m[0] = 0x00
+	return m
+}
+
+// SeqWriter writes objects in the binary format.
+type SeqWriter struct {
+	w          *bufio.Writer
+	marker     [16]byte
+	sinceSync  int
+	records    int
+	headerDone bool
+	closer     io.Closer
+}
+
+// NewSeqWriter creates a binary writer over w. name seeds the sync marker;
+// use the target file name.
+func NewSeqWriter(w io.Writer, name string) *SeqWriter {
+	var c io.Closer
+	if wc, ok := w.(io.Closer); ok {
+		c = wc
+	}
+	return &SeqWriter{w: bufio.NewWriterSize(w, 64<<10), marker: newSyncMarker(name), closer: c}
+}
+
+func (s *SeqWriter) writeHeader() error {
+	if s.headerDone {
+		return nil
+	}
+	if _, err := s.w.Write(seqMagic[:]); err != nil {
+		return err
+	}
+	if _, err := s.w.Write(s.marker[:]); err != nil {
+		return err
+	}
+	s.headerDone = true
+	return nil
+}
+
+// Append writes one object.
+func (s *SeqWriter) Append(o Object) error {
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	if s.sinceSync >= syncInterval {
+		if _, err := s.w.Write(s.marker[:]); err != nil {
+			return err
+		}
+		s.sinceSync = 0
+	}
+	var payload bytes.Buffer
+	pw := bufio.NewWriter(&payload)
+	if err := encodeObject(pw, o); err != nil {
+		return err
+	}
+	if err := pw.Flush(); err != nil {
+		return err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(payload.Len()))
+	if _, err := s.w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := s.w.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	s.sinceSync++
+	s.records++
+	return nil
+}
+
+// Records returns the number of objects written so far.
+func (s *SeqWriter) Records() int { return s.records }
+
+// Close flushes buffered data (and closes the underlying writer when it is
+// an io.Closer).
+func (s *SeqWriter) Close() error {
+	if err := s.writeHeader(); err != nil { // empty files still get a header
+		return err
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}
+
+// WriteSeqToDFS stores the dataset in the binary format as a single DFS
+// file.
+func (d *Dataset) WriteSeqToDFS(fs *dfs.FileSystem, name string) error {
+	w, err := fs.Writer(name)
+	if err != nil {
+		return err
+	}
+	sw := NewSeqWriter(w, name)
+	for _, o := range d.Objects() {
+		if err := sw.Append(o); err != nil {
+			return fmt.Errorf("data: seq write: %w", err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		return fmt.Errorf("data: seq close: %w", err)
+	}
+	return nil
+}
+
+// SeqInput is a MapReduce source reading binary object files with one
+// split per DFS block, using sync markers for record alignment: a split
+// that does not start at the file header scans forward to the first sync
+// marker at or after its offset, and every split reads past its end until
+// the next marker (or EOF), so each record is processed exactly once.
+type SeqInput struct {
+	FS    *dfs.FileSystem
+	Files []string
+}
+
+// NewSeqInput constructs a SeqInput.
+func NewSeqInput(fs *dfs.FileSystem, files ...string) *SeqInput {
+	return &SeqInput{FS: fs, Files: files}
+}
+
+// Splits implements mapreduce.Source.
+func (si *SeqInput) Splits() ([]mapreduce.SourceSplit[Object], error) {
+	var out []mapreduce.SourceSplit[Object]
+	for _, f := range si.Files {
+		splits, err := si.FS.Splits(f)
+		if err != nil {
+			return nil, err
+		}
+		length, err := si.FS.Len(f)
+		if err != nil {
+			return nil, err
+		}
+		marker := newSyncMarker(f)
+		for _, s := range splits {
+			out = append(out, &seqSplit{fs: si.FS, split: s, fileLen: length, marker: marker})
+		}
+	}
+	return out, nil
+}
+
+type seqSplit struct {
+	fs      *dfs.FileSystem
+	split   dfs.Split
+	fileLen int64
+	marker  [16]byte
+}
+
+func (s *seqSplit) Hosts() []string { return s.split.Hosts }
+
+// Each implements mapreduce.SourceSplit.
+func (s *seqSplit) Each(yield func(Object) bool) error {
+	start := s.split.Offset
+	end := s.split.Offset + int64(s.split.Length)
+	headerLen := int64(len(seqMagic) + len(s.marker))
+
+	if start == 0 {
+		start = headerLen
+	} else {
+		// Scan forward to the first sync marker that *starts* at or after
+		// this split's offset. A marker straddling the boundary belongs to
+		// the previous split: that split reads past its end up to the first
+		// marker starting at or after the boundary, so ownership of every
+		// record is unambiguous.
+		scanFrom := start
+		if scanFrom < headerLen {
+			scanFrom = headerLen
+		}
+		pos, ok, err := s.findMarker(scanFrom)
+		if err != nil {
+			return err
+		}
+		if !ok || pos+int64(len(s.marker)) > s.fileLen {
+			return nil // no records begin in this split
+		}
+		start = pos + int64(len(s.marker))
+		if pos >= end {
+			// The first marker at/after our offset already belongs to the
+			// next split's territory.
+			return nil
+		}
+	}
+
+	// Read records from start; continue past end until the next marker.
+	r := &dfsReader{fs: s.fs, file: s.split.File, pos: start}
+	br := bufio.NewReaderSize(r, 64<<10)
+	consumed := start
+	for {
+		if consumed >= s.fileLen {
+			return nil
+		}
+		// Peek for a sync marker.
+		head, err := br.Peek(len(s.marker))
+		if err == nil && bytes.Equal(head, s.marker[:]) {
+			if consumed >= end {
+				return nil // next split takes over at this marker
+			}
+			if _, err := br.Discard(len(s.marker)); err != nil {
+				return err
+			}
+			consumed += int64(len(s.marker))
+			continue
+		}
+		if err != nil && err != io.EOF && err != bufio.ErrBufferFull {
+			return err
+		}
+		length, err := binary.ReadUvarint(br)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("data: seq record length: %w", err)
+		}
+		consumed += int64(uvarintSize(length))
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return fmt.Errorf("data: seq record payload: %w", err)
+		}
+		consumed += int64(length)
+		obj, err := decodeObject(bufio.NewReader(bytes.NewReader(payload)))
+		if err != nil {
+			return fmt.Errorf("data: seq record decode: %w", err)
+		}
+		if !yield(obj) {
+			return nil
+		}
+	}
+}
+
+// findMarker scans the file from offset from for the sync marker and
+// returns its byte position.
+func (s *seqSplit) findMarker(from int64) (int64, bool, error) {
+	const chunk = 64 << 10
+	overlap := int64(len(s.marker) - 1)
+	pos := from
+	var carry []byte
+	for pos < s.fileLen {
+		buf, err := s.fs.ReadRange(s.split.File, pos, chunk)
+		if err != nil {
+			return 0, false, err
+		}
+		if len(buf) == 0 {
+			return 0, false, nil
+		}
+		search := append(carry, buf...)
+		if i := bytes.Index(search, s.marker[:]); i >= 0 {
+			return pos - int64(len(carry)) + int64(i), true, nil
+		}
+		if int64(len(search)) >= overlap {
+			carry = append([]byte(nil), search[int64(len(search))-overlap:]...)
+		} else {
+			carry = append([]byte(nil), search...)
+		}
+		pos += int64(len(buf))
+	}
+	return 0, false, nil
+}
+
+// uvarintSize returns the encoded size of v in bytes.
+func uvarintSize(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// dfsReader adapts FileSystem.ReadRange to io.Reader.
+type dfsReader struct {
+	fs   *dfs.FileSystem
+	file string
+	pos  int64
+}
+
+func (r *dfsReader) Read(p []byte) (int, error) {
+	buf, err := r.fs.ReadRange(r.file, r.pos, len(p))
+	if err != nil {
+		return 0, err
+	}
+	if len(buf) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, buf)
+	r.pos += int64(n)
+	return n, nil
+}

@@ -1,0 +1,211 @@
+package data
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spq/internal/dfs"
+	"spq/internal/geo"
+	"spq/internal/text"
+)
+
+func randObjects(r *rand.Rand, n int) []Object {
+	objs := make([]Object, n)
+	for i := range objs {
+		o := Object{ID: uint64(i), Loc: geo.Point{X: r.Float64(), Y: r.Float64()}}
+		if r.Intn(2) == 1 {
+			o.Kind = FeatureObject
+			ids := make([]uint32, 1+r.Intn(10))
+			for j := range ids {
+				ids[j] = uint32(r.Intn(500))
+			}
+			o.Keywords = text.NewKeywordSet(ids...)
+		}
+		objs[i] = o
+	}
+	return objs
+}
+
+func collectSeq(t *testing.T, fs *dfs.FileSystem, file string) map[uint64]Object {
+	t.Helper()
+	src := NewSeqInput(fs, file)
+	splits, err := src.Splits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64]Object{}
+	for _, s := range splits {
+		err := s.Each(func(o Object) bool {
+			if _, dup := got[o.ID]; dup {
+				t.Fatalf("object %d delivered twice", o.ID)
+			}
+			got[o.ID] = o
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return got
+}
+
+func TestSeqFileRoundTripSingleBlock(t *testing.T) {
+	fs := dfs.New(dfs.Config{NumNodes: 2, BlockSize: 1 << 20, Seed: 1})
+	r := rand.New(rand.NewSource(1))
+	objs := randObjects(r, 300)
+	w, err := fs.Writer("seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := NewSeqWriter(w, "seq")
+	for _, o := range objs {
+		if err := sw.Append(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sw.Records() != 300 {
+		t.Errorf("Records = %d", sw.Records())
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := collectSeq(t, fs, "seq")
+	if len(got) != len(objs) {
+		t.Fatalf("read %d objects, want %d", len(got), len(objs))
+	}
+	for _, want := range objs {
+		g := got[want.ID]
+		if g.Kind != want.Kind || g.Loc != want.Loc || !g.Keywords.Equal(want.Keywords) {
+			t.Fatalf("object %d mismatch: %+v vs %+v", want.ID, g, want)
+		}
+	}
+}
+
+// Every record must be delivered exactly once across many block sizes,
+// including ones that split records and sync markers mid-way.
+func TestSeqFileSplitsExactlyOnce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	objs := randObjects(r, 1000)
+	for _, blockSize := range []int{64, 127, 256, 1000, 4096, 1 << 15} {
+		t.Run(fmt.Sprintf("block%d", blockSize), func(t *testing.T) {
+			fs := dfs.New(dfs.Config{NumNodes: 3, BlockSize: blockSize, Seed: 2})
+			w, err := fs.Writer("seq")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sw := NewSeqWriter(w, "seq")
+			for _, o := range objs {
+				if err := sw.Append(o); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := sw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got := collectSeq(t, fs, "seq")
+			if len(got) != len(objs) {
+				t.Fatalf("block %d: read %d objects, want %d", blockSize, len(got), len(objs))
+			}
+			for _, want := range objs {
+				g, ok := got[want.ID]
+				if !ok {
+					t.Fatalf("object %d missing", want.ID)
+				}
+				if g.Loc != want.Loc || !g.Keywords.Equal(want.Keywords) {
+					t.Fatalf("object %d corrupted", want.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestSeqFileEmpty(t *testing.T) {
+	fs := dfs.New(dfs.Config{NumNodes: 2, BlockSize: 64, Seed: 1})
+	w, err := fs.Writer("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := NewSeqWriter(w, "empty")
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := collectSeq(t, fs, "empty"); len(got) != 0 {
+		t.Errorf("empty file yielded %d objects", len(got))
+	}
+}
+
+func TestSeqFileEarlyStop(t *testing.T) {
+	fs := dfs.New(dfs.Config{NumNodes: 2, BlockSize: 1 << 20, Seed: 1})
+	r := rand.New(rand.NewSource(3))
+	objs := randObjects(r, 100)
+	w, _ := fs.Writer("seq")
+	sw := NewSeqWriter(w, "seq")
+	for _, o := range objs {
+		sw.Append(o)
+	}
+	sw.Close()
+	src := NewSeqInput(fs, "seq")
+	splits, _ := src.Splits()
+	n := 0
+	err := splits[0].Each(func(Object) bool {
+		n++
+		return n < 7
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Errorf("yield called %d times, want 7", n)
+	}
+}
+
+func TestWriteSeqToDFSAndDataset(t *testing.T) {
+	ds := Generate(UniformSpec(400))
+	fs := dfs.New(dfs.Config{NumNodes: 4, BlockSize: 2 << 10, Seed: 9})
+	if err := ds.WriteSeqToDFS(fs, "un.seq"); err != nil {
+		t.Fatal(err)
+	}
+	got := collectSeq(t, fs, "un.seq")
+	if len(got) != 400 {
+		t.Fatalf("read %d, want 400", len(got))
+	}
+}
+
+func TestSyncMarkerProperties(t *testing.T) {
+	a := newSyncMarker("file-a")
+	b := newSyncMarker("file-b")
+	if a == b {
+		t.Error("markers for different files collide")
+	}
+	if a[0] != 0 || b[0] != 0 {
+		t.Error("marker first byte must be zero (cannot prefix a record)")
+	}
+	if a != newSyncMarker("file-a") {
+		t.Error("marker not deterministic")
+	}
+}
+
+func TestUvarintSize(t *testing.T) {
+	var buf bytes.Buffer
+	for _, v := range []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<63 - 1} {
+		buf.Reset()
+		var tmp [10]byte
+		n := putUvarintLen(tmp[:], v)
+		if got := uvarintSize(v); got != n {
+			t.Errorf("uvarintSize(%d) = %d, want %d", v, got, n)
+		}
+	}
+}
+
+func putUvarintLen(buf []byte, v uint64) int {
+	n := 0
+	for v >= 0x80 {
+		buf[n] = byte(v) | 0x80
+		v >>= 7
+		n++
+	}
+	buf[n] = byte(v)
+	return n + 1
+}

@@ -1,0 +1,391 @@
+// Package dfs implements a small in-process distributed file system
+// modeled after HDFS as described in Section 2.1 of the paper: files are
+// split into fixed-size blocks, blocks are stored on DataNodes with a
+// configurable replication factor (default 3), and a NameNode tracks the
+// mapping from files to blocks to replica locations.
+//
+// The file system is the storage substrate for the MapReduce engine in
+// package mapreduce: input files are divided into splits (one per block),
+// each split carries the hosts holding a replica so the scheduler can
+// prefer local tasks, and reads transparently fail over to another replica
+// when a DataNode is marked dead.
+//
+// Blocks live in memory. This keeps the simulation fast and deterministic
+// while preserving the properties the algorithms above it can observe:
+// block-granular placement, replication, locality and failure behaviour.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// DefaultBlockSize is the block size used when Config.BlockSize is zero.
+// The real HDFS default in the paper's cluster is 128 MiB; the simulation
+// defaults to 256 KiB so that laptop-scale datasets still span many blocks
+// and exercise split logic.
+const DefaultBlockSize = 256 << 10
+
+// DefaultReplication mirrors the paper's HDFS replication factor of 3.
+const DefaultReplication = 3
+
+// Common error conditions reported by the file system.
+var (
+	ErrNotFound      = errors.New("dfs: file not found")
+	ErrExists        = errors.New("dfs: file already exists")
+	ErrNoLiveReplica = errors.New("dfs: no live replica for block")
+	ErrNoLiveNodes   = errors.New("dfs: no live datanodes")
+)
+
+// Config parameterizes a file system.
+type Config struct {
+	// NumNodes is the number of DataNodes; 0 means 16, the size of the
+	// paper's cluster.
+	NumNodes int
+	// BlockSize is the maximum block payload size in bytes; 0 means
+	// DefaultBlockSize.
+	BlockSize int
+	// Replication is the number of replicas per block (capped at the
+	// number of nodes); 0 means DefaultReplication.
+	Replication int
+	// Seed feeds the placement policy's randomness. The same seed yields
+	// the same placement for the same write sequence.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumNodes <= 0 {
+		c.NumNodes = 16
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = DefaultBlockSize
+	}
+	if c.Replication <= 0 {
+		c.Replication = DefaultReplication
+	}
+	if c.Replication > c.NumNodes {
+		c.Replication = c.NumNodes
+	}
+	return c
+}
+
+// BlockID identifies a block cluster-wide.
+type BlockID int64
+
+// blockMeta is the NameNode's record of one block.
+type blockMeta struct {
+	id       BlockID
+	length   int
+	replicas []int // node indices
+}
+
+// fileMeta is the NameNode's record of one file.
+type fileMeta struct {
+	name   string
+	blocks []blockMeta
+	length int64
+}
+
+// dataNode stores block payloads for one simulated server.
+type dataNode struct {
+	mu     sync.RWMutex
+	name   string
+	alive  bool
+	blocks map[BlockID][]byte
+}
+
+func (d *dataNode) get(id BlockID) ([]byte, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if !d.alive {
+		return nil, false
+	}
+	b, ok := d.blocks[id]
+	return b, ok
+}
+
+func (d *dataNode) put(id BlockID, payload []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.blocks[id] = payload
+}
+
+// FileSystem is the combination of a NameNode and its DataNodes. It is safe
+// for concurrent use.
+type FileSystem struct {
+	cfg   Config
+	nodes []*dataNode
+
+	mu      sync.RWMutex
+	files   map[string]*fileMeta
+	nextBlk BlockID
+	rng     *rand.Rand
+}
+
+// New creates a file system with the given configuration.
+func New(cfg Config) *FileSystem {
+	cfg = cfg.withDefaults()
+	fs := &FileSystem{
+		cfg:   cfg,
+		files: make(map[string]*fileMeta),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := 0; i < cfg.NumNodes; i++ {
+		fs.nodes = append(fs.nodes, &dataNode{
+			name:   fmt.Sprintf("d%d", i+1),
+			alive:  true,
+			blocks: make(map[BlockID][]byte),
+		})
+	}
+	return fs
+}
+
+// Config returns the (defaulted) configuration the file system runs with.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// NumNodes returns the number of DataNodes.
+func (fs *FileSystem) NumNodes() int { return len(fs.nodes) }
+
+// NodeName returns the host name of DataNode i ("d1".."dN").
+func (fs *FileSystem) NodeName(i int) string { return fs.nodes[i].name }
+
+// KillNode marks DataNode i dead: its replicas become unreadable until
+// ReviveNode. Used by failure-injection tests.
+func (fs *FileSystem) KillNode(i int) {
+	fs.nodes[i].mu.Lock()
+	fs.nodes[i].alive = false
+	fs.nodes[i].mu.Unlock()
+}
+
+// ReviveNode marks DataNode i alive again.
+func (fs *FileSystem) ReviveNode(i int) {
+	fs.nodes[i].mu.Lock()
+	fs.nodes[i].alive = true
+	fs.nodes[i].mu.Unlock()
+}
+
+// liveNodes returns the indices of alive DataNodes.
+func (fs *FileSystem) liveNodes() []int {
+	var out []int
+	for i, n := range fs.nodes {
+		n.mu.RLock()
+		if n.alive {
+			out = append(out, i)
+		}
+		n.mu.RUnlock()
+	}
+	return out
+}
+
+// placeReplicas picks Replication distinct live nodes for a new block.
+func (fs *FileSystem) placeReplicas() ([]int, error) {
+	live := fs.liveNodes()
+	if len(live) == 0 {
+		return nil, ErrNoLiveNodes
+	}
+	k := fs.cfg.Replication
+	if k > len(live) {
+		k = len(live)
+	}
+	fs.rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+	picked := append([]int(nil), live[:k]...)
+	sort.Ints(picked)
+	return picked, nil
+}
+
+// Create writes data as a new file, splitting it into blocks and placing
+// replicas. It fails with ErrExists if the name is taken.
+func (fs *FileSystem) Create(name string, data []byte) error {
+	w, err := fs.Writer(name)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// Delete removes a file and drops its blocks from all replicas.
+func (fs *FileSystem) Delete(name string) error {
+	fs.mu.Lock()
+	f, ok := fs.files[name]
+	if ok {
+		delete(fs.files, name)
+	}
+	fs.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	for _, b := range f.blocks {
+		for _, ni := range b.replicas {
+			node := fs.nodes[ni]
+			node.mu.Lock()
+			delete(node.blocks, b.id)
+			node.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// Exists reports whether a file with the given name exists.
+func (fs *FileSystem) Exists(name string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[name]
+	return ok
+}
+
+// List returns the names of all files, sorted.
+func (fs *FileSystem) List() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the length of the named file in bytes.
+func (fs *FileSystem) Len(name string) (int64, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return f.length, nil
+}
+
+// ReadAll returns the full contents of the named file, reading each block
+// from any live replica.
+func (fs *FileSystem) ReadAll(name string) ([]byte, error) {
+	fs.mu.RLock()
+	f, ok := fs.files[name]
+	fs.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]byte, 0, f.length)
+	for _, b := range f.blocks {
+		payload, err := fs.readBlock(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, payload...)
+	}
+	return out, nil
+}
+
+// readBlock fetches a block payload from the first live replica.
+func (fs *FileSystem) readBlock(b blockMeta) ([]byte, error) {
+	for _, ni := range b.replicas {
+		if payload, ok := fs.nodes[ni].get(b.id); ok {
+			return payload, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: block %d", ErrNoLiveReplica, b.id)
+}
+
+// BlockLocations returns, for each block of the file in order, the names of
+// the DataNodes holding a replica.
+func (fs *FileSystem) BlockLocations(name string) ([][]string, error) {
+	fs.mu.RLock()
+	f, ok := fs.files[name]
+	fs.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	out := make([][]string, len(f.blocks))
+	for i, b := range f.blocks {
+		hosts := make([]string, len(b.replicas))
+		for j, ni := range b.replicas {
+			hosts[j] = fs.nodes[ni].name
+		}
+		out[i] = hosts
+	}
+	return out, nil
+}
+
+// Writer returns an io.WriteCloser that streams a new file into the file
+// system, cutting blocks at the configured block size. The file becomes
+// visible atomically on Close ("write-once" semantics, like HDFS).
+func (fs *FileSystem) Writer(name string) (*Writer, error) {
+	fs.mu.RLock()
+	_, exists := fs.files[name]
+	fs.mu.RUnlock()
+	if exists {
+		return nil, fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	return &Writer{fs: fs, meta: &fileMeta{name: name}}, nil
+}
+
+// Writer streams data into a new file. Not safe for concurrent use.
+type Writer struct {
+	fs     *FileSystem
+	meta   *fileMeta
+	buf    []byte
+	closed bool
+}
+
+// Write appends p to the file, flushing full blocks as they are cut.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("dfs: write on closed writer")
+	}
+	w.buf = append(w.buf, p...)
+	bs := w.fs.cfg.BlockSize
+	for len(w.buf) >= bs {
+		if err := w.flushBlock(w.buf[:bs]); err != nil {
+			return 0, err
+		}
+		w.buf = w.buf[bs:]
+	}
+	return len(p), nil
+}
+
+func (w *Writer) flushBlock(payload []byte) error {
+	replicas, err := w.fs.placeReplicas()
+	if err != nil {
+		return err
+	}
+	w.fs.mu.Lock()
+	id := w.fs.nextBlk
+	w.fs.nextBlk++
+	w.fs.mu.Unlock()
+
+	stored := append([]byte(nil), payload...)
+	for _, ni := range replicas {
+		w.fs.nodes[ni].put(id, stored)
+	}
+	w.meta.blocks = append(w.meta.blocks, blockMeta{id: id, length: len(payload), replicas: replicas})
+	w.meta.length += int64(len(payload))
+	return nil
+}
+
+// Close flushes the final partial block and publishes the file. It reports
+// ErrExists if another writer published the same name first.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if len(w.buf) > 0 {
+		if err := w.flushBlock(w.buf); err != nil {
+			return err
+		}
+		w.buf = nil
+	}
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	if _, exists := w.fs.files[w.meta.name]; exists {
+		return fmt.Errorf("%w: %s", ErrExists, w.meta.name)
+	}
+	w.fs.files[w.meta.name] = w.meta
+	return nil
+}

@@ -1,0 +1,270 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Point{1, 1}, Point{1, 1}, 0},
+		{"unit x", Point{0, 0}, Point{1, 0}, 1},
+		{"unit y", Point{0, 0}, Point{0, 1}, 1},
+		{"3-4-5", Point{0, 0}, Point{3, 4}, 5},
+		{"negative coords", Point{-1, -1}, Point{2, 3}, 5},
+		{"paper p1-f4", Point{4.6, 4.8}, Point{3.8, 5.5}, math.Hypot(0.8, 0.7)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Dist(tt.p, tt.q); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Dist(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+// norm maps an arbitrary quick-generated float64 into [-1000, 1000] so that
+// squared distances stay far from float64 overflow.
+func norm(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1000)
+}
+
+func TestDist2MatchesDist(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		p, q := Point{norm(ax), norm(ay)}, Point{norm(bx), norm(by)}
+		d := Dist(p, q)
+		return math.Abs(Dist2(p, q)-d*d) <= 1e-9*math.Max(1, d*d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		p, q := Point{ax, ay}, Point{bx, by}
+		return Dist(p, q) == Dist(q, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 3}
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"center", Point{1, 1.5}, true},
+		{"min corner", Point{0, 0}, true},
+		{"max corner", Point{2, 3}, true},
+		{"on edge", Point{0, 1}, true},
+		{"left of", Point{-0.1, 1}, false},
+		{"right of", Point{2.1, 1}, false},
+		{"below", Point{1, -0.1}, false},
+		{"above", Point{1, 3.1}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := r.Contains(tt.p); got != tt.want {
+				t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRectEmptyAndArea(t *testing.T) {
+	if (Rect{MinX: 1, MaxX: 0, MinY: 0, MaxY: 1}).Empty() != true {
+		t.Error("inverted rect should be empty")
+	}
+	if (Rect{}).Empty() {
+		t.Error("zero rect is a single point, not empty")
+	}
+	r := Rect{MinX: 1, MinY: 2, MaxX: 4, MaxY: 6}
+	if got := r.Area(); got != 12 {
+		t.Errorf("Area = %v, want 12", got)
+	}
+	if got := r.Width(); got != 3 {
+		t.Errorf("Width = %v, want 3", got)
+	}
+	if got := r.Height(); got != 4 {
+		t.Errorf("Height = %v, want 4", got)
+	}
+}
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(Point{5, 1}, Point{2, 7})
+	want := Rect{MinX: 2, MinY: 1, MaxX: 5, MaxY: 7}
+	if r != want {
+		t.Errorf("NewRect = %+v, want %+v", r, want)
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	tests := []struct {
+		name string
+		b    Rect
+		want bool
+	}{
+		{"overlap", Rect{1, 1, 3, 3}, true},
+		{"touch edge", Rect{2, 0, 4, 2}, true},
+		{"touch corner", Rect{2, 2, 3, 3}, true},
+		{"disjoint x", Rect{2.1, 0, 3, 2}, false},
+		{"disjoint y", Rect{0, 2.1, 2, 3}, false},
+		{"contained", Rect{0.5, 0.5, 1.5, 1.5}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := a.Intersects(tt.b); got != tt.want {
+				t.Errorf("Intersects = %v, want %v", got, tt.want)
+			}
+			if got := tt.b.Intersects(a); got != tt.want {
+				t.Errorf("Intersects (flipped) = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := Rect{0, 0, 1, 1}
+	b := Rect{2, 2, 3, 3}
+	got := a.Union(b)
+	want := Rect{0, 0, 3, 3}
+	if got != want {
+		t.Errorf("Union = %+v, want %+v", got, want)
+	}
+	empty := Rect{MinX: 1, MaxX: 0}
+	if a.Union(empty) != a {
+		t.Error("union with empty should return receiver")
+	}
+	if empty.Union(b) != b {
+		t.Error("empty union with rect should return the rect")
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := Rect{1, 1, 2, 2}
+	got := r.Expand(0.5)
+	want := Rect{0.5, 0.5, 2.5, 2.5}
+	if got != want {
+		t.Errorf("Expand = %+v, want %+v", got, want)
+	}
+	if !r.Expand(-1).Empty() {
+		t.Error("over-shrunk rect should be empty")
+	}
+}
+
+func TestMinDist(t *testing.T) {
+	r := Rect{MinX: 1, MinY: 1, MaxX: 3, MaxY: 2}
+	tests := []struct {
+		name string
+		p    Point
+		want float64
+	}{
+		{"inside", Point{2, 1.5}, 0},
+		{"on boundary", Point{1, 1}, 0},
+		{"left", Point{0, 1.5}, 1},
+		{"right", Point{5, 1.5}, 2},
+		{"below", Point{2, 0}, 1},
+		{"above", Point{2, 4}, 2},
+		{"corner diag", Point{0, 0}, math.Sqrt2},
+		{"far corner", Point{6, 6}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := MinDist(tt.p, r); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("MinDist(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+// MINDIST must lower-bound the distance from p to every point inside r.
+func TestMinDistIsLowerBound(t *testing.T) {
+	f := func(px, py, ax, ay, bx, by, u, v float64) bool {
+		p := Point{norm(px), norm(py)}
+		r := NewRect(Point{norm(ax), norm(ay)}, Point{norm(bx), norm(by)})
+		// Map (u,v) into [0,1]^2 to pick a point inside r.
+		fu := math.Abs(math.Mod(u, 1))
+		fv := math.Abs(math.Mod(v, 1))
+		in := Point{r.MinX + fu*r.Width(), r.MinY + fv*r.Height()}
+		return MinDist(p, r) <= Dist(p, in)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// MINDIST equals the distance to the clamped (nearest) point.
+func TestMinDistEqualsClampDist(t *testing.T) {
+	f := func(px, py, ax, ay, bx, by float64) bool {
+		p := Point{norm(px), norm(py)}
+		r := NewRect(Point{norm(ax), norm(ay)}, Point{norm(bx), norm(by)})
+		got := MinDist(p, r)
+		want := Dist(p, Clamp(p, r))
+		return math.Abs(got-want) <= 1e-9*math.Max(1, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxDist(t *testing.T) {
+	r := Rect{0, 0, 2, 2}
+	tests := []struct {
+		name string
+		p    Point
+		want float64
+	}{
+		{"center", Point{1, 1}, math.Sqrt2},
+		{"at corner", Point{0, 0}, 2 * math.Sqrt2},
+		{"outside", Point{-1, -1}, 3 * math.Sqrt2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := MaxDist(tt.p, r); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("MaxDist(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMaxDistDominatesMinDist(t *testing.T) {
+	f := func(px, py, ax, ay, bx, by float64) bool {
+		p := Point{norm(px), norm(py)}
+		r := NewRect(Point{norm(ax), norm(ay)}, Point{norm(bx), norm(by)})
+		return MaxDist(p, r) >= MinDist(p, r)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampInsideRect(t *testing.T) {
+	f := func(px, py, ax, ay, bx, by float64) bool {
+		p := Point{norm(px), norm(py)}
+		r := NewRect(Point{norm(ax), norm(ay)}, Point{norm(bx), norm(by)})
+		return r.Contains(Clamp(p, r))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCenter(t *testing.T) {
+	r := Rect{0, 0, 4, 2}
+	if got := r.Center(); got != (Point{2, 1}) {
+		t.Errorf("Center = %v, want (2,1)", got)
+	}
+}

@@ -1,0 +1,102 @@
+package mapreduce
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Well-known counter names maintained by the engine itself. Jobs may define
+// additional counters freely via TaskContext.Counter.
+const (
+	CounterMapRecordsIn   = "map.records.in"
+	CounterMapRecordsOut  = "map.records.out"
+	CounterReduceGroups   = "reduce.groups"
+	CounterReduceValues   = "reduce.values.total"
+	CounterValuesConsumed = "reduce.values.consumed"
+	CounterOutputRecords  = "output.records"
+	CounterShuffleBytes   = "shuffle.bytes"
+	CounterSpillRuns      = "spill.runs"
+	CounterSpilledRecords = "spill.records"
+	CounterDataLocalMaps  = "scheduler.maps.data_local"
+	CounterTaskRetries    = "tasks.retries"
+)
+
+// Counters is a concurrency-safe registry of named int64 counters,
+// mirroring Hadoop job counters.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]*int64
+}
+
+// NewCounters returns an empty registry.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]*int64)}
+}
+
+// cell returns the addressable cell for name, creating it if needed.
+func (c *Counters) cell(name string) *int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.m[name]
+	if !ok {
+		p = new(int64)
+		c.m[name] = p
+	}
+	return p
+}
+
+// Add atomically adds delta to the named counter.
+func (c *Counters) Add(name string, delta int64) {
+	atomic.AddInt64(c.cell(name), delta)
+}
+
+// Get returns the current value of the named counter (0 if never touched).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	p, ok := c.m[name]
+	c.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return atomic.LoadInt64(p)
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, p := range c.m {
+		out[k] = atomic.LoadInt64(p)
+	}
+	return out
+}
+
+// Names returns the sorted counter names.
+func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TaskContext is passed to Map and Reduce invocations. It identifies the
+// running task and gives access to the job's counters.
+type TaskContext struct {
+	Kind     TaskKind
+	TaskID   int
+	Attempt  int
+	NodeName string
+
+	counters *Counters
+}
+
+// Counter adds delta to the named job counter.
+func (t *TaskContext) Counter(name string, delta int64) {
+	t.counters.Add(name, delta)
+}

@@ -1,0 +1,478 @@
+package mapreduce
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spq/internal/dfs"
+)
+
+// Cluster describes the execution resources of a simulated cluster: the
+// distributed file system whose nodes host the data, and the number of
+// concurrent map and reduce slots. With fewer slots than tasks, tasks run
+// in waves, exactly like an overcommitted Hadoop cluster (see the footnote
+// in Section 6.3 of the paper).
+type Cluster struct {
+	// FS is the storage layer. It may be nil when all job sources are
+	// in-memory; locality scheduling then degrades gracefully.
+	FS *dfs.FileSystem
+	// MapSlots and ReduceSlots bound task concurrency (default 1 each).
+	MapSlots    int
+	ReduceSlots int
+}
+
+// NewCluster returns a cluster with slots spread across the nodes of fs.
+func NewCluster(fs *dfs.FileSystem, mapSlots, reduceSlots int) *Cluster {
+	return &Cluster{FS: fs, MapSlots: mapSlots, ReduceSlots: reduceSlots}
+}
+
+func (c *Cluster) mapSlots() int {
+	if c.MapSlots <= 0 {
+		return 1
+	}
+	return c.MapSlots
+}
+
+func (c *Cluster) reduceSlots() int {
+	if c.ReduceSlots <= 0 {
+		return 1
+	}
+	return c.ReduceSlots
+}
+
+// slotNode maps a slot index to the DataNode hosting it (round-robin).
+func (c *Cluster) slotNode(slot int) string {
+	if c.FS == nil || c.FS.NumNodes() == 0 {
+		return fmt.Sprintf("slot-%d", slot)
+	}
+	return c.FS.NodeName(slot % c.FS.NumNodes())
+}
+
+// Stats summarizes one job execution.
+type Stats struct {
+	Job            string
+	MapTasks       int
+	ReduceTasks    int
+	Duration       time.Duration
+	MapDuration    time.Duration
+	ReduceDuration time.Duration
+}
+
+// Result is the outcome of a job: the concatenated reduce outputs (in
+// reduce-task order), the job counters and timing statistics.
+type Result[O any] struct {
+	Output   []O
+	Counters map[string]int64
+	Stats    Stats
+}
+
+// partitionData accumulates the intermediate records routed to one reduce
+// task: in-memory chunks published by map tasks plus spilled sorted runs.
+type partitionData[K, V any] struct {
+	mu   sync.Mutex
+	mem  []Pair[K, V]
+	runs []*spillRun
+}
+
+// Run executes the job on the cluster and returns its result. It is the
+// entry point of the framework.
+func Run[I, K, V, O any](c *Cluster, job *Job[I, K, V, O]) (*Result[O], error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	counters := NewCounters()
+	r := job.NumReducers
+
+	splits, err := job.Source.Splits()
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+	}
+
+	parts := make([]*partitionData[K, V], r)
+	for i := range parts {
+		parts[i] = &partitionData[K, V]{}
+	}
+	// Every spill run is removed when the job finishes, success or not.
+	defer func() {
+		for _, p := range parts {
+			for _, run := range p.runs {
+				os.Remove(run.path)
+			}
+		}
+	}()
+
+	mapStart := time.Now()
+	if err := runMapPhase(c, job, splits, parts, counters); err != nil {
+		return nil, err
+	}
+	mapDur := time.Since(mapStart)
+
+	reduceStart := time.Now()
+	output, err := runReducePhase(c, job, parts, counters)
+	if err != nil {
+		return nil, err
+	}
+	reduceDur := time.Since(reduceStart)
+
+	return &Result[O]{
+		Output:   output,
+		Counters: counters.Snapshot(),
+		Stats: Stats{
+			Job:            job.Name,
+			MapTasks:       len(splits),
+			ReduceTasks:    r,
+			Duration:       time.Since(start),
+			MapDuration:    mapDur,
+			ReduceDuration: reduceDur,
+		},
+	}, nil
+}
+
+// assignMapTasks distributes splits over slots, preferring slots whose node
+// hosts a replica of the split (data-local scheduling). It returns the
+// per-slot task lists and the number of data-local assignments.
+func assignMapTasks[I any](c *Cluster, splits []SourceSplit[I]) (perSlot [][]int, local int) {
+	slots := c.mapSlots()
+	perSlot = make([][]int, slots)
+	load := make([]int, slots)
+
+	nodeSlots := make(map[string][]int)
+	for s := 0; s < slots; s++ {
+		n := c.slotNode(s)
+		nodeSlots[n] = append(nodeSlots[n], s)
+	}
+	pick := func(candidates []int) int {
+		best := -1
+		for _, s := range candidates {
+			if best == -1 || load[s] < load[best] {
+				best = s
+			}
+		}
+		return best
+	}
+	all := make([]int, slots)
+	for i := range all {
+		all[i] = i
+	}
+	for i, sp := range splits {
+		var cands []int
+		for _, h := range sp.Hosts() {
+			cands = append(cands, nodeSlots[h]...)
+		}
+		slot := pick(cands)
+		if slot >= 0 {
+			local++
+		} else {
+			slot = pick(all)
+		}
+		perSlot[slot] = append(perSlot[slot], i)
+		load[slot]++
+	}
+	return perSlot, local
+}
+
+// runTasks executes fn for every task id in perSlot, one goroutine per
+// slot, stopping at the first error.
+func runTasks(perSlot [][]int, fn func(slot, task int) error) error {
+	var (
+		wg       sync.WaitGroup
+		firstErr atomic.Value
+		failed   atomic.Bool
+	)
+	for slot := range perSlot {
+		if len(perSlot[slot]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for _, task := range perSlot[slot] {
+				if failed.Load() {
+					return
+				}
+				if err := fn(slot, task); err != nil {
+					if failed.CompareAndSwap(false, true) {
+						firstErr.Store(err)
+					}
+					return
+				}
+			}
+		}(slot)
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// roundRobin spreads n tasks over k slots.
+func roundRobin(n, k int) [][]int {
+	perSlot := make([][]int, k)
+	for i := 0; i < n; i++ {
+		perSlot[i%k] = append(perSlot[i%k], i)
+	}
+	return perSlot
+}
+
+func maxAttempts[I, K, V, O any](job *Job[I, K, V, O]) int {
+	if job.MaxAttempts <= 0 {
+		return 1
+	}
+	return job.MaxAttempts
+}
+
+// runMapPhase executes all map tasks and publishes their intermediate
+// output into parts.
+func runMapPhase[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], splits []SourceSplit[I], parts []*partitionData[K, V], counters *Counters) error {
+	perSlot, local := assignMapTasks(c, splits)
+	counters.Add(CounterDataLocalMaps, int64(local))
+	attempts := maxAttempts(job)
+	r := job.NumReducers
+
+	return runTasks(perSlot, func(slot, task int) error {
+		for attempt := 1; ; attempt++ {
+			err := runMapAttempt(c, job, splits[task], parts, counters, slot, task, attempt, r)
+			if err == nil {
+				return nil
+			}
+			counters.Add(CounterTaskRetries, 1)
+			if attempt >= attempts {
+				return fmt.Errorf("%w: job %q map task %d after %d attempts: %v",
+					ErrTooManyFailures, job.Name, task, attempt, err)
+			}
+		}
+	})
+}
+
+// runMapAttempt runs one attempt of one map task. All side effects (counter
+// deltas, buffered records, spill runs) are kept attempt-local and
+// published only on success, so a failed attempt leaves no trace.
+func runMapAttempt[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], split SourceSplit[I], parts []*partitionData[K, V], counters *Counters, slot, task, attempt, r int) (err error) {
+	if job.FaultInjector != nil {
+		if ferr := job.FaultInjector(MapTask, task, attempt); ferr != nil {
+			return ferr
+		}
+	}
+	local := NewCounters()
+	ctx := &TaskContext{Kind: MapTask, TaskID: task, Attempt: attempt, NodeName: c.slotNode(slot), counters: local}
+
+	buffers := make([][]Pair[K, V], r)
+	var runs [][]*spillRun // per-partition runs created by this attempt
+	if job.SpillEvery > 0 {
+		runs = make([][]*spillRun, r)
+	}
+	// Attempt-local cleanup of spill files on failure.
+	defer func() {
+		if err != nil {
+			for _, rs := range runs {
+				for _, run := range rs {
+					os.Remove(run.path)
+				}
+			}
+		}
+	}()
+
+	buffered := 0
+	spill := func() error {
+		rs, parts, werr := writeSpill(buffers, job.Less, job.KeyCodec, job.ValueCodec)
+		if werr != nil {
+			return werr
+		}
+		for i, run := range rs {
+			run := run
+			p := parts[i]
+			runs[p] = append(runs[p], &run)
+			local.Add(CounterSpillRuns, 1)
+			local.Add(CounterSpilledRecords, int64(run.records))
+			local.Add(CounterShuffleBytes, run.length)
+			buffers[p] = nil
+		}
+		buffered = 0
+		return nil
+	}
+
+	var emitErr error
+	emit := func(k K, v V) {
+		p := job.Partition(k, r)
+		if p < 0 || p >= r {
+			if emitErr == nil {
+				emitErr = fmt.Errorf("mapreduce: job %q: Partition returned %d for %d reducers", job.Name, p, r)
+			}
+			return
+		}
+		buffers[p] = append(buffers[p], Pair[K, V]{Key: k, Value: v})
+		local.Add(CounterMapRecordsOut, 1)
+		buffered++
+		if job.SpillEvery > 0 && buffered >= job.SpillEvery {
+			if serr := spill(); serr != nil && emitErr == nil {
+				emitErr = serr
+			}
+		}
+	}
+
+	var mapErr error
+	eachErr := split.Each(func(rec I) bool {
+		local.Add(CounterMapRecordsIn, 1)
+		if merr := job.Map(ctx, rec, emit); merr != nil {
+			mapErr = merr
+			return false
+		}
+		return emitErr == nil
+	})
+	switch {
+	case eachErr != nil:
+		return eachErr
+	case mapErr != nil:
+		return mapErr
+	case emitErr != nil:
+		return emitErr
+	}
+
+	// Publish: remaining buffers go to the shared in-memory partitions
+	// (or to final runs when spilling), runs are attached to partitions.
+	if job.SpillEvery > 0 {
+		if buffered > 0 {
+			if serr := spill(); serr != nil {
+				return serr
+			}
+		}
+	} else {
+		for p, buf := range buffers {
+			if len(buf) == 0 {
+				continue
+			}
+			parts[p].mu.Lock()
+			parts[p].mem = append(parts[p].mem, buf...)
+			parts[p].mu.Unlock()
+		}
+	}
+	for p, rs := range runs {
+		if len(rs) == 0 {
+			continue
+		}
+		parts[p].mu.Lock()
+		parts[p].runs = append(parts[p].runs, rs...)
+		parts[p].mu.Unlock()
+	}
+	mergeCounters(counters, local)
+	return nil
+}
+
+// mergeCounters folds src into dst.
+func mergeCounters(dst, src *Counters) {
+	for name, v := range src.Snapshot() {
+		dst.Add(name, v)
+	}
+}
+
+// runReducePhase sorts every partition, runs the reduce tasks and returns
+// the concatenated output in task order.
+func runReducePhase[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], parts []*partitionData[K, V], counters *Counters) ([]O, error) {
+	r := job.NumReducers
+	attempts := maxAttempts(job)
+
+	// Sort each partition's in-memory chunk once; attempts reuse it.
+	for _, p := range parts {
+		pairs := p.mem
+		sort.SliceStable(pairs, func(i, j int) bool { return job.Less(pairs[i].Key, pairs[j].Key) })
+	}
+
+	outputs := make([][]O, r)
+	perSlot := roundRobin(r, c.reduceSlots())
+	err := runTasks(perSlot, func(slot, task int) error {
+		for attempt := 1; ; attempt++ {
+			out, err := runReduceAttempt(c, job, parts[task], counters, slot, task, attempt)
+			if err == nil {
+				outputs[task] = out
+				return nil
+			}
+			counters.Add(CounterTaskRetries, 1)
+			if attempt >= attempts {
+				return fmt.Errorf("%w: job %q reduce task %d after %d attempts: %v",
+					ErrTooManyFailures, job.Name, task, attempt, err)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []O
+	for _, o := range outputs {
+		out = append(out, o...)
+	}
+	return out, nil
+}
+
+// runReduceAttempt runs one attempt of one reduce task over its partition.
+func runReduceAttempt[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], part *partitionData[K, V], counters *Counters, slot, task, attempt int) ([]O, error) {
+	if job.FaultInjector != nil {
+		if ferr := job.FaultInjector(ReduceTask, task, attempt); ferr != nil {
+			return nil, ferr
+		}
+	}
+	local := NewCounters()
+	ctx := &TaskContext{Kind: ReduceTask, TaskID: task, Attempt: attempt, NodeName: c.slotNode(slot), counters: local}
+
+	// Build the sorted stream: the pre-sorted in-memory chunk merged with
+	// every spilled run.
+	streams := []stream[K, V]{&memStream[K, V]{pairs: part.mem}}
+	total := int64(len(part.mem))
+	var opened []*runStream[K, V]
+	defer func() {
+		for _, rs := range opened {
+			rs.close()
+		}
+	}()
+	for _, run := range part.runs {
+		rs, err := openRun(run, job.KeyCodec, job.ValueCodec)
+		if err != nil {
+			return nil, err
+		}
+		opened = append(opened, rs)
+		streams = append(streams, rs)
+		total += int64(run.records)
+	}
+	merged, err := newMergeStream(job.Less, streams...)
+	if err != nil {
+		return nil, err
+	}
+	local.Add(CounterReduceValues, total)
+
+	group := job.GroupEqual
+	if group == nil {
+		group = func(a, b K) bool { return false }
+	}
+	vals := &Values[K, V]{stream: merged, group: group, counters: local}
+
+	var out []O
+	emit := func(o O) {
+		out = append(out, o)
+		local.Add(CounterOutputRecords, 1)
+	}
+
+	more, err := vals.prime()
+	if err != nil {
+		return nil, err
+	}
+	for more {
+		local.Add(CounterReduceGroups, 1)
+		if rerr := job.Reduce(ctx, vals, emit); rerr != nil {
+			return nil, rerr
+		}
+		if vals.err != nil {
+			return nil, vals.err
+		}
+		more, err = vals.drain()
+		if err != nil {
+			return nil, err
+		}
+	}
+	mergeCounters(counters, local)
+	return out, nil
+}

@@ -1,0 +1,137 @@
+// Package mapreduce is an in-process MapReduce framework modeled after
+// Hadoop as used by the paper (Section 2.1): a job consists of a Map
+// function, a Partitioner that routes map output keys to Reduce tasks, a
+// key Comparator that fixes the order in which a Reduce task sees its
+// records (enabling secondary sort on composite keys), a grouping
+// Comparator that delimits reduce groups, and a Reduce function that
+// receives the values of one group as an iterator.
+//
+// The iterator-based reduce interface is load-bearing for this repository:
+// the early-termination algorithms of Section 5 (eSPQlen, eSPQsco) stop
+// consuming values mid-group, and the engine guarantees that unconsumed
+// records are never materialized beyond the sort, mirroring how a Hadoop
+// reducer can return early.
+//
+// The engine executes map and reduce tasks on a simulated cluster (package
+// dfs provides the storage nodes) with a configurable number of worker
+// slots, locality-aware map scheduling, per-task retry with fault
+// injection, optional spill-to-disk external sorting, and Hadoop-style
+// counters.
+package mapreduce
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+)
+
+// Pair is one intermediate key/value record.
+type Pair[K, V any] struct {
+	Key   K
+	Value V
+}
+
+// Codec serializes intermediate records for spill files and shuffle-byte
+// accounting. Encode and Decode must round-trip.
+type Codec[T any] struct {
+	Encode func(w *bufio.Writer, t T) error
+	Decode func(r *bufio.Reader) (T, error)
+}
+
+// TaskKind distinguishes map from reduce tasks in fault injectors and
+// scheduling hooks.
+type TaskKind int
+
+// The two task kinds.
+const (
+	MapTask TaskKind = iota
+	ReduceTask
+)
+
+// String implements fmt.Stringer.
+func (k TaskKind) String() string {
+	if k == MapTask {
+		return "map"
+	}
+	return "reduce"
+}
+
+// Job describes one MapReduce job over records of type I, intermediate
+// pairs (K, V) and output records O.
+type Job[I, K, V, O any] struct {
+	// Name labels the job in errors and stats.
+	Name string
+
+	// Source provides the input splits (package dfs text files, or an
+	// in-memory source for tests).
+	Source Source[I]
+
+	// Map is invoked once per input record and emits intermediate pairs.
+	Map func(ctx *TaskContext, rec I, emit func(K, V)) error
+
+	// NumReducers is the number of reduce tasks R. The paper sets R to the
+	// number of grid cells. Must be positive.
+	NumReducers int
+
+	// Partition routes a key to one of the NumReducers reduce tasks. It is
+	// the analogue of Hadoop's custom Partitioner (the paper partitions by
+	// the cell-id half of the composite key).
+	Partition func(key K, numReducers int) int
+
+	// Less is the full composite-key comparator fixing the order in which
+	// a reduce task iterates its records (Hadoop's sort comparator).
+	Less func(a, b K) bool
+
+	// GroupEqual is the grouping comparator: consecutive sorted records
+	// whose keys are GroupEqual form one reduce group. If nil, every
+	// record is its own group.
+	GroupEqual func(a, b K) bool
+
+	// Reduce is invoked once per group with an iterator over the group's
+	// pairs in Less order. It may stop consuming values at any point
+	// (early termination). Output records are passed to emit.
+	Reduce func(ctx *TaskContext, values *Values[K, V], emit func(O)) error
+
+	// KeyCodec and ValueCodec serialize intermediate records. They are
+	// required when SpillEvery > 0 and otherwise optional; when present
+	// they are also used to meter shuffle bytes.
+	KeyCodec   *Codec[K]
+	ValueCodec *Codec[V]
+
+	// SpillEvery bounds the number of intermediate records a map task may
+	// hold in memory; beyond it, sorted runs are spilled to temporary
+	// files and merged on the reduce side. Zero disables spilling.
+	SpillEvery int
+
+	// MaxAttempts is the per-task retry budget (default 1, i.e. no retry).
+	MaxAttempts int
+
+	// FaultInjector, if non-nil, is consulted before each task attempt;
+	// a non-nil return fails that attempt. Used by the failure tests.
+	FaultInjector func(kind TaskKind, taskID, attempt int) error
+}
+
+// validate checks the job for structural errors before execution.
+func (j *Job[I, K, V, O]) validate() error {
+	switch {
+	case j.Source == nil:
+		return fmt.Errorf("mapreduce: job %q: nil Source", j.Name)
+	case j.Map == nil:
+		return fmt.Errorf("mapreduce: job %q: nil Map", j.Name)
+	case j.Reduce == nil:
+		return fmt.Errorf("mapreduce: job %q: nil Reduce", j.Name)
+	case j.NumReducers <= 0:
+		return fmt.Errorf("mapreduce: job %q: NumReducers = %d", j.Name, j.NumReducers)
+	case j.Partition == nil:
+		return fmt.Errorf("mapreduce: job %q: nil Partition", j.Name)
+	case j.Less == nil:
+		return fmt.Errorf("mapreduce: job %q: nil Less", j.Name)
+	case j.SpillEvery > 0 && (j.KeyCodec == nil || j.ValueCodec == nil):
+		return fmt.Errorf("mapreduce: job %q: SpillEvery requires KeyCodec and ValueCodec", j.Name)
+	}
+	return nil
+}
+
+// ErrTooManyFailures is wrapped into the error returned when a task
+// exhausts its retry budget.
+var ErrTooManyFailures = errors.New("mapreduce: task exceeded retry budget")

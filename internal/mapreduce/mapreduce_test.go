@@ -1,0 +1,946 @@
+package mapreduce
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"spq/internal/dfs"
+)
+
+// ---- shared test fixtures ----
+
+// intKey is a composite key: Part routes to a reducer, Order is the
+// secondary-sort field (like the paper's cell-id + tag composite keys).
+type intKey struct {
+	Part  int
+	Order float64
+}
+
+func intKeyLess(a, b intKey) bool {
+	if a.Part != b.Part {
+		return a.Part < b.Part
+	}
+	return a.Order < b.Order
+}
+
+func intKeyGroup(a, b intKey) bool { return a.Part == b.Part }
+
+func intKeyPartition(k intKey, r int) int { return k.Part % r }
+
+var intKeyCodec = &Codec[intKey]{
+	Encode: func(w *bufio.Writer, k intKey) error {
+		var buf [16]byte
+		binary.LittleEndian.PutUint64(buf[:8], uint64(k.Part))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(int64(k.Order*1e6)))
+		_, err := w.Write(buf[:])
+		return err
+	},
+	Decode: func(r *bufio.Reader) (intKey, error) {
+		var buf [16]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return intKey{}, err
+		}
+		return intKey{
+			Part:  int(binary.LittleEndian.Uint64(buf[:8])),
+			Order: float64(int64(binary.LittleEndian.Uint64(buf[8:]))) / 1e6,
+		}, nil
+	},
+}
+
+var stringCodec = &Codec[string]{
+	Encode: func(w *bufio.Writer, s string) error {
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(s)))
+		if _, err := w.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		_, err := w.WriteString(s)
+		return err
+	},
+	Decode: func(r *bufio.Reader) (string, error) {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return "", err
+		}
+		buf := make([]byte, binary.LittleEndian.Uint32(lenBuf[:]))
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	},
+}
+
+// wordCountJob builds the canonical MapReduce example over an in-memory
+// source: counts word occurrences across lines.
+func wordCountJob(lines []string, reducers int) *Job[string, string, int, string] {
+	return &Job[string, string, int, string]{
+		Name:        "wordcount",
+		Source:      NewMemorySource(lines, 3),
+		NumReducers: reducers,
+		Map: func(ctx *TaskContext, line string, emit func(string, int)) error {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+			return nil
+		},
+		Partition: func(k string, r int) int {
+			h := 0
+			for _, c := range k {
+				h = h*31 + int(c)
+			}
+			if h < 0 {
+				h = -h
+			}
+			return h % r
+		},
+		Less:       func(a, b string) bool { return a < b },
+		GroupEqual: func(a, b string) bool { return a == b },
+		Reduce: func(ctx *TaskContext, values *Values[string, int], emit func(string)) error {
+			total := 0
+			word := ""
+			for {
+				v, ok := values.Next()
+				if !ok {
+					break
+				}
+				word = values.Key()
+				total += v
+			}
+			emit(fmt.Sprintf("%s=%d", word, total))
+			return nil
+		},
+	}
+}
+
+func runWordCount(t *testing.T, job *Job[string, string, int, string]) map[string]int {
+	t.Helper()
+	res, err := Run(NewCluster(nil, 4, 4), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, o := range res.Output {
+		var w string
+		var n int
+		if _, err := fmt.Sscanf(o, "%s", &w); err != nil {
+			t.Fatal(err)
+		}
+		parts := strings.SplitN(o, "=", 2)
+		fmt.Sscan(parts[1], &n)
+		got[parts[0]] = n
+	}
+	return got
+}
+
+func TestWordCount(t *testing.T) {
+	lines := []string{
+		"the quick brown fox",
+		"jumps over the lazy dog",
+		"the dog barks",
+	}
+	got := runWordCount(t, wordCountJob(lines, 3))
+	want := map[string]int{
+		"the": 3, "quick": 1, "brown": 1, "fox": 1, "jumps": 1,
+		"over": 1, "lazy": 1, "dog": 2, "barks": 1,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("wordcount = %v, want %v", got, want)
+	}
+}
+
+func TestWordCountSingleReducerSingleSlot(t *testing.T) {
+	job := wordCountJob([]string{"a b a"}, 1)
+	res, err := Run(NewCluster(nil, 1, 1), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(res.Output)
+	want := []string{"a=2", "b=1"}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("output = %v, want %v", res.Output, want)
+	}
+}
+
+func TestCountersBasic(t *testing.T) {
+	job := wordCountJob([]string{"x y", "x"}, 2)
+	res, err := Run(NewCluster(nil, 2, 2), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	if c[CounterMapRecordsIn] != 2 {
+		t.Errorf("map.records.in = %d, want 2", c[CounterMapRecordsIn])
+	}
+	if c[CounterMapRecordsOut] != 3 {
+		t.Errorf("map.records.out = %d, want 3", c[CounterMapRecordsOut])
+	}
+	if c[CounterReduceGroups] != 2 {
+		t.Errorf("reduce.groups = %d, want 2", c[CounterReduceGroups])
+	}
+	if c[CounterReduceValues] != 3 {
+		t.Errorf("reduce.values.total = %d, want 3", c[CounterReduceValues])
+	}
+	if c[CounterValuesConsumed] != 3 {
+		t.Errorf("reduce.values.consumed = %d, want 3", c[CounterValuesConsumed])
+	}
+	if c[CounterOutputRecords] != int64(len(res.Output)) {
+		t.Errorf("output.records = %d, want %d", c[CounterOutputRecords], len(res.Output))
+	}
+}
+
+// Secondary sort: within one group (same Part) values must arrive ordered
+// by the Order half of the composite key, across many map tasks.
+func TestSecondarySortOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	var recs []intKey
+	for i := 0; i < 500; i++ {
+		recs = append(recs, intKey{Part: r.Intn(5), Order: r.Float64()})
+	}
+	job := &Job[intKey, intKey, float64, string]{
+		Name:        "secondary-sort",
+		Source:      NewMemorySource(recs, 7),
+		NumReducers: 5,
+		Map: func(ctx *TaskContext, rec intKey, emit func(intKey, float64)) error {
+			emit(rec, rec.Order)
+			return nil
+		},
+		Partition:  intKeyPartition,
+		Less:       intKeyLess,
+		GroupEqual: intKeyGroup,
+		Reduce: func(ctx *TaskContext, values *Values[intKey, float64], emit func(string)) error {
+			prev := -1.0
+			n := 0
+			for {
+				v, ok := values.Next()
+				if !ok {
+					break
+				}
+				if v < prev {
+					return fmt.Errorf("out of order: %v after %v in part %d", v, prev, values.Key().Part)
+				}
+				prev = v
+				n++
+			}
+			emit(fmt.Sprintf("part-%d:%d", values.GroupKey().Part, n))
+			return nil
+		},
+	}
+	res, err := Run(NewCluster(nil, 4, 4), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 5 {
+		t.Errorf("groups = %v, want 5 parts", res.Output)
+	}
+	total := 0
+	for _, o := range res.Output {
+		var p, n int
+		fmt.Sscanf(o, "part-%d:%d", &p, &n)
+		total += n
+	}
+	if total != len(recs) {
+		t.Errorf("reduced %d records, want %d", total, len(recs))
+	}
+}
+
+// Early termination: a reducer that stops consuming mid-group must still
+// let the engine proceed to following groups, and the consumed counter
+// must reflect the skipped records.
+func TestEarlyTerminationSkipsRest(t *testing.T) {
+	var recs []intKey
+	for part := 0; part < 3; part++ {
+		for i := 0; i < 100; i++ {
+			recs = append(recs, intKey{Part: part, Order: float64(i)})
+		}
+	}
+	job := &Job[intKey, intKey, float64, string]{
+		Name:        "early-term",
+		Source:      NewMemorySource(recs, 4),
+		NumReducers: 3,
+		Map: func(ctx *TaskContext, rec intKey, emit func(intKey, float64)) error {
+			emit(rec, rec.Order)
+			return nil
+		},
+		Partition:  intKeyPartition,
+		Less:       intKeyLess,
+		GroupEqual: intKeyGroup,
+		Reduce: func(ctx *TaskContext, values *Values[intKey, float64], emit func(string)) error {
+			// Consume only the first 5 values of the group.
+			for i := 0; i < 5; i++ {
+				v, ok := values.Next()
+				if !ok {
+					return errors.New("group ended too early")
+				}
+				if v != float64(i) {
+					return fmt.Errorf("value %d = %v", i, v)
+				}
+			}
+			emit(fmt.Sprintf("part-%d", values.GroupKey().Part))
+			return nil
+		},
+	}
+	res, err := Run(NewCluster(nil, 2, 2), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 3 {
+		t.Fatalf("output = %v, want 3 groups", res.Output)
+	}
+	if got := res.Counters[CounterValuesConsumed]; got != 15 {
+		t.Errorf("values consumed = %d, want 15", got)
+	}
+	if got := res.Counters[CounterReduceValues]; got != 300 {
+		t.Errorf("values total = %d, want 300", got)
+	}
+}
+
+// A reducer that consumes nothing at all must still advance group by group.
+func TestReducerConsumesNothing(t *testing.T) {
+	var recs []intKey
+	for part := 0; part < 4; part++ {
+		for i := 0; i < 10; i++ {
+			recs = append(recs, intKey{Part: part, Order: float64(i)})
+		}
+	}
+	groups := 0
+	job := &Job[intKey, intKey, float64, int]{
+		Name:        "consume-nothing",
+		Source:      NewMemorySource(recs, 2),
+		NumReducers: 2,
+		Map: func(ctx *TaskContext, rec intKey, emit func(intKey, float64)) error {
+			emit(rec, rec.Order)
+			return nil
+		},
+		Partition:  intKeyPartition,
+		Less:       intKeyLess,
+		GroupEqual: intKeyGroup,
+		Reduce: func(ctx *TaskContext, values *Values[intKey, float64], emit func(int)) error {
+			groups++
+			return nil
+		},
+	}
+	if _, err := Run(NewCluster(nil, 1, 1), job); err != nil {
+		t.Fatal(err)
+	}
+	if groups != 4 {
+		t.Errorf("saw %d groups, want 4", groups)
+	}
+}
+
+// With a nil GroupEqual every record is its own group.
+func TestNilGroupEqual(t *testing.T) {
+	recs := []intKey{{0, 1}, {0, 2}, {0, 3}}
+	groups := 0
+	job := &Job[intKey, intKey, float64, int]{
+		Name:        "nil-group",
+		Source:      NewMemorySource(recs, 1),
+		NumReducers: 1,
+		Map: func(ctx *TaskContext, rec intKey, emit func(intKey, float64)) error {
+			emit(rec, rec.Order)
+			return nil
+		},
+		Partition: intKeyPartition,
+		Less:      intKeyLess,
+		Reduce: func(ctx *TaskContext, values *Values[intKey, float64], emit func(int)) error {
+			groups++
+			for {
+				if _, ok := values.Next(); !ok {
+					break
+				}
+			}
+			return nil
+		},
+	}
+	if _, err := Run(NewCluster(nil, 1, 1), job); err != nil {
+		t.Fatal(err)
+	}
+	if groups != 3 {
+		t.Errorf("groups = %d, want 3", groups)
+	}
+}
+
+// Spilling to disk must not change results. Run the same aggregation with
+// and without spilling and compare.
+func TestSpillMatchesInMemory(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	var recs []intKey
+	for i := 0; i < 2000; i++ {
+		recs = append(recs, intKey{Part: r.Intn(7), Order: r.Float64()})
+	}
+	build := func(spill int) *Job[intKey, intKey, float64, string] {
+		return &Job[intKey, intKey, float64, string]{
+			Name:        "spill-test",
+			Source:      NewMemorySource(recs, 5),
+			NumReducers: 7,
+			Map: func(ctx *TaskContext, rec intKey, emit func(intKey, float64)) error {
+				emit(rec, rec.Order)
+				return nil
+			},
+			Partition:  intKeyPartition,
+			Less:       intKeyLess,
+			GroupEqual: intKeyGroup,
+			KeyCodec:   intKeyCodec,
+			ValueCodec: &Codec[float64]{
+				Encode: func(w *bufio.Writer, v float64) error {
+					var buf [8]byte
+					binary.LittleEndian.PutUint64(buf[:], uint64(int64(v*1e6)))
+					_, err := w.Write(buf[:])
+					return err
+				},
+				Decode: func(r *bufio.Reader) (float64, error) {
+					var buf [8]byte
+					if _, err := io.ReadFull(r, buf[:]); err != nil {
+						return 0, err
+					}
+					return float64(int64(binary.LittleEndian.Uint64(buf[:]))) / 1e6, nil
+				},
+			},
+			SpillEvery: spill,
+			Reduce: func(ctx *TaskContext, values *Values[intKey, float64], emit func(string)) error {
+				sum := 0.0
+				n := 0
+				for {
+					v, ok := values.Next()
+					if !ok {
+						break
+					}
+					if n > 0 && v < 0 {
+						return errors.New("unexpected negative")
+					}
+					sum += v
+					n++
+				}
+				emit(fmt.Sprintf("%d:%d:%.3f", values.GroupKey().Part, n, sum))
+				return nil
+			},
+		}
+	}
+	resMem, err := Run(NewCluster(nil, 3, 3), build(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSpill, err := Run(NewCluster(nil, 3, 3), build(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortOut := func(o []string) []string { s := append([]string(nil), o...); sort.Strings(s); return s }
+	if !reflect.DeepEqual(sortOut(resMem.Output), sortOut(resSpill.Output)) {
+		t.Errorf("spill output differs:\nmem:   %v\nspill: %v", resMem.Output, resSpill.Output)
+	}
+	if resSpill.Counters[CounterSpillRuns] == 0 {
+		t.Error("no spill runs recorded despite SpillEvery")
+	}
+	if resSpill.Counters[CounterSpilledRecords] != int64(len(recs)) {
+		t.Errorf("spilled records = %d, want %d", resSpill.Counters[CounterSpilledRecords], len(recs))
+	}
+	if resSpill.Counters[CounterShuffleBytes] == 0 {
+		t.Error("shuffle bytes not metered")
+	}
+}
+
+// Secondary sort must hold across spilled runs too.
+func TestSpillPreservesSortOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	var recs []intKey
+	for i := 0; i < 1000; i++ {
+		recs = append(recs, intKey{Part: 0, Order: r.Float64()})
+	}
+	valCodec := &Codec[float64]{
+		Encode: func(w *bufio.Writer, v float64) error {
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], uint64(int64(v*1e9)))
+			_, err := w.Write(buf[:])
+			return err
+		},
+		Decode: func(r *bufio.Reader) (float64, error) {
+			var buf [8]byte
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return 0, err
+			}
+			return float64(int64(binary.LittleEndian.Uint64(buf[:]))) / 1e9, nil
+		},
+	}
+	job := &Job[intKey, intKey, float64, int]{
+		Name:        "spill-order",
+		Source:      NewMemorySource(recs, 6),
+		NumReducers: 1,
+		Map: func(ctx *TaskContext, rec intKey, emit func(intKey, float64)) error {
+			emit(rec, rec.Order)
+			return nil
+		},
+		Partition:  intKeyPartition,
+		Less:       intKeyLess,
+		GroupEqual: intKeyGroup,
+		KeyCodec:   intKeyCodec,
+		ValueCodec: valCodec,
+		SpillEvery: 50,
+		Reduce: func(ctx *TaskContext, values *Values[intKey, float64], emit func(int)) error {
+			prev := -1.0
+			for {
+				v, ok := values.Next()
+				if !ok {
+					break
+				}
+				if v < prev {
+					return fmt.Errorf("order violated: %v after %v", v, prev)
+				}
+				prev = v
+			}
+			return nil
+		},
+	}
+	if _, err := Run(NewCluster(nil, 4, 1), job); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Failure injection: tasks that fail once must be retried and succeed
+// without duplicating counters or output.
+func TestTaskRetrySucceeds(t *testing.T) {
+	lines := []string{"a b c", "d e f", "a d"}
+	job := wordCountJob(lines, 2)
+	job.MaxAttempts = 3
+	var failedOnce failSet
+	job.FaultInjector = func(kind TaskKind, taskID, attempt int) error {
+		key := fmt.Sprintf("%v-%d", kind, taskID)
+		if attempt == 1 && !failedOnce.seen(key) {
+			failedOnce.mark(key)
+			return fmt.Errorf("injected failure for %s", key)
+		}
+		return nil
+	}
+	res, err := Run(NewCluster(nil, 2, 2), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters[CounterTaskRetries] == 0 {
+		t.Error("no retries recorded")
+	}
+	if res.Counters[CounterMapRecordsIn] != 3 {
+		t.Errorf("map.records.in = %d, want 3 (failed attempts must not count)", res.Counters[CounterMapRecordsIn])
+	}
+	got := map[string]int{}
+	for _, o := range res.Output {
+		parts := strings.SplitN(o, "=", 2)
+		var n int
+		fmt.Sscan(parts[1], &n)
+		got[parts[0]] = n
+	}
+	want := map[string]int{"a": 2, "b": 1, "c": 1, "d": 2, "e": 1, "f": 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("output after retries = %v, want %v", got, want)
+	}
+}
+
+func TestTaskRetryExhausted(t *testing.T) {
+	job := wordCountJob([]string{"a"}, 1)
+	job.MaxAttempts = 2
+	job.FaultInjector = func(kind TaskKind, taskID, attempt int) error {
+		if kind == ReduceTask {
+			return errors.New("persistent failure")
+		}
+		return nil
+	}
+	_, err := Run(NewCluster(nil, 1, 1), job)
+	if !errors.Is(err, ErrTooManyFailures) {
+		t.Errorf("err = %v, want ErrTooManyFailures", err)
+	}
+}
+
+// failSet is a tiny concurrency-safe string set for fault injectors.
+type failSet struct {
+	mu sync.Mutex
+	m  map[string]bool
+}
+
+func (s *failSet) seen(k string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+func (s *failSet) mark(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[string]bool)
+	}
+	s.m[k] = true
+}
+
+func TestValidation(t *testing.T) {
+	base := func() *Job[string, string, int, string] { return wordCountJob([]string{"a"}, 1) }
+	tests := []struct {
+		name   string
+		mutate func(*Job[string, string, int, string])
+	}{
+		{"nil source", func(j *Job[string, string, int, string]) { j.Source = nil }},
+		{"nil map", func(j *Job[string, string, int, string]) { j.Map = nil }},
+		{"nil reduce", func(j *Job[string, string, int, string]) { j.Reduce = nil }},
+		{"zero reducers", func(j *Job[string, string, int, string]) { j.NumReducers = 0 }},
+		{"nil partition", func(j *Job[string, string, int, string]) { j.Partition = nil }},
+		{"nil less", func(j *Job[string, string, int, string]) { j.Less = nil }},
+		{"spill without codec", func(j *Job[string, string, int, string]) { j.SpillEvery = 10 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			j := base()
+			tt.mutate(j)
+			if _, err := Run(NewCluster(nil, 1, 1), j); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestPartitionOutOfRange(t *testing.T) {
+	job := wordCountJob([]string{"a"}, 2)
+	job.Partition = func(k string, r int) int { return 99 }
+	if _, err := Run(NewCluster(nil, 1, 1), job); err == nil {
+		t.Error("expected partition range error")
+	}
+}
+
+// TextInput over the simulated DFS: records must arrive exactly once and
+// locality must be observed in the scheduler counter.
+func TestTextInputOverDFS(t *testing.T) {
+	fs := dfs.New(dfs.Config{NumNodes: 4, BlockSize: 32, Replication: 2, Seed: 3})
+	var sb strings.Builder
+	want := map[string]int{}
+	for i := 0; i < 200; i++ {
+		w := fmt.Sprintf("w%d", i%17)
+		sb.WriteString(w + "\n")
+		want[w]++
+	}
+	if err := fs.Create("input.txt", []byte(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	job := &Job[string, string, int, string]{
+		Name: "dfs-wordcount",
+		Source: NewTextInput(fs, func(line []byte) (string, error) {
+			return string(line), nil
+		}, "input.txt"),
+		NumReducers: 3,
+		Map: func(ctx *TaskContext, line string, emit func(string, int)) error {
+			emit(line, 1)
+			return nil
+		},
+		Partition: func(k string, r int) int {
+			h := 0
+			for _, c := range k {
+				h = h*131 + int(c)
+			}
+			if h < 0 {
+				h = -h
+			}
+			return h % r
+		},
+		Less:       func(a, b string) bool { return a < b },
+		GroupEqual: func(a, b string) bool { return a == b },
+		Reduce: func(ctx *TaskContext, values *Values[string, int], emit func(string)) error {
+			n := 0
+			for {
+				if _, ok := values.Next(); !ok {
+					break
+				}
+				n++
+			}
+			emit(fmt.Sprintf("%s=%d", values.GroupKey(), n))
+			return nil
+		},
+	}
+	res, err := Run(NewCluster(fs, 4, 3), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, o := range res.Output {
+		parts := strings.SplitN(o, "=", 2)
+		var n int
+		fmt.Sscan(parts[1], &n)
+		got[parts[0]] = n
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("dfs wordcount = %v, want %v", got, want)
+	}
+	if res.Counters[CounterDataLocalMaps] == 0 {
+		t.Error("no data-local map tasks despite slots on every node")
+	}
+	if res.Stats.MapTasks == 0 || res.Stats.ReduceTasks != 3 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+}
+
+func TestTextInputParseError(t *testing.T) {
+	fs := dfs.New(dfs.Config{NumNodes: 2, BlockSize: 64, Seed: 1})
+	if err := fs.Create("bad.txt", []byte("ok\nbad\n")); err != nil {
+		t.Fatal(err)
+	}
+	job := &Job[int, intKey, int, int]{
+		Name: "parse-error",
+		Source: NewTextInput(fs, func(line []byte) (int, error) {
+			if string(line) == "bad" {
+				return 0, errors.New("malformed record")
+			}
+			return len(line), nil
+		}, "bad.txt"),
+		NumReducers: 1,
+		Map: func(ctx *TaskContext, rec int, emit func(intKey, int)) error {
+			emit(intKey{}, rec)
+			return nil
+		},
+		Partition:  intKeyPartition,
+		Less:       intKeyLess,
+		GroupEqual: intKeyGroup,
+		Reduce: func(ctx *TaskContext, values *Values[intKey, int], emit func(int)) error {
+			return nil
+		},
+	}
+	if _, err := Run(NewCluster(fs, 1, 1), job); err == nil {
+		t.Error("expected parse error to fail the job")
+	}
+}
+
+func TestMemorySourceChunking(t *testing.T) {
+	recs := []int{1, 2, 3, 4, 5, 6, 7}
+	tests := []struct {
+		splits     int
+		wantChunks int
+	}{
+		{1, 1}, {2, 2}, {3, 3}, {7, 7}, {100, 7}, {0, 1},
+	}
+	for _, tt := range tests {
+		src := NewMemorySource(recs, tt.splits)
+		splits, err := src.Splits()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(splits) != tt.wantChunks {
+			t.Errorf("splits(%d) = %d chunks, want %d", tt.splits, len(splits), tt.wantChunks)
+		}
+		var all []int
+		for _, s := range splits {
+			s.Each(func(v int) bool { all = append(all, v); return true })
+		}
+		if !reflect.DeepEqual(all, recs) {
+			t.Errorf("records = %v, want %v", all, recs)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	job := wordCountJob(nil, 2)
+	res, err := Run(NewCluster(nil, 2, 2), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 0 {
+		t.Errorf("output = %v, want empty", res.Output)
+	}
+	if res.Counters[CounterReduceGroups] != 0 {
+		t.Error("groups reported for empty input")
+	}
+}
+
+func TestMoreReducersThanSlots(t *testing.T) {
+	// 16 reducers, 2 slots: tasks must run in waves and still all complete.
+	var recs []intKey
+	for p := 0; p < 16; p++ {
+		recs = append(recs, intKey{Part: p, Order: 1})
+	}
+	job := &Job[intKey, intKey, int, int]{
+		Name:        "waves",
+		Source:      NewMemorySource(recs, 4),
+		NumReducers: 16,
+		Map: func(ctx *TaskContext, rec intKey, emit func(intKey, int)) error {
+			emit(rec, 1)
+			return nil
+		},
+		Partition:  intKeyPartition,
+		Less:       intKeyLess,
+		GroupEqual: intKeyGroup,
+		Reduce: func(ctx *TaskContext, values *Values[intKey, int], emit func(int)) error {
+			for {
+				if _, ok := values.Next(); !ok {
+					break
+				}
+			}
+			emit(values.GroupKey().Part)
+			return nil
+		},
+	}
+	res, err := Run(NewCluster(nil, 2, 2), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 16 {
+		t.Errorf("output = %v, want 16 parts", res.Output)
+	}
+	// Output must be in reduce-task order (deterministic).
+	for i, p := range res.Output {
+		if p != i {
+			t.Errorf("output[%d] = %d, want %d (task order)", i, p, i)
+		}
+	}
+}
+
+func TestCountersRegistry(t *testing.T) {
+	c := NewCounters()
+	c.Add("x", 5)
+	c.Add("x", 2)
+	c.Add("y", 1)
+	if got := c.Get("x"); got != 7 {
+		t.Errorf("Get(x) = %d", got)
+	}
+	if got := c.Get("missing"); got != 0 {
+		t.Errorf("Get(missing) = %d", got)
+	}
+	if names := c.Names(); !reflect.DeepEqual(names, []string{"x", "y"}) {
+		t.Errorf("Names = %v", names)
+	}
+	snap := c.Snapshot()
+	if snap["x"] != 7 || snap["y"] != 1 {
+		t.Errorf("Snapshot = %v", snap)
+	}
+}
+
+// A map attempt that fails after spilling must leave no temp files behind
+// once the job finishes.
+func TestSpillCleanupAfterFailure(t *testing.T) {
+	before := countSpillFiles(t)
+	var recs []intKey
+	for i := 0; i < 500; i++ {
+		recs = append(recs, intKey{Part: i % 3, Order: float64(i)})
+	}
+	valCodec := &Codec[float64]{
+		Encode: func(w *bufio.Writer, v float64) error {
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+			_, err := w.Write(buf[:])
+			return err
+		},
+		Decode: func(r *bufio.Reader) (float64, error) {
+			var buf [8]byte
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return 0, err
+			}
+			return float64(int64(binary.LittleEndian.Uint64(buf[:]))), nil
+		},
+	}
+	var failedOnce atomic.Bool
+	job := &Job[intKey, intKey, float64, int]{
+		Name:        "spill-cleanup",
+		Source:      NewMemorySource(recs, 2),
+		NumReducers: 3,
+		Map: func(ctx *TaskContext, rec intKey, emit func(intKey, float64)) error {
+			emit(rec, rec.Order)
+			return nil
+		},
+		Partition:   intKeyPartition,
+		Less:        intKeyLess,
+		GroupEqual:  intKeyGroup,
+		KeyCodec:    intKeyCodec,
+		ValueCodec:  valCodec,
+		SpillEvery:  32,
+		MaxAttempts: 3,
+		FaultInjector: func(kind TaskKind, taskID, attempt int) error {
+			if kind == ReduceTask && failedOnce.CompareAndSwap(false, true) {
+				return errors.New("boom")
+			}
+			return nil
+		},
+		Reduce: func(ctx *TaskContext, values *Values[intKey, float64], emit func(int)) error {
+			n := 0
+			for {
+				if _, ok := values.Next(); !ok {
+					break
+				}
+				n++
+			}
+			emit(n)
+			return nil
+		},
+	}
+	res, err := Run(NewCluster(nil, 2, 2), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range res.Output {
+		total += n
+	}
+	if total != len(recs) {
+		t.Errorf("reduced %d records, want %d", total, len(recs))
+	}
+	if after := countSpillFiles(t); after > before {
+		t.Errorf("spill files leaked: %d before, %d after", before, after)
+	}
+}
+
+func countSpillFiles(t *testing.T) int {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(os.TempDir(), "spq-spill-*.run"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(matches)
+}
+
+// A job that fails permanently must also clean up its spill files.
+func TestSpillCleanupAfterJobFailure(t *testing.T) {
+	before := countSpillFiles(t)
+	var recs []intKey
+	for i := 0; i < 200; i++ {
+		recs = append(recs, intKey{Part: 0, Order: float64(i)})
+	}
+	job := &Job[intKey, intKey, float64, int]{
+		Name:        "doomed",
+		Source:      NewMemorySource(recs, 2),
+		NumReducers: 1,
+		Map: func(ctx *TaskContext, rec intKey, emit func(intKey, float64)) error {
+			emit(rec, rec.Order)
+			return nil
+		},
+		Partition:  intKeyPartition,
+		Less:       intKeyLess,
+		GroupEqual: intKeyGroup,
+		KeyCodec:   intKeyCodec,
+		ValueCodec: &Codec[float64]{
+			Encode: func(w *bufio.Writer, v float64) error {
+				var buf [8]byte
+				binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+				_, err := w.Write(buf[:])
+				return err
+			},
+			Decode: func(r *bufio.Reader) (float64, error) {
+				var buf [8]byte
+				if _, err := io.ReadFull(r, buf[:]); err != nil {
+					return 0, err
+				}
+				return float64(int64(binary.LittleEndian.Uint64(buf[:]))), nil
+			},
+		},
+		SpillEvery: 16,
+		Reduce: func(ctx *TaskContext, values *Values[intKey, float64], emit func(int)) error {
+			return errors.New("permanent reduce failure")
+		},
+	}
+	if _, err := Run(NewCluster(nil, 2, 1), job); !errors.Is(err, ErrTooManyFailures) {
+		t.Fatalf("err = %v", err)
+	}
+	if after := countSpillFiles(t); after > before {
+		t.Errorf("spill files leaked after failed job: %d before, %d after", before, after)
+	}
+}

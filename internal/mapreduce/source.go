@@ -1,0 +1,135 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"spq/internal/dfs"
+)
+
+// Source provides input records, pre-divided into splits that map tasks
+// process independently.
+type Source[I any] interface {
+	// Splits enumerates the input splits of the source.
+	Splits() ([]SourceSplit[I], error)
+}
+
+// SourceSplit is one unit of map input.
+type SourceSplit[I any] interface {
+	// Hosts returns the nodes holding the split's data, for locality-aware
+	// scheduling. May be empty.
+	Hosts() []string
+	// Each calls yield for every record of the split, stopping early if
+	// yield returns false.
+	Each(yield func(rec I) bool) error
+}
+
+// TextInput reads newline-delimited records from files stored in the
+// simulated DFS, producing one split per file block with the block's
+// replica locations as preferred hosts. Lines are handed to the parser
+// to produce typed records; a nil Parse yields the raw line as a string
+// (only valid when I is string — enforced at construction by the typed
+// helpers below).
+type TextInput[I any] struct {
+	FS    *dfs.FileSystem
+	Files []string
+	// Parse converts one line into a record. Returning an error aborts the
+	// task (and triggers retry, which will deterministically fail again —
+	// malformed input is a job bug, not a transient fault).
+	Parse func(line []byte) (I, error)
+}
+
+// NewTextInput constructs a TextInput over the given files.
+func NewTextInput[I any](fs *dfs.FileSystem, parse func(line []byte) (I, error), files ...string) *TextInput[I] {
+	return &TextInput[I]{FS: fs, Files: files, Parse: parse}
+}
+
+// Splits implements Source.
+func (t *TextInput[I]) Splits() ([]SourceSplit[I], error) {
+	var out []SourceSplit[I]
+	for _, f := range t.Files {
+		splits, err := t.FS.Splits(f)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: input %s: %w", f, err)
+		}
+		for _, s := range splits {
+			out = append(out, &textSplit[I]{fs: t.FS, split: s, parse: t.Parse})
+		}
+	}
+	return out, nil
+}
+
+type textSplit[I any] struct {
+	fs    *dfs.FileSystem
+	split dfs.Split
+	parse func(line []byte) (I, error)
+}
+
+func (s *textSplit[I]) Hosts() []string { return s.split.Hosts }
+
+func (s *textSplit[I]) Each(yield func(I) bool) error {
+	var parseErr error
+	err := s.fs.SplitLines(s.split, func(line []byte) bool {
+		rec, err := s.parse(line)
+		if err != nil {
+			parseErr = fmt.Errorf("mapreduce: %v: %w", s.split, err)
+			return false
+		}
+		return yield(rec)
+	})
+	if err != nil {
+		return err
+	}
+	return parseErr
+}
+
+// MemorySource serves records from in-memory slices, one split per slice.
+// It is the lightweight source used by unit tests and by callers that
+// already hold their data in memory.
+type MemorySource[I any] struct {
+	Chunks [][]I
+}
+
+// NewMemorySource splits recs into numSplits contiguous chunks.
+func NewMemorySource[I any](recs []I, numSplits int) *MemorySource[I] {
+	if numSplits <= 0 {
+		numSplits = 1
+	}
+	if numSplits > len(recs) && len(recs) > 0 {
+		numSplits = len(recs)
+	}
+	src := &MemorySource[I]{}
+	if len(recs) == 0 {
+		return src
+	}
+	chunk := (len(recs) + numSplits - 1) / numSplits
+	for lo := 0; lo < len(recs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		src.Chunks = append(src.Chunks, recs[lo:hi])
+	}
+	return src
+}
+
+// Splits implements Source.
+func (m *MemorySource[I]) Splits() ([]SourceSplit[I], error) {
+	out := make([]SourceSplit[I], len(m.Chunks))
+	for i, c := range m.Chunks {
+		out[i] = memorySplit[I](c)
+	}
+	return out, nil
+}
+
+type memorySplit[I any] []I
+
+func (s memorySplit[I]) Hosts() []string { return nil }
+
+func (s memorySplit[I]) Each(yield func(I) bool) error {
+	for _, rec := range s {
+		if !yield(rec) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package mapreduce
+
+import (
+	"bufio"
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// memStream yields pairs from an in-memory sorted slice.
+type memStream[K, V any] struct {
+	pairs []Pair[K, V]
+	pos   int
+}
+
+func (s *memStream[K, V]) next() (Pair[K, V], bool, error) {
+	if s.pos >= len(s.pairs) {
+		var zero Pair[K, V]
+		return zero, false, nil
+	}
+	p := s.pairs[s.pos]
+	s.pos++
+	return p, true, nil
+}
+
+// spillRun is one sorted, partition-local segment of a spill file. As in
+// Hadoop, one spill event writes a single file containing one sorted
+// segment per partition; each segment is later streamed independently by
+// the reduce task owning the partition.
+type spillRun struct {
+	path    string
+	offset  int64
+	length  int64
+	records int
+}
+
+// countingWriter tracks the byte offset of the underlying file.
+type countingWriter struct {
+	w *bufio.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// writeSpill sorts each non-empty partition buffer and writes all of them
+// into one temporary spill file, returning one run per non-empty
+// partition. On error no file is left behind.
+func writeSpill[K, V any](buffers [][]Pair[K, V], less func(a, b K) bool, kc *Codec[K], vc *Codec[V]) (runs []spillRun, parts []int, err error) {
+	f, err := os.CreateTemp("", "spq-spill-*.run")
+	if err != nil {
+		return nil, nil, fmt.Errorf("mapreduce: create spill: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(f.Name())
+		}
+	}()
+	cw := &countingWriter{w: bufio.NewWriterSize(f, 256<<10)}
+	bw := bufio.NewWriter(cw) // Codec signatures take *bufio.Writer
+	for p, buf := range buffers {
+		if len(buf) == 0 {
+			continue
+		}
+		sort.SliceStable(buf, func(i, j int) bool { return less(buf[i].Key, buf[j].Key) })
+		if err = bw.Flush(); err != nil {
+			return nil, nil, err
+		}
+		start := cw.n
+		for _, pair := range buf {
+			if err = kc.Encode(bw, pair.Key); err != nil {
+				return nil, nil, fmt.Errorf("mapreduce: encode spill key: %w", err)
+			}
+			if err = vc.Encode(bw, pair.Value); err != nil {
+				return nil, nil, fmt.Errorf("mapreduce: encode spill value: %w", err)
+			}
+		}
+		if err = bw.Flush(); err != nil {
+			return nil, nil, err
+		}
+		runs = append(runs, spillRun{path: f.Name(), offset: start, length: cw.n - start, records: len(buf)})
+		parts = append(parts, p)
+	}
+	if err = cw.w.Flush(); err != nil {
+		return nil, nil, err
+	}
+	if err = f.Close(); err != nil {
+		return nil, nil, err
+	}
+	return runs, parts, nil
+}
+
+// runStream decodes one spill-file segment sequentially.
+type runStream[K, V any] struct {
+	f         *os.File
+	r         *bufio.Reader
+	kc        *Codec[K]
+	vc        *Codec[V]
+	remaining int
+}
+
+func openRun[K, V any](run *spillRun, kc *Codec[K], vc *Codec[V]) (*runStream[K, V], error) {
+	f, err := os.Open(run.path)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: open spill: %w", err)
+	}
+	section := io.NewSectionReader(f, run.offset, run.length)
+	return &runStream[K, V]{
+		f:         f,
+		r:         bufio.NewReaderSize(section, 64<<10),
+		kc:        kc,
+		vc:        vc,
+		remaining: run.records,
+	}, nil
+}
+
+func (s *runStream[K, V]) next() (Pair[K, V], bool, error) {
+	var zero Pair[K, V]
+	if s.remaining == 0 {
+		return zero, false, nil
+	}
+	k, err := s.kc.Decode(s.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return zero, false, fmt.Errorf("mapreduce: decode spill key: %w", err)
+	}
+	v, err := s.vc.Decode(s.r)
+	if err != nil {
+		return zero, false, fmt.Errorf("mapreduce: decode spill value: %w", err)
+	}
+	s.remaining--
+	return Pair[K, V]{Key: k, Value: v}, true, nil
+}
+
+func (s *runStream[K, V]) close() error { return s.f.Close() }
+
+// mergeStream performs a k-way merge of sorted streams by the key
+// comparator, yielding a single globally sorted stream.
+type mergeStream[K, V any] struct {
+	h *streamHeap[K, V]
+}
+
+type heapItem[K, V any] struct {
+	head Pair[K, V]
+	src  stream[K, V]
+}
+
+type streamHeap[K, V any] struct {
+	items []heapItem[K, V]
+	less  func(a, b K) bool
+}
+
+func (h *streamHeap[K, V]) Len() int { return len(h.items) }
+func (h *streamHeap[K, V]) Less(i, j int) bool {
+	return h.less(h.items[i].head.Key, h.items[j].head.Key)
+}
+func (h *streamHeap[K, V]) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *streamHeap[K, V]) Push(x any)    { h.items = append(h.items, x.(heapItem[K, V])) }
+func (h *streamHeap[K, V]) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// newMergeStream primes every source and builds the heap. Sources that are
+// already empty are dropped.
+func newMergeStream[K, V any](less func(a, b K) bool, sources ...stream[K, V]) (*mergeStream[K, V], error) {
+	h := &streamHeap[K, V]{less: less}
+	for _, src := range sources {
+		p, ok, err := src.next()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			h.items = append(h.items, heapItem[K, V]{head: p, src: src})
+		}
+	}
+	heap.Init(h)
+	return &mergeStream[K, V]{h: h}, nil
+}
+
+func (m *mergeStream[K, V]) next() (Pair[K, V], bool, error) {
+	var zero Pair[K, V]
+	if m.h.Len() == 0 {
+		return zero, false, nil
+	}
+	top := m.h.items[0]
+	out := top.head
+	p, ok, err := top.src.next()
+	if err != nil {
+		return zero, false, err
+	}
+	if ok {
+		m.h.items[0].head = p
+		heap.Fix(m.h, 0)
+	} else {
+		heap.Pop(m.h)
+	}
+	return out, true, nil
+}

@@ -1,0 +1,269 @@
+// Package rtree implements a static, bulk-loaded R-tree over points using
+// Sort-Tile-Recursive (STR) packing. It is the index substrate for the
+// centralized baseline the paper's distributed algorithms are contrasted
+// with: the original spatial preference query papers ([12, 16, 17] in the
+// paper's bibliography) all process the feature dataset through an R-tree.
+//
+// The tree is immutable after Build and safe for concurrent readers. Two
+// query primitives are provided: visiting all points within a radius
+// (range queries with MINDIST pruning) and best-first nearest-neighbor
+// iteration.
+package rtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"spq/internal/geo"
+)
+
+// DefaultFanout is the node capacity used when Build is called with a
+// non-positive fanout.
+const DefaultFanout = 16
+
+// Item is one indexed point with an opaque payload identifier.
+type Item struct {
+	Loc geo.Point
+	ID  uint64
+}
+
+// node is one R-tree node: either a leaf holding items or an internal
+// node holding children.
+type node struct {
+	bounds   geo.Rect
+	items    []Item  // leaf only
+	children []*node // internal only
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Tree is a bulk-loaded R-tree. The zero value is an empty tree.
+type Tree struct {
+	root   *node
+	size   int
+	height int
+}
+
+// Size returns the number of indexed items.
+func (t *Tree) Size() int { return t.size }
+
+// Height returns the number of levels (0 for an empty tree, 1 for a
+// single leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Bounds returns the bounding rectangle of all items (empty rect for an
+// empty tree).
+func (t *Tree) Bounds() geo.Rect {
+	if t.root == nil {
+		return geo.Rect{MinX: 1, MaxX: -1}
+	}
+	return t.root.bounds
+}
+
+// Build bulk-loads a tree from items using STR packing: items are sorted
+// into vertical slabs by x, each slab is sorted by y and cut into runs of
+// the fanout, and the process recurses over the resulting nodes. The input
+// slice is copied.
+func Build(items []Item, fanout int) *Tree {
+	if fanout <= 0 {
+		fanout = DefaultFanout
+	}
+	if len(items) == 0 {
+		return &Tree{}
+	}
+	leafItems := append([]Item(nil), items...)
+
+	// Pack leaves.
+	leaves := packLeaves(leafItems, fanout)
+	height := 1
+	level := leaves
+	for len(level) > 1 {
+		level = packNodes(level, fanout)
+		height++
+	}
+	return &Tree{root: level[0], size: len(items), height: height}
+}
+
+// packLeaves tiles the items into leaf nodes of up to fanout items.
+func packLeaves(items []Item, fanout int) []*node {
+	numLeaves := (len(items) + fanout - 1) / fanout
+	slabCount := int(math.Ceil(math.Sqrt(float64(numLeaves))))
+	slabSize := slabCount * fanout
+
+	sort.Slice(items, func(i, j int) bool { return items[i].Loc.X < items[j].Loc.X })
+	var leaves []*node
+	for lo := 0; lo < len(items); lo += slabSize {
+		hi := lo + slabSize
+		if hi > len(items) {
+			hi = len(items)
+		}
+		slab := items[lo:hi]
+		sort.Slice(slab, func(i, j int) bool { return slab[i].Loc.Y < slab[j].Loc.Y })
+		for s := 0; s < len(slab); s += fanout {
+			e := s + fanout
+			if e > len(slab) {
+				e = len(slab)
+			}
+			leaf := &node{items: slab[s:e:e]}
+			leaf.bounds = itemBounds(leaf.items)
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+// packNodes tiles child nodes into parents of up to fanout children.
+func packNodes(children []*node, fanout int) []*node {
+	numParents := (len(children) + fanout - 1) / fanout
+	slabCount := int(math.Ceil(math.Sqrt(float64(numParents))))
+	slabSize := slabCount * fanout
+
+	sort.Slice(children, func(i, j int) bool {
+		return children[i].bounds.Center().X < children[j].bounds.Center().X
+	})
+	var parents []*node
+	for lo := 0; lo < len(children); lo += slabSize {
+		hi := lo + slabSize
+		if hi > len(children) {
+			hi = len(children)
+		}
+		slab := children[lo:hi]
+		sort.Slice(slab, func(i, j int) bool {
+			return slab[i].bounds.Center().Y < slab[j].bounds.Center().Y
+		})
+		for s := 0; s < len(slab); s += fanout {
+			e := s + fanout
+			if e > len(slab) {
+				e = len(slab)
+			}
+			parent := &node{children: slab[s:e:e]}
+			parent.bounds = childBounds(parent.children)
+			parents = append(parents, parent)
+		}
+	}
+	return parents
+}
+
+func itemBounds(items []Item) geo.Rect {
+	b := geo.Rect{MinX: math.Inf(1), MinY: math.Inf(1), MaxX: math.Inf(-1), MaxY: math.Inf(-1)}
+	for _, it := range items {
+		b = b.Union(geo.Rect{MinX: it.Loc.X, MinY: it.Loc.Y, MaxX: it.Loc.X, MaxY: it.Loc.Y})
+	}
+	return b
+}
+
+func childBounds(children []*node) geo.Rect {
+	b := children[0].bounds
+	for _, c := range children[1:] {
+		b = b.Union(c.bounds)
+	}
+	return b
+}
+
+// VisitWithin calls visit for every item within Euclidean distance radius
+// of center (inclusive), pruning subtrees by MINDIST. Returning false from
+// visit stops the traversal early.
+func (t *Tree) VisitWithin(center geo.Point, radius float64, visit func(Item) bool) {
+	if t.root == nil || radius < 0 {
+		return
+	}
+	r2 := radius * radius
+	var rec func(n *node) bool
+	rec = func(n *node) bool {
+		if geo.MinDist2(center, n.bounds) > r2 {
+			return true
+		}
+		if n.leaf() {
+			for _, it := range n.items {
+				if geo.Dist2(center, it.Loc) <= r2 {
+					if !visit(it) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for _, c := range n.children {
+			if !rec(c) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(t.root)
+}
+
+// CountWithin returns the number of items within radius of center.
+func (t *Tree) CountWithin(center geo.Point, radius float64) int {
+	n := 0
+	t.VisitWithin(center, radius, func(Item) bool { n++; return true })
+	return n
+}
+
+// nnEntry is one element of the best-first priority queue: either a node
+// (dist = MINDIST) or an item (dist = exact distance).
+type nnEntry struct {
+	dist float64
+	n    *node
+	item Item
+	leaf bool
+}
+
+type nnHeap []nnEntry
+
+func (h nnHeap) Len() int           { return len(h) }
+func (h nnHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h nnHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x any)        { *h = append(*h, x.(nnEntry)) }
+func (h *nnHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// NearestIter iterates items in increasing distance from center
+// (best-first search). Next returns items until the tree is exhausted.
+type NearestIter struct {
+	center geo.Point
+	h      nnHeap
+}
+
+// Nearest returns a best-first iterator from center.
+func (t *Tree) Nearest(center geo.Point) *NearestIter {
+	it := &NearestIter{center: center}
+	if t.root != nil {
+		it.h = nnHeap{{dist: geo.MinDist2(center, t.root.bounds), n: t.root}}
+	}
+	return it
+}
+
+// Next returns the next-nearest item; ok is false when exhausted.
+func (it *NearestIter) Next() (Item, float64, bool) {
+	for it.h.Len() > 0 {
+		e := heap.Pop(&it.h).(nnEntry)
+		if e.leaf {
+			return e.item, math.Sqrt(e.dist), true
+		}
+		if e.n.leaf() {
+			for _, item := range e.n.items {
+				heap.Push(&it.h, nnEntry{dist: geo.Dist2(it.center, item.Loc), item: item, leaf: true})
+			}
+			continue
+		}
+		for _, c := range e.n.children {
+			heap.Push(&it.h, nnEntry{dist: geo.MinDist2(it.center, c.bounds), n: c})
+		}
+	}
+	return Item{}, 0, false
+}
+
+// KNearest returns the k nearest items to center, nearest first.
+func (t *Tree) KNearest(center geo.Point, k int) []Item {
+	it := t.Nearest(center)
+	out := make([]Item, 0, k)
+	for len(out) < k {
+		item, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, item)
+	}
+	return out
+}

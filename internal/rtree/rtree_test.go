@@ -1,0 +1,205 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spq/internal/geo"
+)
+
+func randomItems(r *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{ID: uint64(i), Loc: geo.Point{X: r.Float64(), Y: r.Float64()}}
+	}
+	return items
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil, 0)
+	if tr.Size() != 0 || tr.Height() != 0 {
+		t.Errorf("empty tree: size %d height %d", tr.Size(), tr.Height())
+	}
+	tr.VisitWithin(geo.Point{}, 1, func(Item) bool {
+		t.Error("visit on empty tree")
+		return true
+	})
+	if _, _, ok := tr.Nearest(geo.Point{}).Next(); ok {
+		t.Error("nearest on empty tree returned an item")
+	}
+}
+
+func TestSingleItem(t *testing.T) {
+	tr := Build([]Item{{ID: 7, Loc: geo.Point{X: 0.5, Y: 0.5}}}, 4)
+	if tr.Size() != 1 || tr.Height() != 1 {
+		t.Errorf("size %d height %d", tr.Size(), tr.Height())
+	}
+	if got := tr.CountWithin(geo.Point{X: 0.5, Y: 0.5}, 0); got != 1 {
+		t.Errorf("zero-radius count = %d", got)
+	}
+	if got := tr.CountWithin(geo.Point{X: 0, Y: 0}, 0.1); got != 0 {
+		t.Errorf("far count = %d", got)
+	}
+	item, d, ok := tr.Nearest(geo.Point{X: 0, Y: 0.5}).Next()
+	if !ok || item.ID != 7 || math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("nearest = %v %v %v", item, d, ok)
+	}
+}
+
+func TestBuildDoesNotAliasInput(t *testing.T) {
+	items := []Item{{ID: 1, Loc: geo.Point{X: 0.9}}, {ID: 2, Loc: geo.Point{X: 0.1}}}
+	tr := Build(items, 4)
+	items[0].ID = 99
+	found := map[uint64]bool{}
+	tr.VisitWithin(geo.Point{X: 0.5, Y: 0}, 1, func(it Item) bool {
+		found[it.ID] = true
+		return true
+	})
+	if !found[1] || !found[2] || found[99] {
+		t.Errorf("tree aliased input: %v", found)
+	}
+}
+
+func TestHeightGrows(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	tr := Build(randomItems(r, 1000), 8)
+	if tr.Height() < 3 {
+		t.Errorf("1000 items at fanout 8: height %d, want >= 3", tr.Height())
+	}
+	if tr.Size() != 1000 {
+		t.Errorf("size %d", tr.Size())
+	}
+	b := tr.Bounds()
+	if b.Empty() || b.MaxX > 1 || b.MinX < 0 {
+		t.Errorf("bounds %v", b)
+	}
+}
+
+// Range queries must match a brute-force scan exactly.
+func TestVisitWithinMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, fanout := range []int{2, 4, 16, 64} {
+		items := randomItems(r, 800)
+		tr := Build(items, fanout)
+		for trial := 0; trial < 50; trial++ {
+			center := geo.Point{X: r.Float64()*1.2 - 0.1, Y: r.Float64()*1.2 - 0.1}
+			radius := r.Float64() * 0.4
+			want := map[uint64]bool{}
+			for _, it := range items {
+				if geo.Dist2(center, it.Loc) <= radius*radius {
+					want[it.ID] = true
+				}
+			}
+			got := map[uint64]bool{}
+			tr.VisitWithin(center, radius, func(it Item) bool {
+				if got[it.ID] {
+					t.Fatalf("item %d visited twice", it.ID)
+				}
+				got[it.ID] = true
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("fanout %d: visited %d, want %d", fanout, len(got), len(want))
+			}
+			for id := range want {
+				if !got[id] {
+					t.Fatalf("fanout %d: item %d missed", fanout, id)
+				}
+			}
+		}
+	}
+}
+
+func TestVisitWithinEarlyStop(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	tr := Build(randomItems(r, 500), 8)
+	n := 0
+	tr.VisitWithin(geo.Point{X: 0.5, Y: 0.5}, 1, func(Item) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("visited %d after early stop, want 5", n)
+	}
+}
+
+// Nearest iteration must yield items in exactly increasing distance order,
+// covering all items.
+func TestNearestIterOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	items := randomItems(r, 600)
+	tr := Build(items, 8)
+	center := geo.Point{X: 0.3, Y: 0.7}
+
+	type distItem struct {
+		id uint64
+		d  float64
+	}
+	want := make([]distItem, len(items))
+	for i, it := range items {
+		want[i] = distItem{it.ID, geo.Dist(center, it.Loc)}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i].d < want[j].d })
+
+	it := tr.Nearest(center)
+	for i := range want {
+		_, d, ok := it.Next()
+		if !ok {
+			t.Fatalf("iterator exhausted at %d/%d", i, len(want))
+		}
+		if math.Abs(d-want[i].d) > 1e-9 {
+			t.Fatalf("item %d: distance %v, want %v", i, d, want[i].d)
+		}
+	}
+	if _, _, ok := it.Next(); ok {
+		t.Error("iterator yielded more than Size items")
+	}
+}
+
+func TestKNearest(t *testing.T) {
+	items := []Item{
+		{ID: 1, Loc: geo.Point{X: 0.1, Y: 0}},
+		{ID: 2, Loc: geo.Point{X: 0.2, Y: 0}},
+		{ID: 3, Loc: geo.Point{X: 0.3, Y: 0}},
+	}
+	tr := Build(items, 2)
+	got := tr.KNearest(geo.Point{X: 0, Y: 0}, 2)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Errorf("KNearest = %+v", got)
+	}
+	if got := tr.KNearest(geo.Point{}, 10); len(got) != 3 {
+		t.Errorf("over-asking KNearest = %d items", len(got))
+	}
+}
+
+func TestDuplicateLocations(t *testing.T) {
+	items := make([]Item, 20)
+	for i := range items {
+		items[i] = Item{ID: uint64(i), Loc: geo.Point{X: 0.5, Y: 0.5}}
+	}
+	tr := Build(items, 4)
+	if got := tr.CountWithin(geo.Point{X: 0.5, Y: 0.5}, 0); got != 20 {
+		t.Errorf("co-located count = %d, want 20", got)
+	}
+}
+
+func BenchmarkVisitWithin(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	tr := Build(randomItems(r, 100000), DefaultFanout)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.CountWithin(geo.Point{X: 0.5, Y: 0.5}, 0.01)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	items := randomItems(r, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(items, DefaultFanout)
+	}
+}

@@ -1,0 +1,110 @@
+package text
+
+import "sort"
+
+// InvertedIndex maps keyword ids to the positions (caller-defined integer
+// handles, e.g. slice indices) of the documents containing them. It is the
+// textual access path of the centralized spatio-textual baselines: given a
+// query keyword set, the index returns exactly the documents with non-zero
+// Jaccard similarity, in one merge pass.
+//
+// Build the index once with NewInvertedIndex/Add + Finish; afterwards it
+// is immutable and safe for concurrent readers.
+type InvertedIndex struct {
+	postings map[uint32][]int32
+	docs     int
+	finished bool
+}
+
+// NewInvertedIndex returns an empty index.
+func NewInvertedIndex() *InvertedIndex {
+	return &InvertedIndex{postings: make(map[uint32][]int32)}
+}
+
+// Add indexes one document (its handle and keyword set). Handles should be
+// added in non-decreasing order for the posting lists to come out sorted;
+// Finish sorts them regardless.
+func (ix *InvertedIndex) Add(handle int32, words KeywordSet) {
+	for _, w := range words {
+		ix.postings[w] = append(ix.postings[w], handle)
+	}
+	ix.docs++
+}
+
+// Finish sorts and deduplicates all posting lists. It must be called once
+// after the last Add.
+func (ix *InvertedIndex) Finish() {
+	for w, list := range ix.postings {
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		out := list[:0]
+		for i, h := range list {
+			if i == 0 || h != out[len(out)-1] {
+				out = append(out, h)
+			}
+		}
+		ix.postings[w] = out
+	}
+	ix.finished = true
+}
+
+// Docs returns the number of indexed documents.
+func (ix *InvertedIndex) Docs() int { return ix.docs }
+
+// Terms returns the number of distinct indexed keywords.
+func (ix *InvertedIndex) Terms() int { return len(ix.postings) }
+
+// Postings returns the sorted posting list of one keyword (nil if the
+// keyword is unindexed). The returned slice must not be modified.
+func (ix *InvertedIndex) Postings(word uint32) []int32 {
+	return ix.postings[word]
+}
+
+// Candidates returns the sorted union of the posting lists of the query
+// keywords: every document with at least one common keyword, i.e. every
+// document with non-zero Jaccard similarity to the query.
+func (ix *InvertedIndex) Candidates(query KeywordSet) []int32 {
+	lists := make([][]int32, 0, len(query))
+	total := 0
+	for _, w := range query {
+		if l := ix.postings[w]; len(l) > 0 {
+			lists = append(lists, l)
+			total += len(l)
+		}
+	}
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	// Multi-way sorted union by repeated pairwise merge (query keyword
+	// counts are small, so this is simpler and fast enough).
+	out := make([]int32, 0, total)
+	out = append(out, lists[0]...)
+	for _, l := range lists[1:] {
+		out = mergeUnion(out, l)
+	}
+	return out
+}
+
+func mergeUnion(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,99 @@
+package text
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestInvertedIndexBasics(t *testing.T) {
+	ix := NewInvertedIndex()
+	ix.Add(0, NewKeywordSet(1, 2))
+	ix.Add(1, NewKeywordSet(2, 3))
+	ix.Add(2, NewKeywordSet(3))
+	ix.Finish()
+
+	if ix.Docs() != 3 {
+		t.Errorf("Docs = %d", ix.Docs())
+	}
+	if ix.Terms() != 3 {
+		t.Errorf("Terms = %d", ix.Terms())
+	}
+	if got := ix.Postings(2); !reflect.DeepEqual(got, []int32{0, 1}) {
+		t.Errorf("Postings(2) = %v", got)
+	}
+	if got := ix.Postings(99); got != nil {
+		t.Errorf("Postings(unknown) = %v", got)
+	}
+}
+
+func TestInvertedIndexCandidates(t *testing.T) {
+	ix := NewInvertedIndex()
+	ix.Add(0, NewKeywordSet(1))
+	ix.Add(1, NewKeywordSet(2))
+	ix.Add(2, NewKeywordSet(1, 2))
+	ix.Add(3, NewKeywordSet(5))
+	ix.Finish()
+
+	tests := []struct {
+		name  string
+		query KeywordSet
+		want  []int32
+	}{
+		{"single term", NewKeywordSet(1), []int32{0, 2}},
+		{"union dedups", NewKeywordSet(1, 2), []int32{0, 1, 2}},
+		{"unknown term", NewKeywordSet(9), nil},
+		{"mixed known/unknown", NewKeywordSet(5, 9), []int32{3}},
+		{"empty query", nil, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := ix.Candidates(tt.query)
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("Candidates(%v) = %v, want %v", tt.query, got, tt.want)
+			}
+		})
+	}
+}
+
+// Candidates must be exactly the documents with non-zero Jaccard score.
+func TestCandidatesMatchJaccard(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	docs := make([]KeywordSet, 300)
+	ix := NewInvertedIndex()
+	for i := range docs {
+		docs[i] = randSet(r, 8, 40)
+		ix.Add(int32(i), docs[i])
+	}
+	ix.Finish()
+	for trial := 0; trial < 100; trial++ {
+		q := randSet(r, 4, 40)
+		got := map[int32]bool{}
+		prev := int32(-1)
+		for _, h := range ix.Candidates(q) {
+			if h <= prev {
+				t.Fatalf("candidates not strictly sorted: %d after %d", h, prev)
+			}
+			prev = h
+			got[h] = true
+		}
+		for i, d := range docs {
+			want := Jaccard(q, d) > 0
+			if got[int32(i)] != want {
+				t.Fatalf("doc %d: candidate %v, Jaccard>0 %v (q=%v d=%v)", i, got[int32(i)], want, q, d)
+			}
+		}
+	}
+}
+
+func TestFinishSortsUnorderedHandles(t *testing.T) {
+	ix := NewInvertedIndex()
+	ix.Add(5, NewKeywordSet(1))
+	ix.Add(2, NewKeywordSet(1))
+	ix.Add(9, NewKeywordSet(1))
+	ix.Add(2, NewKeywordSet(1)) // duplicate handle
+	ix.Finish()
+	if got := ix.Postings(1); !reflect.DeepEqual(got, []int32{2, 5, 9}) {
+		t.Errorf("Postings = %v, want sorted dedup", got)
+	}
+}

@@ -1,0 +1,376 @@
+package text
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func set(ids ...uint32) KeywordSet { return NewKeywordSet(ids...) }
+
+func TestNewKeywordSetSortsAndDedups(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []uint32
+		want KeywordSet
+	}{
+		{"empty", nil, nil},
+		{"single", []uint32{7}, KeywordSet{7}},
+		{"sorted", []uint32{1, 2, 3}, KeywordSet{1, 2, 3}},
+		{"reverse", []uint32{3, 2, 1}, KeywordSet{1, 2, 3}},
+		{"dups", []uint32{5, 1, 5, 1, 5}, KeywordSet{1, 5}},
+		{"all same", []uint32{9, 9, 9}, KeywordSet{9}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := NewKeywordSet(tt.in...)
+			if !got.Equal(tt.want) {
+				t.Errorf("NewKeywordSet(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNewKeywordSetDoesNotAliasInput(t *testing.T) {
+	in := []uint32{3, 1, 2}
+	s := NewKeywordSet(in...)
+	in[0] = 99
+	if !s.Equal(KeywordSet{1, 2, 3}) {
+		t.Errorf("set aliased its input: %v", s)
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := set(2, 4, 6)
+	for _, id := range []uint32{2, 4, 6} {
+		if !s.Contains(id) {
+			t.Errorf("Contains(%d) = false, want true", id)
+		}
+	}
+	for _, id := range []uint32{0, 1, 3, 5, 7} {
+		if s.Contains(id) {
+			t.Errorf("Contains(%d) = true, want false", id)
+		}
+	}
+	if KeywordSet(nil).Contains(0) {
+		t.Error("empty set should contain nothing")
+	}
+}
+
+func TestIntersectionSize(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b KeywordSet
+		want int
+	}{
+		{"disjoint", set(1, 2), set(3, 4), 0},
+		{"identical", set(1, 2, 3), set(1, 2, 3), 3},
+		{"partial", set(1, 2, 3), set(2, 3, 4), 2},
+		{"empty left", nil, set(1), 0},
+		{"empty right", set(1), nil, 0},
+		{"both empty", nil, nil, 0},
+		{"interleaved", set(1, 3, 5, 7), set(2, 3, 6, 7), 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.IntersectionSize(tt.b); got != tt.want {
+				t.Errorf("IntersectionSize = %d, want %d", got, tt.want)
+			}
+			if got := tt.b.IntersectionSize(tt.a); got != tt.want {
+				t.Errorf("IntersectionSize (flipped) = %d, want %d", got, tt.want)
+			}
+			if got, want := tt.a.Intersects(tt.b), tt.want > 0; got != want {
+				t.Errorf("Intersects = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestUnion(t *testing.T) {
+	got := set(1, 3, 5).Union(set(2, 3, 6))
+	want := KeywordSet{1, 2, 3, 5, 6}
+	if !got.Equal(want) {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+}
+
+func TestJaccardTable(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b KeywordSet
+		want float64
+	}{
+		{"both empty", nil, nil, 0},
+		{"one empty", set(1), nil, 0},
+		{"identical", set(1, 2), set(1, 2), 1},
+		{"disjoint", set(1), set(2), 0},
+		{"half", set(1, 2), set(2, 3), 1.0 / 3},
+		// Paper Table 2: q={italian} vs f1={italian,gourmet} -> 0.5
+		{"paper f1", set(10), set(10, 11), 0.5},
+		// q={italian} vs f4={italian} -> 1
+		{"paper f4", set(10), set(10), 1},
+		// q={italian} vs f2={chinese,cheap} -> 0
+		{"paper f2", set(10), set(20, 21), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Jaccard(tt.a, tt.b); math.Abs(got-tt.want) > 1e-15 {
+				t.Errorf("Jaccard = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func randSet(r *rand.Rand, maxLen int, vocab uint32) KeywordSet {
+	n := r.Intn(maxLen + 1)
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = uint32(r.Intn(int(vocab)))
+	}
+	return NewKeywordSet(ids...)
+}
+
+func TestJaccardProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		a := randSet(r, 12, 30)
+		b := randSet(r, 12, 30)
+		j := Jaccard(a, b)
+		if j < 0 || j > 1 {
+			t.Fatalf("Jaccard out of [0,1]: %v for %v %v", j, a, b)
+		}
+		if jb := Jaccard(b, a); jb != j {
+			t.Fatalf("Jaccard not symmetric: %v vs %v", j, jb)
+		}
+		if len(a) > 0 && Jaccard(a, a) != 1 {
+			t.Fatalf("Jaccard(a,a) != 1 for %v", a)
+		}
+		if !a.Intersects(b) && j != 0 {
+			t.Fatalf("disjoint sets with nonzero Jaccard: %v %v", a, b)
+		}
+	}
+}
+
+// Equation 1's bound must dominate the true Jaccard score for every pair of
+// keyword sets with the given lengths.
+func TestUpperBoundDominatesJaccard(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		q := randSet(r, 10, 25)
+		if len(q) == 0 {
+			continue
+		}
+		f := randSet(r, 20, 25)
+		ub := UpperBound(f.Len(), q.Len())
+		if j := Jaccard(q, f); j > ub+1e-15 {
+			t.Fatalf("UpperBound(%d,%d)=%v < Jaccard=%v for q=%v f=%v",
+				f.Len(), q.Len(), ub, j, q, f)
+		}
+	}
+}
+
+// The bound must be non-increasing in the feature keyword length — that is
+// what makes scanning by increasing |f.W| a valid early-termination order
+// (Lemma 2).
+func TestUpperBoundMonotone(t *testing.T) {
+	for qLen := 1; qLen <= 12; qLen++ {
+		prev := math.Inf(1)
+		for fLen := 0; fLen <= 40; fLen++ {
+			ub := UpperBound(fLen, qLen)
+			if ub > prev {
+				t.Fatalf("UpperBound(%d,%d)=%v > UpperBound(%d,%d)=%v",
+					fLen, qLen, ub, fLen-1, qLen, prev)
+			}
+			prev = ub
+		}
+	}
+}
+
+func TestUpperBoundExactValues(t *testing.T) {
+	tests := []struct {
+		fLen, qLen int
+		want       float64
+	}{
+		{0, 3, 1},   // shorter than query: bound is 1
+		{2, 3, 1},   // still shorter
+		{3, 3, 1},   // equal length: 3/3
+		{6, 3, 0.5}, // |q|/|f|
+		{30, 3, 0.1},
+		{5, 0, 0}, // degenerate empty query
+	}
+	for _, tt := range tests {
+		if got := UpperBound(tt.fLen, tt.qLen); math.Abs(got-tt.want) > 1e-15 {
+			t.Errorf("UpperBound(%d,%d) = %v, want %v", tt.fLen, tt.qLen, got, tt.want)
+		}
+	}
+}
+
+func TestUnionSizeIdentity(t *testing.T) {
+	f := func(a, b []uint32) bool {
+		s, u := NewKeywordSet(a...), NewKeywordSet(b...)
+		return s.Union(u).Len() == s.Len()+u.Len()-s.IntersectionSize(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDictInternRoundTrip(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("italian")
+	b := d.Intern("gourmet")
+	if a == b {
+		t.Fatal("distinct words got the same id")
+	}
+	if got := d.Intern("italian"); got != a {
+		t.Errorf("re-intern changed id: %d vs %d", got, a)
+	}
+	if got := d.Word(a); got != "italian" {
+		t.Errorf("Word(%d) = %q", a, got)
+	}
+	if got := d.Size(); got != 2 {
+		t.Errorf("Size = %d, want 2", got)
+	}
+	if _, ok := d.Lookup("sushi"); ok {
+		t.Error("Lookup of unknown word succeeded")
+	}
+	if got := d.Word(999); got != "" {
+		t.Errorf("Word(unknown) = %q, want empty", got)
+	}
+}
+
+func TestDictIdsAreDense(t *testing.T) {
+	d := NewDict()
+	words := []string{"a", "b", "c", "d"}
+	for i, w := range words {
+		if id := d.Intern(w); id != uint32(i) {
+			t.Errorf("Intern(%q) = %d, want %d", w, id, i)
+		}
+	}
+}
+
+func TestDictConcurrentIntern(t *testing.T) {
+	d := NewDict()
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	var wg sync.WaitGroup
+	results := make([][]uint32, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := make([]uint32, len(words))
+			for i, w := range words {
+				ids[i] = d.Intern(w)
+			}
+			results[g] = ids
+		}(g)
+	}
+	wg.Wait()
+	if d.Size() != len(words) {
+		t.Fatalf("Size = %d, want %d", d.Size(), len(words))
+	}
+	for g := 1; g < 16; g++ {
+		if !reflect.DeepEqual(results[g], results[0]) {
+			t.Fatalf("goroutine %d saw different ids: %v vs %v", g, results[g], results[0])
+		}
+	}
+}
+
+func TestInternAllAndWords(t *testing.T) {
+	d := NewDict()
+	s := d.InternAll([]string{"b", "a", "b"})
+	if s.Len() != 2 {
+		t.Fatalf("InternAll dedup failed: %v", s)
+	}
+	words := d.Words(s)
+	// ids are assigned in first-seen order (b=0, a=1) and the set is sorted
+	// by id, so words come back in intern order.
+	if !reflect.DeepEqual(words, []string{"b", "a"}) {
+		t.Errorf("Words = %v", words)
+	}
+}
+
+func TestLookupAllDropsUnknown(t *testing.T) {
+	d := NewDict()
+	d.Intern("known")
+	s := d.LookupAll([]string{"known", "unknown"})
+	if s.Len() != 1 {
+		t.Errorf("LookupAll = %v, want 1 keyword", s)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{"empty", "", nil},
+		{"simple", "Italian Gourmet", []string{"italian", "gourmet"}},
+		{"punctuation", "sushi, wine!", []string{"sushi", "wine"}},
+		{"digits", "route66 cafe", []string{"route66", "cafe"}},
+		{"separators only", "—!?", nil},
+		{"hashtags", "#pizza #pasta", []string{"pizza", "pasta"}},
+		{"mixed case run", "WiFi-Free", []string{"wifi", "free"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Tokenize(tt.in)
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+// quick-checked set algebra: Contains agrees with membership through
+// Union and IntersectionSize, for arbitrary id slices.
+func TestKeywordSetAlgebraQuick(t *testing.T) {
+	f := func(a, b []uint32, probe uint32) bool {
+		s, u := NewKeywordSet(a...), NewKeywordSet(b...)
+		un := s.Union(u)
+		// Union membership == either-side membership.
+		if un.Contains(probe) != (s.Contains(probe) || u.Contains(probe)) {
+			return false
+		}
+		// Intersection size is symmetric and bounded.
+		is := s.IntersectionSize(u)
+		if is != u.IntersectionSize(s) || is > s.Len() || is > u.Len() {
+			return false
+		}
+		// Jaccard of a set with itself is 1 (or 0 when empty).
+		j := Jaccard(s, s)
+		if s.Len() == 0 {
+			return j == 0
+		}
+		return j == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick-checked sortedness invariant of NewKeywordSet.
+func TestKeywordSetSortedQuick(t *testing.T) {
+	f := func(ids []uint32) bool {
+		s := NewKeywordSet(ids...)
+		for i := 1; i < len(s); i++ {
+			if s[i-1] >= s[i] {
+				return false
+			}
+		}
+		// Every input id must be a member.
+		for _, id := range ids {
+			if !s.Contains(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,54 @@
+package spq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"spq/internal/data"
+)
+
+// LoadLines reads objects in the library's text format, one per line:
+//
+//	D <id> <x> <y>                 — data object (tab-separated)
+//	F <id> <x> <y> <kw1,kw2,...>   — feature object
+//
+// This is the same format cmd/spqgen emits and the engine's DFS stores.
+func (e *Engine) LoadLines(r io.Reader) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sealed {
+		return fmt.Errorf("spq: engine already sealed; datasets are write-once")
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		n++
+		o, err := data.ParseLine(line, e.dict)
+		if err != nil {
+			return fmt.Errorf("spq: line %d: %w", n, err)
+		}
+		e.objects = append(e.objects, o)
+		e.growBounds(o.Loc)
+	}
+	return sc.Err()
+}
+
+// LoadFile reads a text-format object file from the local file system.
+func (e *Engine) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("spq: %w", err)
+	}
+	defer f.Close()
+	if err := e.LoadLines(bufio.NewReader(f)); err != nil {
+		return fmt.Errorf("spq: %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+// Package spq is a library for parallel and distributed processing of
+// spatial preference queries using keywords, reproducing the EDBT 2017
+// paper by Doulkeridis, Vlachou, Mpestas and Mamoulis.
+//
+// Given a set of data objects (locations to be ranked), a set of feature
+// objects (locations annotated with keywords), and a query q(k, r, W),
+// the library returns the top-k data objects ranked by the best Jaccard
+// similarity between W and the keywords of any feature object within
+// distance r:
+//
+//	τ(p) = max{ Jaccard(W, f.Keywords) : dist(p, f) ≤ r }
+//
+// Processing runs as a single MapReduce job on an in-process simulated
+// cluster (a DFS with replicated blocks plus parallel map/reduce worker
+// slots). Three algorithms are available: PSPQ (grid partitioning with
+// feature duplication), ESPQLen and ESPQSco (early termination; ESPQSco
+// is the paper's — and this library's — best performer and the default).
+//
+// # Quick start
+//
+//	eng := spq.NewEngine(spq.Config{})
+//	eng.AddData(spq.DataObject{ID: 1, X: 4.6, Y: 4.8})
+//	eng.AddFeature(spq.Feature{ID: 101, X: 3.8, Y: 5.5, Keywords: []string{"italian"}})
+//	res, err := eng.Query(spq.Query{K: 1, Radius: 1.5, Keywords: []string{"italian"}})
+package spq
+
+import (
+	"fmt"
+
+	"spq/internal/core"
+	"spq/internal/data"
+	"spq/internal/geo"
+	"spq/internal/text"
+)
+
+// Algorithm selects the query processing algorithm.
+type Algorithm = core.Algorithm
+
+// The three algorithms of the paper.
+const (
+	// PSPQ is the grid-partitioned parallel algorithm without early
+	// termination (Section 4).
+	PSPQ = core.PSPQ
+	// ESPQLen terminates early by scanning features in increasing
+	// keyword-list length (Section 5.1).
+	ESPQLen = core.ESPQLen
+	// ESPQSco terminates early by scanning features in decreasing score
+	// (Section 5.2). Default and consistently fastest.
+	ESPQSco = core.ESPQSco
+)
+
+// Algorithms returns all algorithms in the paper's presentation order.
+func Algorithms() []Algorithm { return core.Algorithms() }
+
+// ScoringMode selects how in-range features contribute to a data object's
+// score.
+type ScoringMode = core.ScoringMode
+
+// The scoring modes: the paper's range scoring (default) plus the
+// influence and nearest-neighbor extensions from the spatial preference
+// query literature. ScoreNearest is only supported by PSPQ — it is not
+// monotone in the textual score, so early termination is unsound for it.
+const (
+	ScoreRange     = core.ScoreRange
+	ScoreInfluence = core.ScoreInfluence
+	ScoreNearest   = core.ScoreNearest
+)
+
+// DataObject is a spatial object to be ranked by queries.
+type DataObject struct {
+	ID   uint64
+	X, Y float64
+}
+
+// Feature is a spatio-textual object that scores nearby data objects.
+type Feature struct {
+	ID       uint64
+	X, Y     float64
+	Keywords []string
+}
+
+// Query is a spatial preference query using keywords.
+type Query struct {
+	// K is the number of data objects to return.
+	K int
+	// Radius is the neighborhood distance threshold r: only feature
+	// objects within this distance of a data object influence its score.
+	Radius float64
+	// Keywords is the query keyword set W.
+	Keywords []string
+	// Mode selects the scoring variant; the zero value is the paper's
+	// range mode (best Jaccard score within the radius).
+	Mode ScoringMode
+}
+
+// Result is one ranked data object. A query returns at most K results;
+// data objects with no relevant feature in range score 0 and are omitted.
+type Result struct {
+	ID    uint64
+	X, Y  float64
+	Score float64
+}
+
+// Report is the full outcome of a query: ranked results plus execution
+// metrics of the underlying MapReduce job.
+type Report struct {
+	Algorithm Algorithm
+	Results   []Result
+	// Counters are the job counters (see package documentation for names):
+	// feature duplication, early terminations, records shuffled, etc.
+	Counters map[string]int64
+	// MapMillis and ReduceMillis are the phase durations.
+	MapMillis    float64
+	ReduceMillis float64
+	// TotalMillis is the end-to-end job duration.
+	TotalMillis float64
+}
+
+// QueryOption customizes one query execution.
+type QueryOption func(*queryConfig)
+
+type queryConfig struct {
+	alg        core.Algorithm
+	gridN      int
+	reducers   int
+	spillEvery int
+	bounds     *geo.Rect
+}
+
+// WithAlgorithm selects the processing algorithm (default ESPQSco).
+func WithAlgorithm(a Algorithm) QueryOption {
+	return func(c *queryConfig) { c.alg = a }
+}
+
+// WithGrid sets the query-time grid to n x n cells (default 16x16). More
+// cells mean more parallelism and cheaper reduce tasks at the cost of more
+// feature duplication (Section 6.3 of the paper).
+func WithGrid(n int) QueryOption {
+	return func(c *queryConfig) { c.gridN = n }
+}
+
+// WithReducers overrides the number of reduce tasks (default: one per grid
+// cell, the paper's configuration).
+func WithReducers(r int) QueryOption {
+	return func(c *queryConfig) { c.reducers = r }
+}
+
+// WithSpill bounds the number of intermediate records a map task buffers
+// in memory before spilling sorted runs to disk. Zero (default) keeps the
+// shuffle fully in memory.
+func WithSpill(records int) QueryOption {
+	return func(c *queryConfig) { c.spillEvery = records }
+}
+
+// WithBounds overrides the data-space bounding rectangle used to lay out
+// the grid. By default the engine uses the bounding box of the loaded
+// objects.
+func WithBounds(minX, minY, maxX, maxY float64) QueryOption {
+	return func(c *queryConfig) {
+		c.bounds = &geo.Rect{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}
+	}
+}
+
+func toResults(items []core.ResultItem) []Result {
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{ID: it.ID, X: it.Loc.X, Y: it.Loc.Y, Score: it.Score}
+	}
+	return out
+}
+
+func toFeatureObject(f Feature, dict *text.Dict) data.Object {
+	return data.Object{
+		Kind:     data.FeatureObject,
+		ID:       f.ID,
+		Loc:      geo.Point{X: f.X, Y: f.Y},
+		Keywords: dict.InternAll(f.Keywords),
+	}
+}
+
+func validateQuery(q Query) error {
+	if q.K <= 0 {
+		return fmt.Errorf("spq: query K = %d, must be positive", q.K)
+	}
+	if q.Radius < 0 {
+		return fmt.Errorf("spq: query radius = %g, must be non-negative", q.Radius)
+	}
+	if len(q.Keywords) == 0 {
+		return fmt.Errorf("spq: query has no keywords")
+	}
+	return nil
+}

@@ -1,0 +1,395 @@
+package spq
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// loadPaperExample fills an engine with the dataset of Example 1 / Table 2.
+func loadPaperExample(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e := NewEngine(cfg)
+	err := e.AddData(
+		DataObject{ID: 1, X: 4.6, Y: 4.8},
+		DataObject{ID: 2, X: 7.5, Y: 1.7},
+		DataObject{ID: 3, X: 8.9, Y: 5.2},
+		DataObject{ID: 4, X: 1.8, Y: 1.8},
+		DataObject{ID: 5, X: 1.9, Y: 9.0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.AddFeature(
+		Feature{ID: 101, X: 2.8, Y: 1.2, Keywords: []string{"italian", "gourmet"}},
+		Feature{ID: 102, X: 5.0, Y: 3.8, Keywords: []string{"chinese", "cheap"}},
+		Feature{ID: 103, X: 8.7, Y: 1.9, Keywords: []string{"sushi", "wine"}},
+		Feature{ID: 104, X: 3.8, Y: 5.5, Keywords: []string{"italian"}},
+		Feature{ID: 105, X: 5.2, Y: 5.1, Keywords: []string{"mexican", "exotic"}},
+		Feature{ID: 106, X: 7.4, Y: 5.4, Keywords: []string{"greek", "traditional"}},
+		Feature{ID: 107, X: 3.0, Y: 8.1, Keywords: []string{"italian", "spaghetti"}},
+		Feature{ID: 108, X: 9.5, Y: 7.0, Keywords: []string{"indian"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestQuickstartPaperExample(t *testing.T) {
+	for _, storage := range []Storage{StorageDFS, StorageMemory} {
+		for _, alg := range Algorithms() {
+			e := loadPaperExample(t, Config{Storage: storage, Nodes: 4, BlockSize: 64})
+			res, err := e.Query(
+				Query{K: 1, Radius: 1.5, Keywords: []string{"italian"}},
+				WithAlgorithm(alg), WithGrid(4), WithBounds(0, 0, 10, 10),
+			)
+			if err != nil {
+				t.Fatalf("storage %d %v: %v", storage, alg, err)
+			}
+			if len(res) != 1 || res[0].ID != 1 || res[0].Score != 1 {
+				t.Errorf("storage %d %v: top-1 = %+v, want p1 score 1", storage, alg, res)
+			}
+		}
+	}
+}
+
+func TestQueryTop3(t *testing.T) {
+	e := loadPaperExample(t, Config{})
+	res, err := e.Query(Query{K: 3, Radius: 1.5, Keywords: []string{"italian"}}, WithGrid(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results: %+v", len(res), res)
+	}
+	wantIDs := []uint64{1, 4, 5}
+	wantScores := []float64{1, 0.5, 0.5}
+	for i := range res {
+		if res[i].ID != wantIDs[i] || math.Abs(res[i].Score-wantScores[i]) > 1e-12 {
+			t.Errorf("res[%d] = %+v, want id %d score %g", i, res[i], wantIDs[i], wantScores[i])
+		}
+	}
+	// Result coordinates round-trip.
+	if res[0].X != 4.6 || res[0].Y != 4.8 {
+		t.Errorf("p1 location = (%g,%g)", res[0].X, res[0].Y)
+	}
+}
+
+func TestQueryReportMetrics(t *testing.T) {
+	e := loadPaperExample(t, Config{})
+	rep, err := e.QueryReport(Query{K: 2, Radius: 1.5, Keywords: []string{"italian"}},
+		WithAlgorithm(PSPQ), WithGrid(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Algorithm != PSPQ {
+		t.Errorf("algorithm = %v", rep.Algorithm)
+	}
+	if rep.TotalMillis <= 0 {
+		t.Errorf("total duration = %v", rep.TotalMillis)
+	}
+	if rep.Counters["map.records.in"] != 13 {
+		t.Errorf("map.records.in = %d, want 13", rep.Counters["map.records.in"])
+	}
+	// 5 features share no keyword with the query and must be pruned.
+	if rep.Counters["spq.map.features.pruned"] != 5 {
+		t.Errorf("pruned = %d, want 5", rep.Counters["spq.map.features.pruned"])
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	e := NewEngine(Config{})
+	if _, err := e.Query(Query{K: 1, Radius: 1, Keywords: []string{"x"}}); err == nil {
+		t.Error("query on empty engine succeeded")
+	}
+	if err := e.AddData(DataObject{ID: 1, X: 0, Y: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFeature(Feature{ID: 2, X: 1, Y: 1, Keywords: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Query{
+		{K: 0, Radius: 1, Keywords: []string{"a"}},
+		{K: 1, Radius: -1, Keywords: []string{"a"}},
+		{K: 1, Radius: 1},
+	}
+	for _, q := range bad {
+		if _, err := e.Query(q); err == nil {
+			t.Errorf("invalid query %+v accepted", q)
+		}
+	}
+	if _, err := e.Query(Query{K: 1, Radius: 1, Keywords: []string{"a"}}, WithGrid(-1)); err == nil {
+		t.Error("negative grid accepted")
+	}
+}
+
+func TestSealIsWriteOnce(t *testing.T) {
+	e := loadPaperExample(t, Config{})
+	if err := e.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Seal(); err != nil {
+		t.Errorf("second Seal = %v, want nil (idempotent)", err)
+	}
+	if err := e.AddData(DataObject{ID: 99}); err == nil {
+		t.Error("AddData after Seal succeeded")
+	}
+	if err := e.AddFeature(Feature{ID: 99, Keywords: []string{"x"}}); err == nil {
+		t.Error("AddFeature after Seal succeeded")
+	}
+	if err := e.LoadSynthetic("uniform", 10); err == nil {
+		t.Error("LoadSynthetic after Seal succeeded")
+	}
+}
+
+func TestLenAndBounds(t *testing.T) {
+	e := loadPaperExample(t, Config{})
+	nd, nf := e.Len()
+	if nd != 5 || nf != 8 {
+		t.Errorf("Len = %d, %d", nd, nf)
+	}
+	minX, minY, maxX, maxY := e.Bounds()
+	if minX != 1.8 || minY != 1.2 || maxX != 9.5 || maxY != 9.0 {
+		t.Errorf("Bounds = %g %g %g %g", minX, minY, maxX, maxY)
+	}
+}
+
+func TestDegenerateBounds(t *testing.T) {
+	// All objects on one vertical line: the engine must pad the bounds
+	// rather than panic on a zero-width grid.
+	e := NewEngine(Config{Storage: StorageMemory})
+	e.AddData(DataObject{ID: 1, X: 5, Y: 1}, DataObject{ID: 2, X: 5, Y: 9})
+	e.AddFeature(Feature{ID: 3, X: 5, Y: 1.2, Keywords: []string{"a"}})
+	res, err := e.Query(Query{K: 1, Radius: 0.5, Keywords: []string{"a"}}, WithGrid(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != 1 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestLoadSynthetic(t *testing.T) {
+	for _, name := range []string{"uniform", "clustered", "flickr", "twitter"} {
+		e := NewEngine(Config{Storage: StorageMemory})
+		if err := e.LoadSynthetic(name, 400); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		nd, nf := e.Len()
+		if nd != 200 || nf != 200 {
+			t.Fatalf("%s: Len = %d, %d", name, nd, nf)
+		}
+		kws := e.FrequentKeywords(3)
+		if len(kws) != 3 {
+			t.Fatalf("%s: FrequentKeywords = %v", name, kws)
+		}
+		res, err := e.Query(Query{K: 5, Radius: 0.1, Keywords: kws}, WithGrid(8))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res) == 0 {
+			t.Errorf("%s: no results for frequent keywords", name)
+		}
+		for i := 1; i < len(res); i++ {
+			if res[i].Score > res[i-1].Score {
+				t.Errorf("%s: results not sorted: %+v", name, res)
+			}
+		}
+	}
+	if err := NewEngine(Config{}).LoadSynthetic("nope", 10); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+// All three algorithms must agree on synthetic data end to end through the
+// public API and the DFS storage path.
+func TestAlgorithmsAgreeViaPublicAPI(t *testing.T) {
+	build := func() *Engine {
+		e := NewEngine(Config{Nodes: 4, BlockSize: 4 << 10, Seed: 5})
+		if err := e.LoadSynthetic("uniform", 600); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	var first []Result
+	for i, alg := range Algorithms() {
+		e := build()
+		kws := e.FrequentKeywords(2)
+		res, err := e.Query(Query{K: 10, Radius: 0.08, Keywords: kws},
+			WithAlgorithm(alg), WithGrid(10))
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if i == 0 {
+			first = res
+			continue
+		}
+		if len(res) != len(first) {
+			t.Fatalf("%v: %d results vs %d", alg, len(res), len(first))
+		}
+		for j := range res {
+			if math.Abs(res[j].Score-first[j].Score) > 1e-12 {
+				t.Fatalf("%v: score[%d] = %v vs %v", alg, j, res[j].Score, first[j].Score)
+			}
+		}
+	}
+}
+
+func TestWithSpillSameResults(t *testing.T) {
+	e1 := NewEngine(Config{Storage: StorageMemory})
+	e2 := NewEngine(Config{Storage: StorageMemory})
+	for _, e := range []*Engine{e1, e2} {
+		if err := e.LoadSynthetic("uniform", 500); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kws := e1.FrequentKeywords(2)
+	q := Query{K: 5, Radius: 0.1, Keywords: kws}
+	a, err := e1.Query(q, WithGrid(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e2.Query(q, WithGrid(6), WithSpill(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scoresOf(a), scoresOf(b)) {
+		t.Errorf("spill changed scores: %v vs %v", scoresOf(a), scoresOf(b))
+	}
+}
+
+func scoresOf(rs []Result) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Score
+	}
+	return out
+}
+
+func TestWithReducers(t *testing.T) {
+	e := loadPaperExample(t, Config{Storage: StorageMemory})
+	res, err := e.Query(Query{K: 1, Radius: 1.5, Keywords: []string{"italian"}},
+		WithGrid(4), WithReducers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != 1 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestFrequentKeywordsOrder(t *testing.T) {
+	e := NewEngine(Config{})
+	e.AddFeature(
+		Feature{ID: 1, Keywords: []string{"common", "rare"}},
+		Feature{ID: 2, Keywords: []string{"common"}},
+		Feature{ID: 3, Keywords: []string{"common", "mid"}},
+		Feature{ID: 4, Keywords: []string{"mid"}},
+	)
+	got := e.FrequentKeywords(10)
+	want := []string{"common", "mid", "rare"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("FrequentKeywords = %v, want %v", got, want)
+	}
+}
+
+func TestScoringModesViaPublicAPI(t *testing.T) {
+	e := NewEngine(Config{Storage: StorageMemory})
+	e.AddData(DataObject{ID: 1, X: 0, Y: 0})
+	e.AddFeature(
+		Feature{ID: 10, X: 0.9, Y: 0, Keywords: []string{"a"}},
+		Feature{ID: 11, X: 0.1, Y: 0, Keywords: []string{"a", "b", "c", "d"}},
+	)
+	// Range: far perfect match wins with 1.0.
+	res, err := e.Query(Query{K: 1, Radius: 1, Keywords: []string{"a"}},
+		WithAlgorithm(PSPQ), WithGrid(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Score != 1 {
+		t.Errorf("range score = %v", res[0].Score)
+	}
+	// Nearest: the close weak feature (Jaccard 1/4) defines the score.
+	res, err = e.Query(Query{K: 1, Radius: 1, Keywords: []string{"a"}, Mode: ScoreNearest},
+		WithAlgorithm(PSPQ), WithGrid(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res[0].Score-0.25) > 1e-12 {
+		t.Errorf("nearest score = %v, want 0.25", res[0].Score)
+	}
+	// Influence decays with distance; score strictly between the two.
+	res, err = e.Query(Query{K: 1, Radius: 1, Keywords: []string{"a"}, Mode: ScoreInfluence},
+		WithGrid(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Score <= 0.25 || res[0].Score >= 1 {
+		t.Errorf("influence score = %v", res[0].Score)
+	}
+	// Nearest + early termination is rejected.
+	if _, err := e.Query(Query{K: 1, Radius: 1, Keywords: []string{"a"}, Mode: ScoreNearest},
+		WithAlgorithm(ESPQSco), WithGrid(2)); err == nil {
+		t.Error("nearest mode accepted by eSPQsco")
+	}
+}
+
+func TestBinaryStorageMatchesText(t *testing.T) {
+	build := func(st Storage) []Result {
+		e := NewEngine(Config{Storage: st, Nodes: 4, BlockSize: 2 << 10, Seed: 8})
+		if err := e.LoadSynthetic("uniform", 800); err != nil {
+			t.Fatal(err)
+		}
+		kws := e.FrequentKeywords(2)
+		res, err := e.Query(Query{K: 8, Radius: 0.06, Keywords: kws}, WithGrid(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	text := build(StorageDFS)
+	bin := build(StorageDFSBinary)
+	if !reflect.DeepEqual(scoresOf(text), scoresOf(bin)) {
+		t.Errorf("binary storage scores differ: %v vs %v", scoresOf(text), scoresOf(bin))
+	}
+}
+
+// Concurrent queries on a sealed engine must be safe and consistent.
+func TestConcurrentQueries(t *testing.T) {
+	e := loadPaperExample(t, Config{})
+	if err := e.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := e.Query(Query{K: 1, Radius: 1.5, Keywords: []string{"italian"}},
+				WithAlgorithm(Algorithms()[g%3]), WithGrid(4))
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if len(res) != 1 || res[0].ID != 1 {
+				errs[g] = errConcurrent
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+var errConcurrent = errWrongResult{}
+
+type errWrongResult struct{}
+
+func (errWrongResult) Error() string { return "wrong concurrent result" }
