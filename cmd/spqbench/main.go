@@ -9,6 +9,7 @@
 //	spqbench -fig 5a                  # one panel
 //	spqbench -fig 8 -scale-unit 1000  # larger scalability sweep
 //	spqbench -quick                   # endpoints of each sweep only
+//	spqbench -json > BENCH_all.json   # machine-readable results
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 		redSlots = flag.Int("reduce-slots", 0, "reduce worker slots (default NumCPU)")
 		quick    = flag.Bool("quick", false, "run only the endpoints of each sweep")
 		counters = flag.Bool("counters", false, "also print features-examined counters per figure")
+		jsonOut  = flag.Bool("json", false, "emit results as a JSON array of rows (figure, series, x, millis, counters) instead of tables")
 	)
 	flag.Parse()
 
@@ -47,6 +49,7 @@ func main() {
 		ids = []string{*fig}
 	}
 	start := time.Now()
+	var figures []*bench.Figure
 	for _, id := range ids {
 		t0 := time.Now()
 		figure, err := h.Run(id)
@@ -54,11 +57,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "spqbench: %v\n", err)
 			os.Exit(1)
 		}
+		if *jsonOut {
+			figures = append(figures, figure)
+			fmt.Fprintf(os.Stderr, "(figure %s took %.1fs)\n", id, time.Since(t0).Seconds())
+			continue
+		}
 		figure.WriteTable(os.Stdout)
 		if *counters {
 			figure.WriteCounters(os.Stdout)
 		}
 		fmt.Printf("(figure %s took %.1fs)\n\n", id, time.Since(t0).Seconds())
+	}
+	if *jsonOut {
+		if err := bench.WriteJSON(os.Stdout, figures); err != nil {
+			fmt.Fprintf(os.Stderr, "spqbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "total: %.1fs\n", time.Since(start).Seconds())
+		return
 	}
 	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
 }

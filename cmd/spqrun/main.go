@@ -24,14 +24,19 @@ func main() {
 		k        = flag.Int("k", 10, "number of results")
 		r        = flag.Float64("r", 0.01, "query radius")
 		algName  = flag.String("alg", "espqsco", "algorithm: pspq, espqlen, espqsco")
-		gridN    = flag.Int("grid", 16, "grid size (n x n cells)")
+		gridN    = flag.Int("grid", 0, "grid size (n x n cells; 0 = automatic: the planner's choice with -autoplan, the library default of 16 otherwise)")
 		nodes    = flag.Int("nodes", 16, "simulated DFS nodes")
 		slots    = flag.Int("slots", 8, "map/reduce worker slots")
+		autoplan = flag.Bool("autoplan", false, "prune sealed cell files against the query and pick the grid from the manifest statistics")
 		verbose  = flag.Bool("v", false, "print job counters")
 	)
 	flag.Parse()
 	if *files == "" || *keywords == "" {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *gridN < 0 {
+		fmt.Fprintf(os.Stderr, "spqrun: -grid %d invalid, must be non-negative\n", *gridN)
 		os.Exit(2)
 	}
 
@@ -58,11 +63,18 @@ func main() {
 	nd, nf := eng.Len()
 	fmt.Printf("loaded %d data objects, %d feature objects\n", nd, nf)
 
+	opts := []spq.QueryOption{spq.WithAlgorithm(alg)}
+	if *gridN > 0 {
+		opts = append(opts, spq.WithGrid(*gridN))
+	}
+	if *autoplan {
+		opts = append(opts, spq.WithAutoPlan())
+	}
 	rep, err := eng.QueryReport(spq.Query{
 		K:        *k,
 		Radius:   *r,
 		Keywords: strings.Split(*keywords, ","),
-	}, spq.WithAlgorithm(alg), spq.WithGrid(*gridN))
+	}, opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spqrun: %v\n", err)
 		os.Exit(1)
@@ -70,6 +82,11 @@ func main() {
 
 	fmt.Printf("%s: %d results in %.2f ms (map %.2f ms, reduce %.2f ms)\n",
 		rep.Algorithm, len(rep.Results), rep.TotalMillis, rep.MapMillis, rep.ReduceMillis)
+	if p := rep.Plan; p != nil {
+		fmt.Printf("plan: read %d of %d records (pruned %d/%d data cells, %d/%d feature cells), grid %d, %d reducers\n",
+			p.RecordsSelected, p.RecordsTotal, p.DataCellsPruned, p.DataCells,
+			p.FeatureCellsPruned, p.FeatureCells, p.GridN, p.NumReducers)
+	}
 	for i, res := range rep.Results {
 		fmt.Printf("%2d. object %-8d score %.4f  at (%.4f, %.4f)\n",
 			i+1, res.ID, res.Score, res.X, res.Y)

@@ -8,7 +8,9 @@ import (
 	"spq/internal/data"
 	"spq/internal/dfs"
 	"spq/internal/geo"
+	"spq/internal/grid"
 	"spq/internal/mapreduce"
+	"spq/internal/plan"
 	"spq/internal/text"
 )
 
@@ -33,6 +35,11 @@ const (
 	StorageDFSBinary
 )
 
+// DefaultSealGridN is the default seal grid edge: Seal partitions the
+// datasets into DefaultSealGridN² per-cell files (plus a manifest) unless
+// Config.SealGridN or WithSealGrid overrides it.
+const DefaultSealGridN = 32
+
 // Config parameterizes an Engine.
 type Config struct {
 	// Nodes is the number of DFS DataNodes (default 16, the paper's
@@ -47,6 +54,11 @@ type Config struct {
 	Replication int
 	// Storage selects DFS-backed (default) or in-memory datasets.
 	Storage Storage
+	// SealGridN is the edge size of the seal grid: Seal writes the
+	// datasets as per-cell files over a SealGridN x SealGridN grid with a
+	// manifest of per-cell statistics, which is what the query planner
+	// (WithAutoPlan) prunes against. Default DefaultSealGridN.
+	SealGridN int
 	// Seed drives DFS block placement.
 	Seed int64
 }
@@ -61,8 +73,15 @@ func (c Config) withDefaults() Config {
 	if c.ReduceSlots <= 0 {
 		c.ReduceSlots = 8
 	}
+	if c.SealGridN <= 0 {
+		c.SealGridN = DefaultSealGridN
+	}
 	return c
 }
+
+// memRange is the half-open index range of one sealed partition inside
+// the memory-mode object layout.
+type memRange struct{ lo, hi int }
 
 // Engine owns a simulated cluster (DFS + worker slots), a keyword
 // dictionary, and the loaded datasets. It is safe for concurrent queries
@@ -73,12 +92,20 @@ type Engine struct {
 	cluster *mapreduce.Cluster
 	dict    *text.Dict
 
-	mu       sync.Mutex
-	objects  []data.Object
-	bounds   geo.Rect
-	sealed   bool
-	fileSeq  int
-	curFiles []string
+	mu      sync.Mutex
+	objects []data.Object
+	nData   int
+	nFeats  int
+	bounds  geo.Rect
+	sealed  bool
+	fileSeq int
+
+	// Sealed state: the manifest of the partitioned storage layout, plus
+	// — under StorageMemory — the cell-ordered object slice and the name
+	// to index-range layout of its partitions.
+	manifest   *data.Manifest
+	sealedObjs []data.Object
+	memLayout  map[string]memRange
 }
 
 // NewEngine creates an engine with the given configuration.
@@ -107,9 +134,7 @@ func (e *Engine) AddData(objs ...DataObject) error {
 		return fmt.Errorf("spq: engine already sealed; datasets are write-once")
 	}
 	for _, o := range objs {
-		p := geo.Point{X: o.X, Y: o.Y}
-		e.objects = append(e.objects, data.Object{Kind: data.DataObject, ID: o.ID, Loc: p})
-		e.growBounds(p)
+		e.addLocked(data.Object{Kind: data.DataObject, ID: o.ID, Loc: geo.Point{X: o.X, Y: o.Y}})
 	}
 	return nil
 }
@@ -123,28 +148,33 @@ func (e *Engine) AddFeature(feats ...Feature) error {
 		return fmt.Errorf("spq: engine already sealed; datasets are write-once")
 	}
 	for _, f := range feats {
-		e.objects = append(e.objects, toFeatureObject(f, e.dict))
-		e.growBounds(geo.Point{X: f.X, Y: f.Y})
+		e.addLocked(toFeatureObject(f, e.dict))
 	}
 	return nil
+}
+
+// addLocked appends one object, maintaining the dataset counts and bounds
+// incrementally so Len and Bounds stay O(1).
+func (e *Engine) addLocked(o data.Object) {
+	e.objects = append(e.objects, o)
+	if o.Kind == data.DataObject {
+		e.nData++
+	} else {
+		e.nFeats++
+	}
+	e.growBounds(o.Loc)
 }
 
 func (e *Engine) growBounds(p geo.Point) {
 	e.bounds = e.bounds.Union(geo.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y})
 }
 
-// Len returns the number of loaded data and feature objects.
+// Len returns the number of loaded data and feature objects. It is O(1):
+// the counts are maintained as objects are loaded.
 func (e *Engine) Len() (dataObjects, features int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for _, o := range e.objects {
-		if o.Kind == data.DataObject {
-			dataObjects++
-		} else {
-			features++
-		}
-	}
-	return dataObjects, features
+	return e.nData, e.nFeats
 }
 
 // Bounds returns the bounding box of the loaded objects.
@@ -154,73 +184,146 @@ func (e *Engine) Bounds() (minX, minY, maxX, maxY float64) {
 	return e.bounds.MinX, e.bounds.MinY, e.bounds.MaxX, e.bounds.MaxY
 }
 
+// allObjectsLocked returns the loaded objects regardless of seal state:
+// the load-time slice before Seal, the cell-ordered sealed layout after a
+// memory-mode Seal (which releases the load-time slice).
+func (e *Engine) allObjectsLocked() []data.Object {
+	if e.sealedObjs != nil {
+		return e.sealedObjs
+	}
+	return e.objects
+}
+
+// Manifest returns the partition manifest of the sealed storage layout,
+// or nil before Seal. The manifest is what the query planner prunes
+// against; it is exposed for inspection and tooling.
+func (e *Engine) Manifest() *data.Manifest {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.manifest
+}
+
 // Seal publishes the loaded datasets to storage (write-once, like HDFS).
+// Storage is partition-aware: objects are written as per-cell files over
+// the seal grid (Config.SealGridN), with a persisted manifest carrying
+// per-cell statistics — record counts, tight bounding rectangles, keyword
+// summaries — that the query planner uses to skip irrelevant files.
 // Query seals implicitly; calling Seal explicitly lets the caller observe
 // storage errors early. Loading after Seal fails.
 func (e *Engine) Seal() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.sealLocked()
+	return e.sealLocked(0)
 }
 
-func (e *Engine) sealLocked() error {
+// sealLocked partitions and publishes the datasets. sealGridN overrides
+// the configured seal grid when positive (WithSealGrid).
+func (e *Engine) sealLocked(sealGridN int) error {
 	if e.sealed {
 		return nil
 	}
 	if len(e.objects) == 0 {
 		return fmt.Errorf("spq: no objects loaded")
 	}
+	n := sealGridN
+	if n <= 0 {
+		n = e.cfg.SealGridN
+	}
+	bounds := e.bounds
+	if bounds.Width() == 0 || bounds.Height() == 0 {
+		// A degenerate bounding box (single point or a line of objects)
+		// still needs a two-dimensional seal grid; pad it.
+		bounds = bounds.Expand(1)
+	}
+	g := grid.New(bounds, n, n)
+	prefix := fmt.Sprintf("spq-objects-%d", e.fileSeq)
+	e.fileSeq++
+	parts := data.PartitionObjects(g, e.objects)
 	switch e.cfg.Storage {
-	case StorageDFS:
-		name := fmt.Sprintf("spq-objects-%d.txt", e.fileSeq)
-		e.fileSeq++
-		w, err := e.fs.Writer(name)
+	case StorageDFS, StorageDFSBinary:
+		man, err := parts.SealDFS(e.fs, prefix, e.dict, e.cfg.Storage == StorageDFSBinary)
 		if err != nil {
 			return fmt.Errorf("spq: seal: %w", err)
 		}
-		for _, o := range e.objects {
-			if err := data.EncodeLine(w, o, e.dict); err != nil {
-				return fmt.Errorf("spq: seal: %w", err)
-			}
+		e.manifest = man
+	default:
+		man, ordered := parts.SealMemory(prefix, e.dict)
+		e.manifest = man
+		e.sealedObjs = ordered
+		e.objects = nil
+		e.memLayout = make(map[string]memRange, len(man.Data)+len(man.Features))
+		off := 0
+		for _, cs := range man.Data {
+			e.memLayout[cs.File] = memRange{lo: off, hi: off + cs.Records}
+			off += cs.Records
 		}
-		if err := w.Close(); err != nil {
-			return fmt.Errorf("spq: seal: %w", err)
+		for _, cs := range man.Features {
+			e.memLayout[cs.File] = memRange{lo: off, hi: off + cs.Records}
+			off += cs.Records
 		}
-		e.curFiles = []string{name}
-	case StorageDFSBinary:
-		name := fmt.Sprintf("spq-objects-%d.seq", e.fileSeq)
-		e.fileSeq++
-		w, err := e.fs.Writer(name)
-		if err != nil {
-			return fmt.Errorf("spq: seal: %w", err)
-		}
-		sw := data.NewSeqWriter(w, name)
-		for _, o := range e.objects {
-			if err := sw.Append(o); err != nil {
-				return fmt.Errorf("spq: seal: %w", err)
-			}
-		}
-		if err := sw.Close(); err != nil {
-			return fmt.Errorf("spq: seal: %w", err)
-		}
-		e.curFiles = []string{name}
 	}
 	e.sealed = true
 	return nil
 }
 
-// source returns the MapReduce input source for the sealed datasets.
-func (e *Engine) source() mapreduce.Source[data.Object] {
+// sourceLocked returns the MapReduce input source reading exactly the
+// given sealed cell files (a subset of the manifest's file set, possibly
+// pre-pruned by the planner). DFS sources are coalesced: per-cell files
+// are small, and one map task per cell file would drown the job in task
+// overhead, so consecutive splits are grouped down to a few per map slot.
+func (e *Engine) sourceLocked(files []string) mapreduce.Source[data.Object] {
+	target := e.cfg.MapSlots * 4
 	switch e.cfg.Storage {
 	case StorageDFS:
-		return mapreduce.NewTextInput(e.fs, func(line []byte) (data.Object, error) {
+		return mapreduce.Coalesce[data.Object](mapreduce.NewTextInput(e.fs, func(line []byte) (data.Object, error) {
 			return data.ParseLine(line, e.dict)
-		}, e.curFiles...)
+		}, files...), target)
 	case StorageDFSBinary:
-		return data.NewSeqInput(e.fs, e.curFiles...)
+		return mapreduce.Coalesce[data.Object](data.NewSeqInput(e.fs, files...), target)
 	default:
-		return mapreduce.NewMemorySource(e.objects, e.cfg.MapSlots*2)
+		return e.memorySourceLocked(files)
 	}
+}
+
+// memorySourceLocked builds an in-memory source over the selected
+// partitions. Partitions are contiguous sub-slices of the sealed layout;
+// adjacent selections are merged and then re-split into ~2 chunks per map
+// slot, so no object is ever copied and an unpruned query still gets a
+// handful of big splits rather than one per cell.
+func (e *Engine) memorySourceLocked(files []string) mapreduce.Source[data.Object] {
+	var runs []memRange
+	total := 0
+	for _, f := range files {
+		r, ok := e.memLayout[f]
+		if !ok {
+			continue
+		}
+		total += r.hi - r.lo
+		if n := len(runs); n > 0 && runs[n-1].hi == r.lo {
+			runs[n-1].hi = r.hi
+		} else {
+			runs = append(runs, r)
+		}
+	}
+	src := &mapreduce.MemorySource[data.Object]{}
+	if total == 0 {
+		return src
+	}
+	target := e.cfg.MapSlots * 2
+	if target < 1 {
+		target = 1
+	}
+	chunkSize := (total + target - 1) / target
+	for _, r := range runs {
+		for lo := r.lo; lo < r.hi; lo += chunkSize {
+			hi := lo + chunkSize
+			if hi > r.hi {
+				hi = r.hi
+			}
+			src.Chunks = append(src.Chunks, e.sealedObjs[lo:hi])
+		}
+	}
+	return src
 }
 
 // Query runs a spatial preference query and returns the ranked results.
@@ -232,22 +335,29 @@ func (e *Engine) Query(q Query, opts ...QueryOption) ([]Result, error) {
 	return rep.Results, nil
 }
 
+// defaultGridN is the query-time grid used when neither WithGrid nor the
+// planner chooses one (the paper's configuration for small datasets).
+const defaultGridN = 16
+
 // QueryReport runs a query and additionally returns the execution metrics
 // of the underlying MapReduce job.
 func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 	if err := validateQuery(q); err != nil {
 		return nil, err
 	}
-	cfg := queryConfig{alg: core.ESPQSco, gridN: 16}
+	cfg := queryConfig{alg: core.ESPQSco}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	if cfg.gridN <= 0 {
+	if cfg.gridSet && cfg.gridN <= 0 {
 		return nil, fmt.Errorf("spq: grid size %d, must be positive", cfg.gridN)
+	}
+	if cfg.sealGridSet && cfg.sealGridN <= 0 {
+		return nil, fmt.Errorf("spq: seal grid size %d, must be positive", cfg.sealGridN)
 	}
 
 	e.mu.Lock()
-	if err := e.sealLocked(); err != nil {
+	if err := e.sealLocked(cfg.sealGridN); err != nil {
 		e.mu.Unlock()
 		return nil, err
 	}
@@ -255,9 +365,6 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 	if cfg.bounds != nil {
 		bounds = *cfg.bounds
 	}
-	src := e.source()
-	e.mu.Unlock()
-
 	// A degenerate bounding box (single point or a line of objects) still
 	// needs a two-dimensional grid; pad it.
 	if bounds.Width() == 0 || bounds.Height() == 0 {
@@ -267,14 +374,43 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 		}
 		bounds = bounds.Expand(pad)
 	}
+	gridN := cfg.gridN
+	reducers := cfg.reducers
+	files := e.manifest.Files()
+	var planStats *PlanStats
+	var extraCounters map[string]int64
+	if cfg.autoPlan {
+		dec := plan.Plan(e.manifest, plan.Input{
+			Radius:      q.Radius,
+			Keywords:    q.Keywords,
+			ReduceSlots: e.cfg.ReduceSlots,
+			GridN:       cfg.gridN,
+			NumReducers: cfg.reducers,
+		})
+		files = dec.Files
+		gridN = dec.GridN
+		reducers = dec.NumReducers
+		extraCounters = dec.Counters()
+		planStats = newPlanStats(dec)
+		if dec.Empty() {
+			e.mu.Unlock()
+			return e.emptyPlanReport(q, cfg, bounds, planStats, extraCounters)
+		}
+	}
+	if gridN <= 0 {
+		gridN = defaultGridN
+	}
+	src := e.sourceLocked(files)
+	e.mu.Unlock()
 
 	cq := core.Query{K: q.K, Radius: q.Radius, Keywords: e.dict.InternAll(q.Keywords), Mode: q.Mode}
 	rep, err := core.Run(cfg.alg, src, cq, core.Options{
-		Cluster:     e.cluster,
-		Bounds:      bounds,
-		GridN:       cfg.gridN,
-		NumReducers: cfg.reducers,
-		SpillEvery:  cfg.spillEvery,
+		Cluster:       e.cluster,
+		Bounds:        bounds,
+		GridN:         gridN,
+		NumReducers:   reducers,
+		SpillEvery:    cfg.spillEvery,
+		ExtraCounters: extraCounters,
 	})
 	if err != nil {
 		return nil, err
@@ -283,8 +419,41 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 		Algorithm:    rep.Algorithm,
 		Results:      toResults(rep.Results),
 		Counters:     rep.Counters,
+		Plan:         planStats,
 		MapMillis:    float64(rep.Stats.MapDuration.Microseconds()) / 1000,
 		ReduceMillis: float64(rep.Stats.ReduceDuration.Microseconds()) / 1000,
 		TotalMillis:  float64(rep.Stats.Duration.Microseconds()) / 1000,
 	}, nil
+}
+
+// emptyPlanReport handles a plan that proves the query returns nothing
+// (every data or feature cell pruned): the MapReduce job is skipped
+// entirely. The execution is still validated through the same core
+// precondition check the executed path runs, so a query core.Run would
+// reject fails identically whether or not the planner short-circuits.
+func (e *Engine) emptyPlanReport(q Query, cfg queryConfig, bounds geo.Rect, planStats *PlanStats, counters map[string]int64) (*Report, error) {
+	cq := core.Query{K: q.K, Radius: q.Radius, Keywords: e.dict.InternAll(q.Keywords), Mode: q.Mode}
+	if err := core.Validate(cfg.alg, cq, core.Options{Bounds: bounds}); err != nil {
+		return nil, err
+	}
+	return &Report{
+		Algorithm: cfg.alg,
+		Counters:  counters,
+		Plan:      planStats,
+	}, nil
+}
+
+// newPlanStats converts a planner decision into the public report form.
+func newPlanStats(d *plan.Decision) *PlanStats {
+	return &PlanStats{
+		SealGridN:          d.Stats.SealGridN,
+		DataCells:          d.Stats.DataCells,
+		FeatureCells:       d.Stats.FeatureCells,
+		DataCellsPruned:    d.Stats.DataCellsPruned,
+		FeatureCellsPruned: d.Stats.FeatureCellsPruned,
+		RecordsTotal:       d.Stats.RecordsTotal,
+		RecordsSelected:    d.Stats.RecordsSelected,
+		GridN:              d.GridN,
+		NumReducers:        d.NumReducers,
+	}
 }

@@ -1,0 +1,3 @@
+module spq
+
+go 1.24

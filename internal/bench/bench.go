@@ -13,6 +13,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -180,6 +181,55 @@ func (f *Figure) WriteCounters(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
+}
+
+// Row is one measured point in the machine-readable output: one series
+// (algorithm) at one swept x-value of one figure.
+type Row struct {
+	Figure   string           `json:"figure"`
+	Series   string           `json:"series"`
+	X        string           `json:"x"`
+	Millis   float64          `json:"millis"`
+	Counters map[string]int64 `json:"counters"`
+}
+
+// Rows flattens the figure into machine-readable rows, in sweep order.
+func (f *Figure) Rows() []Row {
+	var out []Row
+	for _, x := range f.XVals {
+		for _, s := range f.Series {
+			c, ok := f.Data[s][x]
+			if !ok {
+				continue
+			}
+			out = append(out, Row{
+				Figure: f.ID,
+				Series: s,
+				X:      x,
+				Millis: c.Millis,
+				Counters: map[string]int64{
+					"features_examined":  c.FeaturesExamined,
+					"score_computations": c.ScoreComputations,
+					"duplicates":         c.Duplicates,
+					"shuffled_records":   c.ShuffledRecords,
+				},
+			})
+		}
+	}
+	return out
+}
+
+// WriteJSON emits the flattened rows of the figures as one indented JSON
+// array — the format the perf-trajectory tooling diffs across PRs
+// (BENCH_*.json).
+func WriteJSON(w io.Writer, figures []*Figure) error {
+	rows := []Row{}
+	for _, f := range figures {
+		rows = append(rows, f.Rows()...)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
 }
 
 func pad(s string, w int) string {

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteJSONRows(t *testing.T) {
+	f := newFigure("5a", "t", "grid")
+	f.add("pSPQ", "35", Cell{Millis: 1.5, FeaturesExamined: 7})
+	f.add("eSPQsco", "35", Cell{Millis: 0.5, ShuffledRecords: 3})
+	f.add("pSPQ", "50", Cell{Millis: 2.5})
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []*Figure{f}); err != nil {
+		t.Fatal(err)
+	}
+	var rows []Row
+	if err := json.Unmarshal(buf.Bytes(), &rows); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0].Figure != "5a" || rows[0].Series != "pSPQ" || rows[0].X != "35" || rows[0].Millis != 1.5 {
+		t.Errorf("rows[0] = %+v", rows[0])
+	}
+	if rows[0].Counters["features_examined"] != 7 {
+		t.Errorf("counters = %v", rows[0].Counters)
+	}
+	if rows[1].Counters["shuffled_records"] != 3 {
+		t.Errorf("rows[1] = %+v", rows[1])
+	}
+	if rows[2].X != "50" {
+		t.Errorf("rows ordered %+v, want sweep order", rows[2])
+	}
+
+	// No figures still emits a valid (empty) array.
+	buf.Reset()
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rows); err != nil || len(rows) != 0 {
+		t.Errorf("empty output = %q", buf.String())
+	}
+}

@@ -75,6 +75,11 @@ type Options struct {
 	// failure tests.
 	MaxAttempts   int
 	FaultInjector func(kind mapreduce.TaskKind, taskID, attempt int) error
+	// ExtraCounters are merged into the report's counters. The engine uses
+	// this to surface query-planner statistics (cells pruned, records
+	// skipped) next to the job counters when it feeds Run a pre-pruned
+	// file set with a planner-chosen grid.
+	ExtraCounters map[string]int64
 }
 
 func (o Options) gridN() int {
@@ -113,20 +118,39 @@ type cellResult struct {
 	Item ResultItem
 }
 
+// Validate checks the preconditions Run enforces before launching a job:
+// query shape, algorithm/mode support, and usable bounds. It is exposed
+// so that callers skipping the job entirely (a planner-proven empty
+// result) reject exactly the executions Run would reject.
+func Validate(alg Algorithm, q Query, opts Options) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	switch alg {
+	case PSPQ, ESPQLen, ESPQSco:
+	default:
+		return fmt.Errorf("core: unknown algorithm %d", int(alg))
+	}
+	if !alg.SupportsMode(q.Mode) {
+		return fmt.Errorf("core: %v does not support %v scoring (early termination is unsound for it); use PSPQ", alg, q.Mode)
+	}
+	if opts.Bounds.Empty() || opts.Bounds.Area() == 0 {
+		return fmt.Errorf("core: empty bounds %v", opts.Bounds)
+	}
+	return nil
+}
+
 // Run executes the selected algorithm over the source and returns the
 // merged top-k. The source yields both datasets (data and feature objects
 // are distinguished by Object.Kind, exactly as the Map functions of the
 // paper receive "x: input object" without assumptions on its location or
 // provenance).
 func Run(alg Algorithm, src mapreduce.Source[data.Object], q Query, opts Options) (*Report, error) {
-	if err := q.Validate(); err != nil {
+	if err := Validate(alg, q, opts); err != nil {
 		return nil, err
 	}
 	if opts.Cluster == nil {
 		opts.Cluster = mapreduce.NewCluster(nil, 1, 1)
-	}
-	if opts.Bounds.Empty() || opts.Bounds.Area() == 0 {
-		return nil, fmt.Errorf("core: empty bounds %v", opts.Bounds)
 	}
 	g := grid.New(opts.Bounds, opts.gridN(), opts.gridN())
 
@@ -155,9 +179,6 @@ func Run(alg Algorithm, src mapreduce.Source[data.Object], q Query, opts Options
 		SpillEvery:    opts.SpillEvery,
 		MaxAttempts:   opts.MaxAttempts,
 		FaultInjector: opts.FaultInjector,
-	}
-	if !alg.SupportsMode(q.Mode) {
-		return nil, fmt.Errorf("core: %v does not support %v scoring (early termination is unsound for it); use PSPQ", alg, q.Mode)
 	}
 	switch alg {
 	case PSPQ:
@@ -197,6 +218,9 @@ func Run(alg Algorithm, src mapreduce.Source[data.Object], q Query, opts Options
 	perCell := make([]ResultItem, len(res.Output))
 	for i, o := range res.Output {
 		perCell[i] = o.Item
+	}
+	for name, v := range opts.ExtraCounters {
+		res.Counters[name] += v
 	}
 	return &Report{
 		Algorithm: alg,
@@ -328,16 +352,19 @@ func reduceScan(q Query, opts scanOpts) reduceFunc {
 				continue
 			}
 			if opts.lenBound {
-				if topk.Threshold() >= q.UpperBound(x.Keywords.Len()) {
+				// Strict: at τ = w̄ a later feature can still reach w = τ
+				// exactly and win a canonical tie, so only τ > w̄ stops.
+				if topk.Threshold() > q.UpperBound(x.Keywords.Len()) {
 					ctx.Counter(CounterEarlyTerminations, 1)
 					break
 				}
 			}
 			w := q.Score(x)
 			ctx.Counter(CounterFeaturesExamined, 1)
-			if w <= topk.Threshold() && topk.Len() >= q.K {
-				// Algorithm 2 line 9: w(x,q) > τ required to affect Lk
-				// (any contribution is at most w).
+			if w < topk.Threshold() && topk.Len() >= q.K {
+				// Algorithm 2 line 9: w(x,q) >= τ required to affect Lk
+				// (any contribution is at most w, and below τ it can
+				// neither displace nor canonically tie).
 				if opts.descBreak {
 					// Descending-score order: every later feature scores
 					// no higher, so the whole group is done.
@@ -370,14 +397,17 @@ func reduceScan(q Query, opts scanOpts) reduceFunc {
 
 // reduceESPQSco is Algorithm 6: data objects are loaded first; features
 // then arrive in decreasing score order, so the first feature within
-// distance r of a data object fixes that object's final score. After k
-// data objects are reported the group terminates (Lemma 3).
+// distance r of a data object fixes that object's final score. With k
+// data objects covered, the group terminates as soon as the feature score
+// drops below τ (Lemma 3; the strict comparison keeps scanning through
+// features tied with τ so that ties resolve canonically by id, not by
+// arrival order).
 func reduceESPQSco(q Query) reduceFunc {
 	r2 := q.Radius * q.Radius
 	return func(ctx *taskCtx, values *valueIter, emit func(cellResult)) error {
 		var objs []data.Object
-		reported := make(map[int]bool)
-		cnt := 0
+		covered := make(map[int]bool)
+		topk := NewTopK(q.K)
 		for {
 			x, ok := values.Next()
 			if !ok {
@@ -393,21 +423,24 @@ func reduceESPQSco(q Query) reduceFunc {
 				ctx.Counter(CounterEarlyTerminations, 1)
 				break
 			}
+			if topk.Len() >= q.K && w < topk.Threshold() {
+				// Every later feature scores no higher than w < τ.
+				ctx.Counter(CounterEarlyTerminations, 1)
+				break
+			}
 			ctx.Counter(CounterFeaturesExamined, 1)
 			ctx.Counter(CounterScoreComputations, int64(len(objs)))
 			for i, p := range objs {
-				if reported[i] || geo.Dist2(p.Loc, x.Loc) > r2 {
+				if covered[i] || geo.Dist2(p.Loc, x.Loc) > r2 {
 					continue
 				}
 				// Here w(x,q) = τ(p): no later feature scores higher.
-				reported[i] = true
-				emit(cellResult{Item: ResultItem{ID: p.ID, Loc: p.Loc, Score: w}})
-				cnt++
-				if cnt == q.K {
-					ctx.Counter(CounterEarlyTerminations, 1)
-					return nil
-				}
+				covered[i] = true
+				topk.Update(ResultItem{ID: p.ID, Loc: p.Loc, Score: w})
 			}
+		}
+		for _, item := range topk.Items() {
+			emit(cellResult{Item: item})
 		}
 		return nil
 	}

@@ -120,6 +120,13 @@ func MergeTopK(k int, lists ...[]ResultItem) []ResultItem {
 // TopK maintains the paper's list Lk: the k data objects with the highest
 // scores seen so far, with τ (Threshold) the k-th best score. Scores only
 // improve, mirroring score(p) ← max{score(p), w(x,q)} of Algorithm 2.
+//
+// Selection is canonical under ties: among objects tied at τ, the lowest
+// ids win, so the final list depends only on the offered (id, score)
+// pairs — never on their order. Order-independence is what lets a query
+// over planner-pruned storage (different files, splits and shuffle order)
+// return results identical to the unpruned run.
+//
 // The zero value is not usable; call NewTopK.
 type TopK struct {
 	k     int
@@ -163,11 +170,17 @@ func (t *TopK) Update(item ResultItem) bool {
 		t.recomputeTau()
 		return true
 	}
-	// Full: only a score strictly above τ displaces the current minimum.
-	if item.Score <= t.tau {
+	// Full: a score above τ displaces the current minimum; a score equal
+	// to τ displaces it only when the canonical tie-break (lowest id wins)
+	// says so, i.e. when the eviction victim is a tie with a higher id.
+	if item.Score < t.tau {
 		return false
 	}
-	t.evictMin()
+	victim, _ := t.minItem() // when full the victim's score is exactly τ
+	if item.Score == t.tau && victim < item.ID {
+		return false
+	}
+	delete(t.items, victim)
 	t.items[item.ID] = item
 	t.recomputeTau()
 	return true
@@ -189,9 +202,9 @@ func (t *TopK) recomputeTau() {
 	t.tau = min
 }
 
-// evictMin removes the worst item (lowest score; ties broken by highest
-// id, the complement of result order).
-func (t *TopK) evictMin() {
+// minItem returns the worst item (lowest score; ties broken by highest
+// id, the complement of result order) — the eviction victim.
+func (t *TopK) minItem() (uint64, ResultItem) {
 	var victim uint64
 	first := true
 	var worst ResultItem
@@ -200,7 +213,7 @@ func (t *TopK) evictMin() {
 			victim, worst, first = id, it, false
 		}
 	}
-	delete(t.items, victim)
+	return victim, worst
 }
 
 // Items returns the tracked objects in canonical result order.

@@ -110,7 +110,14 @@ func reduceNearest(q Query) reduceFunc {
 			}
 		}
 		topk := NewTopK(q.K)
-		for i, st := range best {
+		// TopK's canonical tie-breaking makes the outcome independent of
+		// offer order, so iterating objs (not the map, whose range order is
+		// random) is for clarity, not correctness.
+		for i := range objs {
+			st, ok := best[i]
+			if !ok {
+				continue
+			}
 			topk.Update(ResultItem{ID: objs[i].ID, Loc: objs[i].Loc, Score: st.w})
 		}
 		for _, item := range topk.Items() {

@@ -1,0 +1,239 @@
+package data
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"spq/internal/dfs"
+	"spq/internal/geo"
+	"spq/internal/grid"
+	"spq/internal/text"
+)
+
+func TestKeywordBloomMembership(t *testing.T) {
+	b := NewKeywordBloom()
+	added := []string{"italian", "sushi", "wine", "cheap", "gourmet"}
+	for _, w := range added {
+		b.Add(w)
+	}
+	for _, w := range added {
+		if !b.MayContain(w) {
+			t.Errorf("MayContain(%q) = false after Add (false negative)", w)
+		}
+	}
+	if !b.MayContainAny([]string{"nope", "wine"}) {
+		t.Error("MayContainAny missed an added word")
+	}
+	// A nearly empty bloom must prune almost every unrelated word.
+	misses := 0
+	for i := 0; i < 1000; i++ {
+		if !b.MayContain(fmt.Sprintf("unrelated-%d", i)) {
+			misses++
+		}
+	}
+	if misses < 990 {
+		t.Errorf("only %d/1000 unrelated words pruned; bloom too dense", misses)
+	}
+	var empty KeywordBloom
+	if empty.MayContain("anything") {
+		t.Error("empty (nil) bloom claims membership")
+	}
+}
+
+// testObjects builds a small mixed dataset over the unit square.
+func testObjects(n int, dict *text.Dict) []Object {
+	r := rand.New(rand.NewSource(11))
+	objs := make([]Object, 0, n)
+	for i := 0; i < n; i++ {
+		o := Object{
+			ID:  uint64(i + 1),
+			Loc: geo.Point{X: r.Float64(), Y: r.Float64()},
+		}
+		if i%2 == 1 {
+			o.Kind = FeatureObject
+			o.Keywords = dict.InternAll([]string{
+				fmt.Sprintf("kw%d", r.Intn(20)),
+				fmt.Sprintf("kw%d", r.Intn(20)),
+			})
+		}
+		objs = append(objs, o)
+	}
+	return objs
+}
+
+func sortedByID(objs []Object) []Object {
+	out := append([]Object(nil), objs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func TestPartitionObjectsPreservesDataset(t *testing.T) {
+	dict := text.NewDict()
+	objs := testObjects(200, dict)
+	g := grid.NewSquare(8)
+	p := PartitionObjects(g, objs)
+
+	var all []Object
+	for _, part := range append(append([]CellPart(nil), p.Data...), p.Features...) {
+		for _, o := range part.Objects {
+			if got := g.CellOf(o.Loc); got != part.Cell {
+				t.Fatalf("object %d in cell %d, assigned to partition %d", o.ID, got, part.Cell)
+			}
+		}
+		all = append(all, part.Objects...)
+	}
+	if !reflect.DeepEqual(sortedByID(all), sortedByID(objs)) {
+		t.Fatalf("partitioning lost or duplicated objects: %d vs %d", len(all), len(objs))
+	}
+	for _, part := range p.Data {
+		for _, o := range part.Objects {
+			if o.Kind != DataObject {
+				t.Fatalf("feature %d in a data partition", o.ID)
+			}
+		}
+	}
+}
+
+func TestSealDFSRoundTrip(t *testing.T) {
+	for _, binary := range []bool{false, true} {
+		dict := text.NewDict()
+		objs := testObjects(300, dict)
+		g := grid.NewSquare(4)
+		fs := dfs.New(dfs.Config{NumNodes: 4, BlockSize: 512})
+		man, err := PartitionObjects(g, objs).SealDFS(fs, "t", dict, binary)
+		if err != nil {
+			t.Fatalf("binary=%v: %v", binary, err)
+		}
+		if man.TotalRecords() != int64(len(objs)) {
+			t.Errorf("binary=%v: manifest records = %d, want %d", binary, man.TotalRecords(), len(objs))
+		}
+
+		// The persisted manifest decodes back to the returned one.
+		raw, err := fs.ReadAll(ManifestFileName("t"))
+		if err != nil {
+			t.Fatalf("binary=%v: manifest file: %v", binary, err)
+		}
+		dec, err := DecodeManifest(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("binary=%v: %v", binary, err)
+		}
+		if !reflect.DeepEqual(dec, man) {
+			t.Errorf("binary=%v: decoded manifest differs from sealed one", binary)
+		}
+
+		// Reading every cell file back yields exactly the dataset.
+		var back []Object
+		for _, name := range man.Files() {
+			if binary {
+				err = NewSeqInput(fs, name).each(func(o Object) { back = append(back, o) })
+			} else {
+				err = eachTextObject(fs, name, dict, func(o Object) { back = append(back, o) })
+			}
+			if err != nil {
+				t.Fatalf("binary=%v: read %s: %v", binary, name, err)
+			}
+		}
+		if !reflect.DeepEqual(sortedByID(back), sortedByID(objs)) {
+			t.Errorf("binary=%v: cell files do not round-trip the dataset (%d vs %d objects)",
+				binary, len(back), len(objs))
+		}
+
+		// Feature-cell keyword summaries cover the cell's keywords.
+		for _, cs := range man.Features {
+			if len(cs.Keywords) == 0 {
+				t.Fatalf("binary=%v: feature cell %d has no keyword summary", binary, cs.Cell)
+			}
+		}
+		for _, cs := range man.Data {
+			if len(cs.Keywords) != 0 {
+				t.Fatalf("binary=%v: data cell %d has a keyword summary", binary, cs.Cell)
+			}
+		}
+	}
+}
+
+// each drains a SeqInput through its splits (test helper).
+func (si *SeqInput) each(f func(Object)) error {
+	splits, err := si.Splits()
+	if err != nil {
+		return err
+	}
+	for _, s := range splits {
+		if err := s.Each(func(o Object) bool { f(o); return true }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func eachTextObject(fs *dfs.FileSystem, name string, dict *text.Dict, f func(Object)) error {
+	raw, err := fs.ReadAll(name)
+	if err != nil {
+		return err
+	}
+	for _, line := range bytes.Split(bytes.TrimRight(raw, "\n"), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		o, err := ParseLine(line, dict)
+		if err != nil {
+			return err
+		}
+		f(o)
+	}
+	return nil
+}
+
+func TestSealMemoryLayoutMatchesManifest(t *testing.T) {
+	dict := text.NewDict()
+	objs := testObjects(150, dict)
+	g := grid.NewSquare(5)
+	man, ordered := PartitionObjects(g, objs).SealMemory("m", dict)
+	if len(ordered) != len(objs) {
+		t.Fatalf("ordered = %d objects, want %d", len(ordered), len(objs))
+	}
+	// Walking the manifest's Records counts in order recovers each cell's
+	// sub-slice: every object must be in its manifest cell, data first.
+	off := 0
+	for _, cs := range append(append([]CellStats(nil), man.Data...), man.Features...) {
+		for _, o := range ordered[off : off+cs.Records] {
+			if int32(g.CellOf(o.Loc)) != cs.Cell {
+				t.Fatalf("object %d at offset range of cell %d is in cell %d",
+					o.ID, cs.Cell, g.CellOf(o.Loc))
+			}
+		}
+		off += cs.Records
+	}
+	if off != len(ordered) {
+		t.Fatalf("manifest records cover %d objects, ordered slice has %d", off, len(ordered))
+	}
+	if man.Format != FormatMemory {
+		t.Errorf("format = %q", man.Format)
+	}
+}
+
+func TestDecodeManifestRejectsBadInput(t *testing.T) {
+	if _, err := DecodeManifest(bytes.NewReader([]byte("{"))); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := DecodeManifest(bytes.NewReader([]byte(`{"version":99,"grid":{"n":4}}`))); err == nil {
+		t.Error("future version accepted")
+	}
+	if _, err := DecodeManifest(bytes.NewReader([]byte(`{"version":1,"grid":{"n":0}}`))); err == nil {
+		t.Error("zero seal grid accepted")
+	}
+	// Keyword summaries must be full-size blooms (truncated ones would
+	// index out of range) and absent on data cells.
+	if _, err := DecodeManifest(bytes.NewReader([]byte(
+		`{"version":1,"grid":{"n":4},"features":[{"cell":0,"file":"f","records":1,"keywords":"AAAA"}]}`))); err == nil {
+		t.Error("truncated feature bloom accepted")
+	}
+	if _, err := DecodeManifest(bytes.NewReader([]byte(
+		`{"version":1,"grid":{"n":4},"data":[{"cell":0,"file":"d","records":1,"keywords":"AAAA"}]}`))); err == nil {
+		t.Error("data-cell bloom accepted")
+	}
+}

@@ -195,6 +195,9 @@ type seqSplit struct {
 
 func (s *seqSplit) Hosts() []string { return s.split.Hosts }
 
+// Size implements mapreduce.SizedSplit.
+func (s *seqSplit) Size() int64 { return int64(s.split.Length) }
+
 // Each implements mapreduce.SourceSplit.
 func (s *seqSplit) Each(yield func(Object) bool) error {
 	start := s.split.Offset

@@ -147,6 +147,29 @@ func MinDist2(p Point, r Rect) float64 {
 	return dx*dx + dy*dy
 }
 
+// RectMinDist2 returns the squared MINDIST between the closed rectangles a
+// and b: the smallest squared distance between any point of a and any point
+// of b, 0 when they intersect. It is the cell-level pruning bound of the
+// query planner: if RectMinDist2 of a data cell's and a feature cell's
+// bounding rectangles exceeds r², no object pair across the two cells can
+// be within distance r.
+func RectMinDist2(a, b Rect) float64 {
+	var dx, dy float64
+	switch {
+	case a.MaxX < b.MinX:
+		dx = b.MinX - a.MaxX
+	case b.MaxX < a.MinX:
+		dx = a.MinX - b.MaxX
+	}
+	switch {
+	case a.MaxY < b.MinY:
+		dy = b.MinY - a.MaxY
+	case b.MaxY < a.MinY:
+		dy = a.MinY - b.MaxY
+	}
+	return dx*dx + dy*dy
+}
+
 // MaxDist returns the maximum Euclidean distance from p to any point of the
 // closed rectangle r (the distance to the farthest corner). It is an upper
 // bound counterpart of MinDist, useful for pruning in index traversals.

@@ -268,3 +268,39 @@ func TestCenter(t *testing.T) {
 		t.Errorf("Center = %v, want (2,1)", got)
 	}
 }
+
+func TestRectMinDist2(t *testing.T) {
+	cases := []struct {
+		a, b Rect
+		want float64
+	}{
+		{Rect{0, 0, 1, 1}, Rect{0.5, 0.5, 2, 2}, 0},        // overlapping
+		{Rect{0, 0, 1, 1}, Rect{1, 1, 2, 2}, 0},            // touching corner
+		{Rect{0, 0, 1, 1}, Rect{3, 0, 4, 1}, 4},            // horizontal gap 2
+		{Rect{0, 0, 1, 1}, Rect{0, 4, 1, 5}, 9},            // vertical gap 3
+		{Rect{0, 0, 1, 1}, Rect{4, 5, 6, 7}, 3*3 + 4*4},    // diagonal gap (3,4)
+		{Rect{2, 2, 2, 2}, Rect{5, 2, 5, 2}, 9},            // degenerate points
+	}
+	for _, c := range cases {
+		if got := RectMinDist2(c.a, c.b); got != c.want {
+			t.Errorf("RectMinDist2(%v, %v) = %g, want %g", c.a, c.b, got, c.want)
+		}
+		if got := RectMinDist2(c.b, c.a); got != c.want {
+			t.Errorf("RectMinDist2(%v, %v) = %g, want %g (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+// RectMinDist2 must lower-bound the point-to-rect MINDIST for any point of
+// the first rectangle, which is the property the planner's pruning relies on.
+func TestRectMinDist2LowerBoundsPointDist(t *testing.T) {
+	f := func(px, py, ax, ay, bx, by float64) bool {
+		p := Point{norm(px), norm(py)}
+		a := NewRect(p, p)
+		b := NewRect(Point{norm(ax), norm(ay)}, Point{norm(bx), norm(by)})
+		return RectMinDist2(a, b) <= MinDist2(p, b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

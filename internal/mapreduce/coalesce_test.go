@@ -1,0 +1,78 @@
+package mapreduce
+
+import (
+	"reflect"
+	"testing"
+)
+
+// hostedSplit is a memory split with fixed hosts, for Coalesce tests.
+type hostedSplit struct {
+	recs  []int
+	hosts []string
+}
+
+func (s hostedSplit) Hosts() []string { return s.hosts }
+func (s hostedSplit) Each(yield func(int) bool) error {
+	for _, r := range s.recs {
+		if !yield(r) {
+			return nil
+		}
+	}
+	return nil
+}
+
+type hostedSource []hostedSplit
+
+func (h hostedSource) Splits() ([]SourceSplit[int], error) {
+	out := make([]SourceSplit[int], len(h))
+	for i, s := range h {
+		out[i] = s
+	}
+	return out, nil
+}
+
+func TestCoalesceGroupsSplits(t *testing.T) {
+	var src hostedSource
+	var want []int
+	for i := 0; i < 10; i++ {
+		src = append(src, hostedSplit{recs: []int{2 * i, 2*i + 1}, hosts: []string{"d1", "d2"}})
+		want = append(want, 2*i, 2*i+1)
+	}
+	splits, err := Coalesce[int](src, 3).Splits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) > 3 {
+		t.Fatalf("coalesced to %d splits, want <= 3", len(splits))
+	}
+	var got []int
+	for _, s := range splits {
+		if hs := s.Hosts(); len(hs) != 2 {
+			t.Errorf("grouped hosts = %v, want deduplicated union [d1 d2]", hs)
+		}
+		if err := s.Each(func(r int) bool { got = append(got, r); return true }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("records = %v, want %v (order preserved, nothing lost)", got, want)
+	}
+
+	// Early stop must not spill into the group's later members.
+	var first []int
+	if err := splits[0].Each(func(r int) bool { first = append(first, r); return len(first) < 3 }); err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 3 {
+		t.Errorf("early stop yielded %d records, want 3", len(first))
+	}
+
+	// Fewer splits than the target pass through untouched.
+	passthrough, err := Coalesce[int](src, 100).Splits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passthrough) != len(src) {
+		t.Errorf("passthrough = %d splits, want %d", len(passthrough), len(src))
+	}
+}

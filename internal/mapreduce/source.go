@@ -66,6 +66,9 @@ type textSplit[I any] struct {
 
 func (s *textSplit[I]) Hosts() []string { return s.split.Hosts }
 
+// Size implements SizedSplit.
+func (s *textSplit[I]) Size() int64 { return int64(s.split.Length) }
+
 func (s *textSplit[I]) Each(yield func(I) bool) error {
 	var parseErr error
 	err := s.fs.SplitLines(s.split, func(line []byte) bool {
@@ -80,6 +83,118 @@ func (s *textSplit[I]) Each(yield func(I) bool) error {
 		return err
 	}
 	return parseErr
+}
+
+// SizedSplit is optionally implemented by splits that know their payload
+// size; Coalesce uses it to balance grouped splits by bytes rather than
+// by count.
+type SizedSplit interface {
+	// Size returns the split's payload size in bytes.
+	Size() int64
+}
+
+// Coalesce wraps a source so that it yields at most target splits,
+// grouping consecutive small splits into one map-task unit. Partitioned
+// storage produces one file (hence at least one split) per seal-grid
+// cell; without coalescing every query would schedule a map task per
+// tiny cell file and per-task overhead would dominate. Groups are
+// balanced by payload size when the splits report one (SizedSplit), so a
+// few heavy cell files don't land in a single map task on skewed data.
+func Coalesce[I any](src Source[I], target int) Source[I] {
+	return &coalescedSource[I]{src: src, target: target}
+}
+
+type coalescedSource[I any] struct {
+	src    Source[I]
+	target int
+}
+
+// splitSize returns the split's payload size, or 1 (count weighting) when
+// the split does not report one.
+func splitSize[I any](s SourceSplit[I]) int64 {
+	if sized, ok := s.(SizedSplit); ok {
+		if n := sized.Size(); n > 0 {
+			return n
+		}
+	}
+	return 1
+}
+
+// Splits implements Source.
+func (c *coalescedSource[I]) Splits() ([]SourceSplit[I], error) {
+	splits, err := c.src.Splits()
+	if err != nil {
+		return nil, err
+	}
+	target := c.target
+	if target < 1 {
+		target = 1
+	}
+	if len(splits) <= target {
+		return splits, nil
+	}
+	var total int64
+	for _, s := range splits {
+		total += splitSize(s)
+	}
+	// Greedily pack consecutive splits up to the per-group size budget,
+	// never exceeding target groups: once only (target - groups) groups
+	// remain for the rest, close the current one regardless of fill.
+	budget := (total + int64(target) - 1) / int64(target)
+	out := make([]SourceSplit[I], 0, target)
+	lo, fill := 0, int64(0)
+	for i, s := range splits {
+		fill += splitSize(s)
+		// Close the group once its budget is met — unless it is the last
+		// allowed group, which absorbs everything remaining.
+		if fill >= budget && len(out) < target-1 {
+			out = append(out, groupedSplit[I](splits[lo:i+1]))
+			lo, fill = i+1, 0
+		}
+	}
+	if lo < len(splits) {
+		out = append(out, groupedSplit[I](splits[lo:]))
+	}
+	return out, nil
+}
+
+// groupedSplit runs its member splits sequentially as one map input.
+type groupedSplit[I any] []SourceSplit[I]
+
+// Hosts returns the union of the members' replica hosts: a task is
+// (partially) local on any node holding any member.
+func (g groupedSplit[I]) Hosts() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, s := range g {
+		for _, h := range s.Hosts() {
+			if !seen[h] {
+				seen[h] = true
+				out = append(out, h)
+			}
+		}
+	}
+	return out
+}
+
+func (g groupedSplit[I]) Each(yield func(I) bool) error {
+	for _, s := range g {
+		stopped := false
+		err := s.Each(func(rec I) bool {
+			ok := yield(rec)
+			if !ok {
+				stopped = true
+			}
+			return ok
+		})
+		if err != nil {
+			return err
+		}
+		if stopped {
+			return nil
+		}
+	}
+	return nil
 }
 
 // MemorySource serves records from in-memory slices, one split per slice.

@@ -1,0 +1,147 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spq/internal/data"
+	"spq/internal/geo"
+	"spq/internal/grid"
+	"spq/internal/text"
+)
+
+// buildManifest seals a synthetic two-cluster dataset in memory: cluster A
+// around (0.2, 0.2) with keyword vocabulary "a*", cluster B around
+// (0.8, 0.8) with vocabulary "b*".
+func buildManifest(t *testing.T, sealN int) *data.Manifest {
+	t.Helper()
+	dict := text.NewDict()
+	r := rand.New(rand.NewSource(3))
+	var objs []data.Object
+	id := uint64(0)
+	add := func(cx, cy float64, vocab string) {
+		for i := 0; i < 200; i++ {
+			id++
+			loc := geo.Point{X: cx + r.Float64()*0.1 - 0.05, Y: cy + r.Float64()*0.1 - 0.05}
+			if i%2 == 0 {
+				objs = append(objs, data.Object{Kind: data.DataObject, ID: id, Loc: loc})
+			} else {
+				objs = append(objs, data.Object{
+					Kind:     data.FeatureObject,
+					ID:       id,
+					Loc:      loc,
+					Keywords: dict.InternAll([]string{fmt.Sprintf("%s%d", vocab, r.Intn(10))}),
+				})
+			}
+		}
+	}
+	add(0.2, 0.2, "a")
+	add(0.8, 0.8, "b")
+	g := grid.New(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, sealN, sealN)
+	m, _ := data.PartitionObjects(g, objs).SealMemory("t", dict)
+	return m
+}
+
+func records(cells []data.CellStats) int64 {
+	var n int64
+	for _, c := range cells {
+		n += int64(c.Records)
+	}
+	return n
+}
+
+func TestPlanKeywordAndDistancePruning(t *testing.T) {
+	m := buildManifest(t, 16)
+	// A query for an "a"-cluster keyword with a small radius must drop
+	// every "b"-cluster cell: its feature cells by keyword disjointness,
+	// its data cells because no surviving feature cell is in range.
+	d := Plan(m, Input{Radius: 0.02, Keywords: []string{"a3"}, ReduceSlots: 4})
+	if d.Empty() {
+		t.Fatal("plan empty for a matching query")
+	}
+	if d.Stats.RecordsSelected >= d.Stats.RecordsTotal/2+int64(len(m.Data)) {
+		t.Errorf("selected %d of %d records; cluster B not pruned",
+			d.Stats.RecordsSelected, d.Stats.RecordsTotal)
+	}
+	for _, cs := range d.Data {
+		if cs.Bounds.MinX > 0.5 {
+			t.Errorf("data cell %d from cluster B survived", cs.Cell)
+		}
+	}
+	for _, cs := range d.Features {
+		if !cs.Keywords.MayContain("a3") {
+			t.Errorf("feature cell %d without the query keyword survived", cs.Cell)
+		}
+	}
+	if got := records(d.Data) + records(d.Features); got != d.Stats.RecordsSelected {
+		t.Errorf("RecordsSelected = %d, cells sum to %d", d.Stats.RecordsSelected, got)
+	}
+	if len(d.Files) != len(d.Data)+len(d.Features) {
+		t.Errorf("Files = %d entries, want %d", len(d.Files), len(d.Data)+len(d.Features))
+	}
+	c := d.Counters()
+	if c[CounterRecordsSkipped] != d.Stats.RecordsTotal-d.Stats.RecordsSelected {
+		t.Errorf("records-skipped counter = %d", c[CounterRecordsSkipped])
+	}
+}
+
+func TestPlanUnknownKeywordIsProvablyEmpty(t *testing.T) {
+	m := buildManifest(t, 16)
+	d := Plan(m, Input{Radius: 0.1, Keywords: []string{"no-such-word-xyzzy"}})
+	if !d.Empty() {
+		t.Errorf("plan for an out-of-vocabulary keyword kept %d data / %d feature cells",
+			len(d.Data), len(d.Features))
+	}
+}
+
+func TestPlanLargeRadiusKeepsEverythingRelevant(t *testing.T) {
+	m := buildManifest(t, 16)
+	// Radius spanning the whole space: distance pruning must keep every
+	// data cell; keyword pruning still drops cluster B's feature cells.
+	d := Plan(m, Input{Radius: 2, Keywords: []string{"a1"}})
+	if len(d.Data) != len(m.Data) {
+		t.Errorf("kept %d of %d data cells under a space-covering radius", len(d.Data), len(m.Data))
+	}
+	if len(d.Features) >= len(m.Features) {
+		t.Errorf("no feature cell pruned despite disjoint vocabulary")
+	}
+}
+
+func TestPlanRespectsOverrides(t *testing.T) {
+	m := buildManifest(t, 8)
+	d := Plan(m, Input{Radius: 0.05, Keywords: []string{"a1", "b1"}, GridN: 7, NumReducers: 3})
+	if d.GridN != 7 || d.NumReducers != 3 {
+		t.Errorf("overrides ignored: gridN=%d reducers=%d", d.GridN, d.NumReducers)
+	}
+}
+
+func TestChooseGridN(t *testing.T) {
+	cases := []struct {
+		records int64
+		want    int
+	}{
+		{0, minGridN},
+		{100, minGridN},
+		{10000, 13},
+		{100000, 40},
+		{100000000, maxGridN},
+	}
+	for _, c := range cases {
+		if got := chooseGridN(c.records); got != c.want {
+			t.Errorf("chooseGridN(%d) = %d, want %d", c.records, got, c.want)
+		}
+	}
+}
+
+func TestChooseReducers(t *testing.T) {
+	if got := chooseReducers(4, 8); got != 16 {
+		t.Errorf("small grid: reducers = %d, want 16 (one per cell)", got)
+	}
+	if got := chooseReducers(50, 8); got != 32 {
+		t.Errorf("large grid: reducers = %d, want 32 (4x slots)", got)
+	}
+	if got := chooseReducers(50, 0); got != 2500 {
+		t.Errorf("no slot info: reducers = %d, want 2500", got)
+	}
+}

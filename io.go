@@ -34,8 +34,7 @@ func (e *Engine) LoadLines(r io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("spq: line %d: %w", n, err)
 		}
-		e.objects = append(e.objects, o)
-		e.growBounds(o.Loc)
+		e.addLocked(o)
 	}
 	return sc.Err()
 }

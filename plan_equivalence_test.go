@@ -1,0 +1,263 @@
+package spq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// resultsEqual compares two result lists element-wise. Scores must be
+// bitwise identical: pruning only removes provably-zero-scoring input, so
+// the surviving computation is exactly the same.
+func resultsEqual(a, b []Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// scoreSeqEqual compares only the ranked score sequences.
+func scoreSeqEqual(a, b []Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Score != b[i].Score {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPlannedQueriesMatchUnplannedProperty is the planner's correctness
+// property: for random datasets (uniform and clustered), random queries
+// (including out-of-vocabulary keywords), every algorithm and every
+// storage mode, the pruned path returns results identical to the unpruned
+// path.
+func TestPlannedQueriesMatchUnplannedProperty(t *testing.T) {
+	storages := map[string]Storage{
+		"dfs":    StorageDFS,
+		"memory": StorageMemory,
+		"binary": StorageDFSBinary,
+	}
+	for _, family := range []string{"uniform", "clustered"} {
+		for sname, storage := range storages {
+			t.Run(family+"/"+sname, func(t *testing.T) {
+				e := NewEngine(Config{Storage: storage, Nodes: 4, BlockSize: 4 << 10, Seed: 9})
+				if err := e.LoadSynthetic(family, 600); err != nil {
+					t.Fatal(err)
+				}
+				kws := e.FrequentKeywords(6)
+				rng := rand.New(rand.NewSource(17))
+				queries := []Query{
+					{K: 1, Radius: 0.02, Keywords: kws[:1]},
+					{K: 3, Radius: 0.05, Keywords: kws[1:3]},
+					{K: 10, Radius: 0.15, Keywords: kws[3:6]},
+					{K: 5, Radius: 0.08, Keywords: []string{kws[0], "zzz-out-of-vocabulary"}},
+					{K: 4, Radius: 0, Keywords: kws[:2]},
+					{K: 2, Radius: 0.03, Keywords: []string{"zzz-no-such-keyword"}},
+					{K: 6, Radius: float64(rng.Intn(20)+1) / 100, Keywords: kws[rng.Intn(3) : rng.Intn(3)+2]},
+				}
+				for qi, q := range queries {
+					for _, alg := range Algorithms() {
+						// At a fixed query grid, pruning must be invisible:
+						// byte-identical results.
+						plain, err := e.Query(q, WithAlgorithm(alg), WithSealGrid(8), WithGrid(9))
+						if err != nil {
+							t.Fatalf("q%d %v unplanned: %v", qi, alg, err)
+						}
+						planned, err := e.Query(q, WithAlgorithm(alg), WithSealGrid(8), WithGrid(9), WithAutoPlan())
+						if err != nil {
+							t.Fatalf("q%d %v planned: %v", qi, alg, err)
+						}
+						if !resultsEqual(plain, planned) {
+							t.Errorf("q%d %v: planned results differ\nunplanned: %+v\nplanned:   %+v",
+								qi, alg, plain, planned)
+						}
+						// With a planner-chosen grid, the score sequence is
+						// still identical; only k-ties at the threshold may
+						// resolve to different ids, exactly as they do
+						// between two hand-picked grid sizes (the paper's
+						// per-cell top-k keeps the first k tied objects of
+						// each cell).
+						auto, err := e.Query(q, WithAlgorithm(alg), WithSealGrid(8), WithAutoPlan())
+						if err != nil {
+							t.Fatalf("q%d %v auto-grid: %v", qi, alg, err)
+						}
+						if !scoreSeqEqual(plain, auto) {
+							t.Errorf("q%d %v: auto-grid scores differ\nunplanned: %+v\nplanned:   %+v",
+								qi, alg, plain, auto)
+						}
+					}
+					// The scoring-mode extensions prune identically: every
+					// mode restricts contributions to features within r.
+					for _, mode := range []ScoringMode{ScoreInfluence, ScoreNearest} {
+						mq := q
+						mq.Mode = mode
+						plain, err := e.Query(mq, WithAlgorithm(PSPQ), WithSealGrid(8), WithGrid(9))
+						if err != nil {
+							t.Fatalf("q%d %v unplanned: %v", qi, mode, err)
+						}
+						planned, err := e.Query(mq, WithAlgorithm(PSPQ), WithSealGrid(8), WithGrid(9), WithAutoPlan())
+						if err != nil {
+							t.Fatalf("q%d %v planned: %v", qi, mode, err)
+						}
+						if !resultsEqual(plain, planned) {
+							t.Errorf("q%d mode %v: planned results differ\nunplanned: %+v\nplanned:   %+v",
+								qi, mode, plain, planned)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// loadClusteredCorpus fills an engine with a spatially and textually
+// clustered corpus: nClusters Gaussian clusters, each with its own keyword
+// vocabulary ("c<i>-kw<j>") plus a shared one — the regime where a
+// rare-keyword query touches one corner of the space and write-time
+// partitioning pays off.
+func loadClusteredCorpus(t *testing.T, e *Engine, n, nClusters int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(23))
+	centers := make([][2]float64, nClusters)
+	for i := range centers {
+		centers[i] = [2]float64{0.1 + 0.8*rng.Float64(), 0.1 + 0.8*rng.Float64()}
+	}
+	var dataObjs []DataObject
+	var feats []Feature
+	for i := 0; i < n; i++ {
+		ci := (i / 2) % nClusters // both kinds populate every cluster
+		x := centers[ci][0] + rng.NormFloat64()*0.03
+		y := centers[ci][1] + rng.NormFloat64()*0.03
+		if i%2 == 0 {
+			dataObjs = append(dataObjs, DataObject{ID: uint64(i + 1), X: x, Y: y})
+		} else {
+			feats = append(feats, Feature{ID: uint64(i + 1), X: x, Y: y, Keywords: []string{
+				fmt.Sprintf("c%d-kw%d", ci, rng.Intn(64)),
+				fmt.Sprintf("c%d-kw%d", ci, rng.Intn(64)),
+				fmt.Sprintf("common%d", rng.Intn(10)),
+			}})
+		}
+	}
+	if err := e.AddData(dataObjs...); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFeature(feats...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlannerReadsFractionOnSelectiveQuery is the serving-throughput
+// acceptance bar: on a clustered 100k-object corpus, a selective query (a
+// rare keyword occurring in one cluster, small radius) must read at least
+// 4x fewer input records under the planner than without it, returning
+// identical results.
+func TestPlannerReadsFractionOnSelectiveQuery(t *testing.T) {
+	e := NewEngine(Config{Storage: StorageMemory})
+	loadClusteredCorpus(t, e, 100000, 16)
+
+	q := Query{K: 10, Radius: 0.02, Keywords: []string{"c3-kw7"}}
+	plain, err := e.QueryReport(q, WithAlgorithm(ESPQSco))
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned, err := e.QueryReport(q, WithAlgorithm(ESPQSco), WithAutoPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(plain.Results, planned.Results) {
+		t.Fatalf("planned results differ:\nunplanned: %+v\nplanned:   %+v", plain.Results, planned.Results)
+	}
+	if len(planned.Results) == 0 {
+		t.Fatal("selective query returned nothing; corpus construction is off")
+	}
+
+	read, readPlanned := plain.Counters["map.records.in"], planned.Counters["map.records.in"]
+	if read != 100000 {
+		t.Fatalf("unplanned records read = %d, want 100000", read)
+	}
+	if readPlanned*4 > read {
+		t.Errorf("planned path read %d of %d records; want >=4x reduction", readPlanned, read)
+	}
+
+	if planned.Plan == nil {
+		t.Fatal("planned report has no Plan stats")
+	}
+	if planned.Plan.RecordsSelected != readPlanned {
+		t.Errorf("Plan.RecordsSelected = %d, job read %d", planned.Plan.RecordsSelected, readPlanned)
+	}
+	if skipped := planned.Counters["spq.plan.records.skipped"]; skipped != read-readPlanned {
+		t.Errorf("records-skipped counter = %d, want %d", skipped, read-readPlanned)
+	}
+	if planned.Plan.DataCellsPruned == 0 || planned.Plan.FeatureCellsPruned == 0 {
+		t.Errorf("no cell pruning recorded: %+v", planned.Plan)
+	}
+	t.Logf("selective query: %d -> %d records read (%.1fx), grid %d, %d reducers",
+		read, readPlanned, float64(read)/float64(readPlanned), planned.Plan.GridN, planned.Plan.NumReducers)
+}
+
+// TestAutoPlanProvablyEmptyQuerySkipsJob checks the planner's
+// short-circuit: a query whose keyword occurs nowhere needs no MapReduce
+// job at all, and still reports its pruning.
+func TestAutoPlanProvablyEmptyQuerySkipsJob(t *testing.T) {
+	e := loadPaperExample(t, Config{Storage: StorageMemory})
+	rep, err := e.QueryReport(Query{K: 3, Radius: 1.5, Keywords: []string{"nope-xyzzy"}}, WithAutoPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Errorf("results = %+v, want none", rep.Results)
+	}
+	if rep.Plan == nil || rep.Plan.RecordsSelected >= rep.Plan.RecordsTotal {
+		t.Errorf("plan stats = %+v, want pruning recorded", rep.Plan)
+	}
+	if rep.Counters["map.records.in"] != 0 {
+		t.Errorf("a job ran: map.records.in = %d", rep.Counters["map.records.in"])
+	}
+	// The short-circuit must validate like the executed path.
+	if _, err := e.QueryReport(Query{K: 1, Radius: 1, Keywords: []string{"nope-xyzzy"}, Mode: ScoreNearest},
+		WithAutoPlan(), WithAlgorithm(ESPQSco)); err == nil {
+		t.Error("unsupported algorithm/mode combination accepted on the empty-plan path")
+	}
+}
+
+// TestWithSealGridControlsManifest checks the seal-grid override and the
+// manifest the engine exposes.
+func TestWithSealGridControlsManifest(t *testing.T) {
+	e := loadPaperExample(t, Config{})
+	if e.Manifest() != nil {
+		t.Fatal("manifest exists before seal")
+	}
+	if _, err := e.Query(Query{K: 1, Radius: 1.5, Keywords: []string{"italian"}}, WithSealGrid(5)); err != nil {
+		t.Fatal(err)
+	}
+	man := e.Manifest()
+	if man == nil {
+		t.Fatal("no manifest after seal")
+	}
+	if man.Grid.N != 5 {
+		t.Errorf("seal grid = %d, want 5 (WithSealGrid)", man.Grid.N)
+	}
+	if man.TotalRecords() != 13 {
+		t.Errorf("manifest records = %d, want 13", man.TotalRecords())
+	}
+	// Write-once: a later query cannot re-partition.
+	if _, err := e.Query(Query{K: 1, Radius: 1.5, Keywords: []string{"italian"}}, WithSealGrid(9)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Manifest().Grid.N != 5 {
+		t.Error("WithSealGrid re-partitioned a sealed engine")
+	}
+	// Invalid seal grid values are rejected before sealing.
+	e2 := loadPaperExample(t, Config{})
+	if _, err := e2.Query(Query{K: 1, Radius: 1, Keywords: []string{"italian"}}, WithSealGrid(-2)); err == nil {
+		t.Error("negative seal grid accepted")
+	}
+}

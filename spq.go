@@ -107,8 +107,13 @@ type Report struct {
 	Algorithm Algorithm
 	Results   []Result
 	// Counters are the job counters (see package documentation for names):
-	// feature duplication, early terminations, records shuffled, etc.
+	// feature duplication, early terminations, records shuffled, etc. For
+	// planned queries (WithAutoPlan) they additionally carry the
+	// "spq.plan.*" counters: cells pruned and input records skipped.
 	Counters map[string]int64
+	// Plan describes what the query planner did; nil unless the query ran
+	// with WithAutoPlan.
+	Plan *PlanStats
 	// MapMillis and ReduceMillis are the phase durations.
 	MapMillis    float64
 	ReduceMillis float64
@@ -116,15 +121,44 @@ type Report struct {
 	TotalMillis float64
 }
 
+// PlanStats describes one planned query execution: how much of the sealed,
+// partitioned storage the planner proved irrelevant, and the execution
+// parameters it chose.
+type PlanStats struct {
+	// SealGridN is the seal grid edge the storage was partitioned over.
+	SealGridN int
+	// DataCells and FeatureCells count the non-empty sealed cells of each
+	// dataset; the *Pruned counts say how many the planner skipped
+	// (feature cells by keyword disjointness, data cells with no
+	// surviving feature cell within the query radius, and feature cells
+	// left without a reachable data cell).
+	DataCells          int
+	FeatureCells       int
+	DataCellsPruned    int
+	FeatureCellsPruned int
+	// RecordsTotal and RecordsSelected count stored input records before
+	// and after pruning: the job reads only RecordsSelected of them.
+	RecordsTotal    int64
+	RecordsSelected int64
+	// GridN and NumReducers are the execution parameters the job ran
+	// with (planner-chosen unless overridden by WithGrid/WithReducers).
+	GridN       int
+	NumReducers int
+}
+
 // QueryOption customizes one query execution.
 type QueryOption func(*queryConfig)
 
 type queryConfig struct {
-	alg        core.Algorithm
-	gridN      int
-	reducers   int
-	spillEvery int
-	bounds     *geo.Rect
+	alg         core.Algorithm
+	gridN       int
+	gridSet     bool
+	reducers    int
+	spillEvery  int
+	bounds      *geo.Rect
+	autoPlan    bool
+	sealGridN   int
+	sealGridSet bool
 }
 
 // WithAlgorithm selects the processing algorithm (default ESPQSco).
@@ -132,11 +166,32 @@ func WithAlgorithm(a Algorithm) QueryOption {
 	return func(c *queryConfig) { c.alg = a }
 }
 
-// WithGrid sets the query-time grid to n x n cells (default 16x16). More
-// cells mean more parallelism and cheaper reduce tasks at the cost of more
-// feature duplication (Section 6.3 of the paper).
+// WithGrid sets the query-time grid to n x n cells (default 16x16, or
+// planner-chosen under WithAutoPlan). More cells mean more parallelism and
+// cheaper reduce tasks at the cost of more feature duplication (Section
+// 6.3 of the paper).
 func WithGrid(n int) QueryOption {
-	return func(c *queryConfig) { c.gridN = n }
+	return func(c *queryConfig) { c.gridN = n; c.gridSet = true }
+}
+
+// WithAutoPlan enables the query planner: the sealed storage manifest is
+// pruned against the query before the MapReduce job starts — feature
+// cells whose keyword summary is disjoint from the query keywords are
+// skipped, data cells with no surviving feature cell within the radius are
+// skipped (their objects provably score 0) — and the query-time grid size
+// and reducer count are chosen from the surviving cell statistics instead
+// of the defaults. Results are identical to the unplanned path; selective
+// queries read a fraction of the input. Report.Plan records the outcome.
+// WithGrid and WithReducers still override the planner's choices.
+func WithAutoPlan() QueryOption {
+	return func(c *queryConfig) { c.autoPlan = true }
+}
+
+// WithSealGrid sets the seal grid to n x n cells for the implicit Seal
+// performed by the first query (default Config.SealGridN). It is ignored
+// if the engine is already sealed: the storage layout is write-once.
+func WithSealGrid(n int) QueryOption {
+	return func(c *queryConfig) { c.sealGridN = n; c.sealGridSet = true }
 }
 
 // WithReducers overrides the number of reduce tasks (default: one per grid

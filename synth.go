@@ -43,15 +43,13 @@ func (e *Engine) LoadSynthetic(dataset string, n int) error {
 		return fmt.Errorf("spq: engine already sealed; datasets are write-once")
 	}
 	for _, o := range ds.Data {
-		e.objects = append(e.objects, o)
-		e.growBounds(o.Loc)
+		e.addLocked(o)
 	}
 	for _, f := range ds.Features {
 		// Re-intern keywords into the engine's dictionary so user-supplied
 		// features and query keywords share the id space.
 		f.Keywords = e.dict.InternAll(ds.Dict.Words(f.Keywords))
-		e.objects = append(e.objects, f)
-		e.growBounds(f.Loc)
+		e.addLocked(f)
 	}
 	return nil
 }
@@ -63,7 +61,7 @@ func (e *Engine) FrequentKeywords(n int) []string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	freq := make(map[uint32]int)
-	for _, o := range e.objects {
+	for _, o := range e.allObjectsLocked() {
 		if o.Kind != data.FeatureObject {
 			continue
 		}
