@@ -23,13 +23,14 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure id (5a..5d, 6a..6d, 7a..7d, 8, 9a..9d, df) or 'all'")
+		fig      = flag.String("fig", "all", "figure id (5a..5d, 6a..6d, 7a..7d, 8, 9a..9d, df, lb, sh) or 'all'")
 		sizeReal = flag.Int("size-real", 0, "objects for FL/TW surrogates (default 150000)")
 		sizeSyn  = flag.Int("size-syn", 0, "objects for UN/CL (default 100000)")
 		unit     = flag.Int("scale-unit", 0, "Figure 8 size step (default 400: sizes 25600..204800)")
 		mapSlots = flag.Int("map-slots", 0, "map worker slots (default NumCPU)")
 		redSlots = flag.Int("reduce-slots", 0, "reduce worker slots (default NumCPU)")
 		quick    = flag.Bool("quick", false, "run only the endpoints of each sweep")
+		repeat   = flag.Int("repeat", 1, "run each measured cell N times and keep the fastest (use 3+ when comparing BENCH_*.json trajectories)")
 		counters = flag.Bool("counters", false, "also print features-examined counters per figure")
 		jsonOut  = flag.Bool("json", false, "emit results as a JSON array of rows (figure, series, x, millis, counters) instead of tables")
 	)
@@ -42,6 +43,7 @@ func main() {
 		MapSlots:      *mapSlots,
 		ReduceSlots:   *redSlots,
 		Quick:         *quick,
+		Repeat:        *repeat,
 	})
 
 	ids := bench.FigureIDs()

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"spq/internal/data"
+	"spq/internal/geo"
+)
+
+// objGrid is a per-cell sub-grid bucket index over the data objects of one
+// reduce group. The paper's reduce functions score every feature against
+// every data object of the cell; with a few thousand objects per cell
+// (clustered data) that inner loop dominates. The index lays a small
+// uniform grid over the tight bounding box of the objects and stores the
+// object indices bucket by bucket (CSR layout), so a feature only visits
+// the buckets its radius can reach.
+//
+// The bucket filter is a bounding-square test: every object within
+// distance r of the probe point is guaranteed to be in a visited bucket,
+// but visited objects may still be farther than r — callers re-check the
+// exact distance, so results are identical to the full scan.
+type objGrid struct {
+	minX, minY float64
+	invW, invH float64 // buckets per unit length along x and y
+	nx, ny     int
+	start      []int32 // CSR offsets, len nx*ny+1
+	idx        []int32 // object indices grouped by bucket (row-major)
+}
+
+// objGridMinObjs is the group size below which the plain scan is cheaper
+// than building and probing the index.
+const objGridMinObjs = 32
+
+// targetBucketOccupancy is the average number of objects per bucket the
+// index aims for: small enough that a probe touches few objects, large
+// enough that the bucket directory stays tiny.
+const targetBucketOccupancy = 8
+
+// buildObjGrid indexes objs, or returns nil when the group is too small
+// for the index to pay off.
+func buildObjGrid(objs []data.Object) *objGrid {
+	n := len(objs)
+	if n < objGridMinObjs {
+		return nil
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for i := range objs {
+		p := objs[i].Loc
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	side := int(math.Sqrt(float64(n) / targetBucketOccupancy))
+	if side < 1 {
+		side = 1
+	}
+	if side > 256 {
+		side = 256
+	}
+	b := &objGrid{minX: minX, minY: minY, nx: side, ny: side}
+	if w := maxX - minX; w > 0 {
+		b.invW = float64(b.nx) / w
+	} else {
+		b.nx = 1
+	}
+	if h := maxY - minY; h > 0 {
+		b.invH = float64(b.ny) / h
+	} else {
+		b.ny = 1
+	}
+	bucketOf := func(p geo.Point) int {
+		col := clamp(int((p.X-b.minX)*b.invW), b.nx)
+		row := clamp(int((p.Y-b.minY)*b.invH), b.ny)
+		return row*b.nx + col
+	}
+	// Counting sort of object indices into CSR buckets.
+	b.start = make([]int32, b.nx*b.ny+1)
+	for i := range objs {
+		b.start[bucketOf(objs[i].Loc)+1]++
+	}
+	for i := 1; i < len(b.start); i++ {
+		b.start[i] += b.start[i-1]
+	}
+	b.idx = make([]int32, n)
+	fill := make([]int32, b.nx*b.ny)
+	copy(fill, b.start[:len(b.start)-1])
+	for i := range objs {
+		bk := bucketOf(objs[i].Loc)
+		b.idx[fill[bk]] = int32(i)
+		fill[bk]++
+	}
+	return b
+}
+
+// clamp limits i to [0, n-1].
+func clamp(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// floorIdx converts a fractional bucket coordinate to an index, saturating
+// into [-1, n] so that out-of-range (or overflowed) floats never produce a
+// wild integer conversion.
+func floorIdx(f float64, n int) int {
+	if !(f >= 0) { // catches negatives and NaN
+		return -1
+	}
+	if f >= float64(n) {
+		return n
+	}
+	return int(f)
+}
+
+// each invokes fn for every object index in a bucket intersecting the
+// axis-aligned square of half-edge r around p (a superset of the disk of
+// radius r; exact distances are the caller's job). It returns the number
+// of objects visited.
+func (b *objGrid) each(p geo.Point, r float64, fn func(i int32)) int64 {
+	lox := floorIdx((p.X-r-b.minX)*b.invW, b.nx)
+	hix := floorIdx((p.X+r-b.minX)*b.invW, b.nx)
+	loy := floorIdx((p.Y-r-b.minY)*b.invH, b.ny)
+	hiy := floorIdx((p.Y+r-b.minY)*b.invH, b.ny)
+	if hix < 0 || hiy < 0 || lox >= b.nx || loy >= b.ny {
+		return 0
+	}
+	lox, hix = clamp(lox, b.nx), clamp(hix, b.nx)
+	loy, hiy = clamp(loy, b.ny), clamp(hiy, b.ny)
+	var n int64
+	for row := loy; row <= hiy; row++ {
+		base := row * b.nx
+		// Buckets of one row are contiguous in idx, so the whole column
+		// range is a single slice scan.
+		span := b.idx[b.start[base+lox]:b.start[base+hix+1]]
+		n += int64(len(span))
+		for _, i := range span {
+			fn(i)
+		}
+	}
+	return n
+}
+
+// groupObjs accumulates the data objects of one reduce group, lazily
+// (re)building the bucket index over them. Data objects normally all
+// precede the first feature in comparator order, so the index is built
+// exactly once per group; the rebuild-on-growth check keeps the exotic
+// interleaved case (identical sort keys for data and features) correct.
+type groupObjs struct {
+	objs    []data.Object
+	index   *objGrid
+	indexed int // len(objs) the index was last built over
+}
+
+func (g *groupObjs) add(o data.Object) { g.objs = append(g.objs, o) }
+
+// reduceScratch is the pooled per-group state of the reduce functions:
+// the collected data objects with their bucket index, the dense
+// per-object bookkeeping slices (each reduce function uses the one
+// matching its algorithm), and the top-k list. A reduce task visits one
+// group per grid cell — thousands on fine grids — and reusing the backing
+// arrays across groups keeps the per-group constant cost out of the
+// allocator.
+type reduceScratch struct {
+	g       groupObjs
+	scores  []float64
+	covered []bool
+	best    []nnState
+	topk    *TopK
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(reduceScratch) }}
+
+// getScratch returns a reset scratch with an empty top-k of capacity k.
+// Return it with putScratch when the group is done.
+func getScratch(k int) *reduceScratch {
+	s := scratchPool.Get().(*reduceScratch)
+	s.g.objs = s.g.objs[:0]
+	s.g.index = nil
+	s.g.indexed = 0
+	s.scores = s.scores[:0]
+	s.covered = s.covered[:0]
+	s.best = s.best[:0]
+	if s.topk == nil {
+		s.topk = NewTopK(k)
+	} else {
+		s.topk.Reset(k)
+	}
+	return s
+}
+
+func putScratch(s *reduceScratch) { scratchPool.Put(s) }
+
+// candidates invokes fn(i) for every object that may lie within distance r
+// of p — via the bucket index when it pays off, linearly otherwise — and
+// returns the number of candidates visited. Candidates may still be
+// farther than r; the caller checks exact distances.
+func (g *groupObjs) candidates(p geo.Point, r float64, fn func(i int32)) int64 {
+	if g.indexed != len(g.objs) {
+		g.index = buildObjGrid(g.objs)
+		g.indexed = len(g.objs)
+	}
+	if g.index == nil {
+		for i := range g.objs {
+			fn(int32(i))
+		}
+		return int64(len(g.objs))
+	}
+	return g.index.each(p, r, fn)
+}

@@ -97,6 +97,28 @@ func TestCellKeyComparators(t *testing.T) {
 	if CellKeyPartition(c, 2) != 0 {
 		t.Errorf("partition = %d", CellKeyPartition(c, 2))
 	}
+	// The three-way comparators must agree with their Less forms on every
+	// ordered pair — the Job contract when both are set.
+	keys := []CellKey{a, b, c, {Cell: 1, Order: 0.5}}
+	sign := func(less, greater bool) int {
+		switch {
+		case less:
+			return -1
+		case greater:
+			return 1
+		}
+		return 0
+	}
+	for _, x := range keys {
+		for _, y := range keys {
+			if got, want := CellKeyAscCompare(x, y), sign(CellKeyAscLess(x, y), CellKeyAscLess(y, x)); got != want {
+				t.Errorf("AscCompare(%v, %v) = %d, want %d", x, y, got, want)
+			}
+			if got, want := CellKeyDescCompare(x, y), sign(CellKeyDescLess(x, y), CellKeyDescLess(y, x)); got != want {
+				t.Errorf("DescCompare(%v, %v) = %d, want %d", x, y, got, want)
+			}
+		}
+	}
 }
 
 // Spilling plus task failures plus retry: the combination must still be

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"spq/internal/data"
 	"spq/internal/geo"
@@ -184,6 +185,7 @@ func Run(alg Algorithm, src mapreduce.Source[data.Object], q Query, opts Options
 	case PSPQ:
 		job.Map = mapPSPQ(g, q, opts)
 		job.Less = CellKeyAscLess
+		job.Compare = CellKeyAscCompare
 		if q.Mode == ScoreNearest {
 			job.Reduce = reduceNearest(q)
 		} else {
@@ -192,11 +194,13 @@ func Run(alg Algorithm, src mapreduce.Source[data.Object], q Query, opts Options
 	case ESPQLen:
 		job.Map = mapESPQLen(g, q, opts)
 		job.Less = CellKeyAscLess
+		job.Compare = CellKeyAscCompare
 		// Algorithm 4 = Algorithm 2 + the Equation-1 bound check.
 		job.Reduce = reduceScan(q, scanOpts{lenBound: true})
 	case ESPQSco:
 		job.Map = mapESPQSco(g, q, opts)
 		job.Less = CellKeyDescLess
+		job.Compare = CellKeyDescCompare
 		if q.Mode == ScoreRange {
 			job.Reduce = reduceESPQSco(q)
 		} else {
@@ -249,20 +253,27 @@ const (
 	CounterEarlyTerminations = "spq.reduce.early_terminations"
 )
 
+// dupScratch pools the duplication-target slices of emitFeature. One Map
+// closure is shared by all concurrently running map tasks, so captured
+// scratch space would race; the pool gives each in-flight call its own
+// reusable backing array without a per-record allocation.
+var dupScratch = sync.Pool{New: func() any { return new([]grid.CellID) }}
+
 // emitFeature handles the shared feature-object fan-out of all three Map
 // functions: primary cell plus Lemma-1 duplication targets, each with the
 // algorithm-specific Order.
 func emitFeature(ctx *mapreduce.TaskContext, g *grid.Grid, radius float64, o data.Object, order float64, emit func(CellKey, data.Object)) {
 	emit(CellKey{Cell: g.CellOf(o.Loc), Order: order}, o)
-	// The target slice is per-call: one Map closure is shared by all
-	// concurrently running map tasks, so captured scratch space would race.
-	targets := g.DuplicationTargets(o.Loc, radius, nil)
+	sp := dupScratch.Get().(*[]grid.CellID)
+	targets := g.DuplicationTargets(o.Loc, radius, (*sp)[:0])
 	for _, c := range targets {
 		emit(CellKey{Cell: c, Order: order}, o)
 	}
 	if len(targets) > 0 {
 		ctx.Counter(CounterDuplicates, int64(len(targets)))
 	}
+	*sp = targets
+	dupScratch.Put(sp)
 }
 
 // mapPSPQ is Algorithm 1. Data objects get Order 0 and feature objects
@@ -339,16 +350,38 @@ type scanOpts struct {
 func reduceScan(q Query, opts scanOpts) reduceFunc {
 	r2 := q.Radius * q.Radius
 	return func(ctx *taskCtx, values *valueIter, emit func(cellResult)) error {
-		var objs []data.Object
-		scores := make(map[int]float64) // index into objs -> best score
-		topk := NewTopK(q.K)
+		sc := getScratch(q.K)
+		defer putScratch(sc)
+		var (
+			g    = &sc.g
+			topk = sc.topk
+			fLoc geo.Point
+			fw   float64
+			// Counter deltas are accumulated per group and flushed once:
+			// ctx.Counter hashes the counter name, too costly per feature.
+			examined, computed int64
+		)
+		// One scoring closure per group, not per feature: fLoc/fw are
+		// rebound between features so the hot path allocates nothing.
+		scoreObj := func(i int32) {
+			p := &g.objs[i]
+			d2 := geo.Dist2(p.Loc, fLoc)
+			if d2 > r2 {
+				return
+			}
+			if c := q.contribution(fw, d2); c > sc.scores[i] {
+				sc.scores[i] = c
+				topk.Update(ResultItem{ID: p.ID, Loc: p.Loc, Score: c})
+			}
+		}
 		for {
 			x, ok := values.Next()
 			if !ok {
 				break
 			}
 			if x.Kind == data.DataObject {
-				objs = append(objs, x)
+				g.add(x)
+				sc.scores = append(sc.scores, 0)
 				continue
 			}
 			if opts.lenBound {
@@ -360,7 +393,7 @@ func reduceScan(q Query, opts scanOpts) reduceFunc {
 				}
 			}
 			w := q.Score(x)
-			ctx.Counter(CounterFeaturesExamined, 1)
+			examined++
 			if w < topk.Threshold() && topk.Len() >= q.K {
 				// Algorithm 2 line 9: w(x,q) >= τ required to affect Lk
 				// (any contribution is at most w, and below τ it can
@@ -376,18 +409,11 @@ func reduceScan(q Query, opts scanOpts) reduceFunc {
 			if w == 0 {
 				continue
 			}
-			ctx.Counter(CounterScoreComputations, int64(len(objs)))
-			for i, p := range objs {
-				d2 := geo.Dist2(p.Loc, x.Loc)
-				if d2 > r2 {
-					continue
-				}
-				if c := q.contribution(w, d2); c > scores[i] {
-					scores[i] = c
-					topk.Update(ResultItem{ID: p.ID, Loc: p.Loc, Score: c})
-				}
-			}
+			fLoc, fw = x.Loc, w
+			computed += g.candidates(fLoc, q.Radius, scoreObj)
 		}
+		ctx.Counter(CounterFeaturesExamined, examined)
+		ctx.Counter(CounterScoreComputations, computed)
 		for _, item := range topk.Items() {
 			emit(cellResult{Item: item})
 		}
@@ -405,16 +431,33 @@ func reduceScan(q Query, opts scanOpts) reduceFunc {
 func reduceESPQSco(q Query) reduceFunc {
 	r2 := q.Radius * q.Radius
 	return func(ctx *taskCtx, values *valueIter, emit func(cellResult)) error {
-		var objs []data.Object
-		covered := make(map[int]bool)
-		topk := NewTopK(q.K)
+		sc := getScratch(q.K)
+		defer putScratch(sc)
+		var (
+			g    = &sc.g
+			topk = sc.topk
+			fLoc geo.Point
+			fw   float64
+			// Flushed once per group; see reduceScan.
+			examined, computed int64
+		)
+		coverObj := func(i int32) {
+			p := &g.objs[i]
+			if sc.covered[i] || geo.Dist2(p.Loc, fLoc) > r2 {
+				return
+			}
+			// Here w(x,q) = τ(p): no later feature scores higher.
+			sc.covered[i] = true
+			topk.Update(ResultItem{ID: p.ID, Loc: p.Loc, Score: fw})
+		}
 		for {
 			x, ok := values.Next()
 			if !ok {
 				break
 			}
 			if x.Kind == data.DataObject {
-				objs = append(objs, x)
+				g.add(x)
+				sc.covered = append(sc.covered, false)
 				continue
 			}
 			w := q.Score(x)
@@ -428,17 +471,12 @@ func reduceESPQSco(q Query) reduceFunc {
 				ctx.Counter(CounterEarlyTerminations, 1)
 				break
 			}
-			ctx.Counter(CounterFeaturesExamined, 1)
-			ctx.Counter(CounterScoreComputations, int64(len(objs)))
-			for i, p := range objs {
-				if covered[i] || geo.Dist2(p.Loc, x.Loc) > r2 {
-					continue
-				}
-				// Here w(x,q) = τ(p): no later feature scores higher.
-				covered[i] = true
-				topk.Update(ResultItem{ID: p.ID, Loc: p.Loc, Score: w})
-			}
+			examined++
+			fLoc, fw = x.Loc, w
+			computed += g.candidates(fLoc, q.Radius, coverObj)
 		}
+		ctx.Counter(CounterFeaturesExamined, examined)
+		ctx.Counter(CounterScoreComputations, computed)
 		for _, item := range topk.Items() {
 			emit(cellResult{Item: item})
 		}

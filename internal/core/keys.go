@@ -41,6 +41,41 @@ func CellKeyDescLess(a, b CellKey) bool {
 	return a.Order > b.Order
 }
 
+// CellKeyAscCompare is the three-way form of CellKeyAscLess, used by the
+// map-side sort so each comparison is one comparator call.
+func CellKeyAscCompare(a, b CellKey) int {
+	if a.Cell != b.Cell {
+		if a.Cell < b.Cell {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.Order < b.Order:
+		return -1
+	case a.Order > b.Order:
+		return 1
+	}
+	return 0
+}
+
+// CellKeyDescCompare is the three-way form of CellKeyDescLess.
+func CellKeyDescCompare(a, b CellKey) int {
+	if a.Cell != b.Cell {
+		if a.Cell < b.Cell {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.Order > b.Order:
+		return -1
+	case a.Order < b.Order:
+		return 1
+	}
+	return 0
+}
+
 // CellKeyGroup groups records of the same cell into one reduce group.
 func CellKeyGroup(a, b CellKey) bool { return a.Cell == b.Cell }
 

@@ -127,10 +127,14 @@ func MergeTopK(k int, lists ...[]ResultItem) []ResultItem {
 // over planner-pruned storage (different files, splits and shuffle order)
 // return results identical to the unpruned run.
 //
+// The tracked items live in a small unordered slice: k is tens at most,
+// and the reduce hot loop calls Update per candidate, where a linear scan
+// over contiguous items beats a map's hashing and iteration.
+//
 // The zero value is not usable; call NewTopK.
 type TopK struct {
 	k     int
-	items map[uint64]ResultItem
+	items []ResultItem // unordered; ids unique; len <= k
 	tau   float64
 }
 
@@ -139,7 +143,19 @@ func NewTopK(k int) *TopK {
 	if k <= 0 {
 		panic(fmt.Sprintf("core: TopK with k = %d", k))
 	}
-	return &TopK{k: k, items: make(map[uint64]ResultItem, k+1)}
+	return &TopK{k: k, items: make([]ResultItem, 0, k)}
+}
+
+// Reset empties the list for reuse with capacity k, keeping the backing
+// array. Reduce tasks process thousands of groups; pooling the list
+// avoids an allocation per group.
+func (t *TopK) Reset(k int) {
+	if k <= 0 {
+		panic(fmt.Sprintf("core: TopK reset with k = %d", k))
+	}
+	t.k = k
+	t.tau = 0
+	t.items = t.items[:0]
 }
 
 // Threshold returns τ, the score of the k-th best data object so far, or 0
@@ -156,17 +172,23 @@ func (t *TopK) Update(item ResultItem) bool {
 	if item.Score <= 0 {
 		return false
 	}
-	cur, tracked := t.items[item.ID]
-	if tracked {
-		if item.Score <= cur.Score {
-			return false
+	if len(t.items) == t.k && item.Score < t.tau {
+		// Fast reject, O(1): every tracked score is >= τ, so a below-τ
+		// offer can neither displace an item nor improve a tracked one.
+		return false
+	}
+	for i := range t.items {
+		if t.items[i].ID == item.ID {
+			if item.Score <= t.items[i].Score {
+				return false
+			}
+			t.items[i] = item
+			t.recomputeTau()
+			return true
 		}
-		t.items[item.ID] = item
-		t.recomputeTau()
-		return true
 	}
 	if len(t.items) < t.k {
-		t.items[item.ID] = item
+		t.items = append(t.items, item)
 		t.recomputeTau()
 		return true
 	}
@@ -176,12 +198,11 @@ func (t *TopK) Update(item ResultItem) bool {
 	if item.Score < t.tau {
 		return false
 	}
-	victim, _ := t.minItem() // when full the victim's score is exactly τ
-	if item.Score == t.tau && victim < item.ID {
+	vi := t.minIndex() // when full the victim's score is exactly τ
+	if item.Score == t.tau && t.items[vi].ID < item.ID {
 		return false
 	}
-	delete(t.items, victim)
-	t.items[item.ID] = item
+	t.items[vi] = item
 	t.recomputeTau()
 	return true
 }
@@ -193,35 +214,34 @@ func (t *TopK) recomputeTau() {
 		t.tau = 0
 		return
 	}
-	min := -1.0
-	for _, it := range t.items {
-		if min < 0 || it.Score < min {
+	min := t.items[0].Score
+	for _, it := range t.items[1:] {
+		if it.Score < min {
 			min = it.Score
 		}
 	}
 	t.tau = min
 }
 
-// minItem returns the worst item (lowest score; ties broken by highest
-// id, the complement of result order) — the eviction victim.
-func (t *TopK) minItem() (uint64, ResultItem) {
-	var victim uint64
-	first := true
-	var worst ResultItem
-	for id, it := range t.items {
-		if first || it.Score < worst.Score || (it.Score == worst.Score && id > victim) {
-			victim, worst, first = id, it, false
+// minIndex returns the index of the worst item (lowest score; ties broken
+// by highest id, the complement of result order) — the eviction victim.
+func (t *TopK) minIndex() int {
+	vi := 0
+	for i := 1; i < len(t.items); i++ {
+		switch {
+		case t.items[i].Score < t.items[vi].Score:
+			vi = i
+		case t.items[i].Score == t.items[vi].Score && t.items[i].ID > t.items[vi].ID:
+			vi = i
 		}
 	}
-	return victim, worst
+	return vi
 }
 
 // Items returns the tracked objects in canonical result order.
 func (t *TopK) Items() []ResultItem {
-	out := make([]ResultItem, 0, len(t.items))
-	for _, it := range t.items {
-		out = append(out, it)
-	}
+	out := make([]ResultItem, len(t.items))
+	copy(out, t.items)
 	SortResults(out)
 	return out
 }

@@ -81,15 +81,32 @@ type nnState struct {
 func reduceNearest(q Query) reduceFunc {
 	r2 := q.Radius * q.Radius
 	return func(ctx *taskCtx, values *valueIter, emit func(cellResult)) error {
-		var objs []data.Object
-		best := make(map[int]nnState)
+		sc := getScratch(q.K)
+		defer putScratch(sc)
+		var (
+			g    = &sc.g
+			fLoc geo.Point
+			fw   float64
+			// Flushed once per group; per-feature Counter calls hash the name.
+			computed int64
+		)
+		nearObj := func(i int32) {
+			d2 := geo.Dist2(g.objs[i].Loc, fLoc)
+			if d2 > r2 {
+				return
+			}
+			if cur := &sc.best[i]; d2 < cur.d2 || (d2 == cur.d2 && fw > cur.w) {
+				*cur = nnState{d2: d2, w: fw}
+			}
+		}
 		for {
 			x, ok := values.Next()
 			if !ok {
 				break
 			}
 			if x.Kind == data.DataObject {
-				objs = append(objs, x)
+				g.add(x)
+				sc.best = append(sc.best, nnState{d2: math.Inf(1)})
 				continue
 			}
 			w := q.Score(x)
@@ -97,28 +114,19 @@ func reduceNearest(q Query) reduceFunc {
 			if w == 0 {
 				continue
 			}
-			ctx.Counter(CounterScoreComputations, int64(len(objs)))
-			for i, p := range objs {
-				d2 := geo.Dist2(p.Loc, x.Loc)
-				if d2 > r2 {
-					continue
-				}
-				cur, seen := best[i]
-				if !seen || d2 < cur.d2 || (d2 == cur.d2 && w > cur.w) {
-					best[i] = nnState{d2: d2, w: w}
-				}
-			}
+			fLoc, fw = x.Loc, w
+			computed += g.candidates(fLoc, q.Radius, nearObj)
 		}
-		topk := NewTopK(q.K)
+		ctx.Counter(CounterScoreComputations, computed)
+		topk := sc.topk
 		// TopK's canonical tie-breaking makes the outcome independent of
-		// offer order, so iterating objs (not the map, whose range order is
-		// random) is for clarity, not correctness.
-		for i := range objs {
-			st, ok := best[i]
-			if !ok {
-				continue
+		// offer order, so iterating in objs order is for clarity, not
+		// correctness.
+		for i := range g.objs {
+			if sc.best[i].w == 0 {
+				continue // no relevant feature within r
 			}
-			topk.Update(ResultItem{ID: objs[i].ID, Loc: objs[i].Loc, Score: st.w})
+			topk.Update(ResultItem{ID: g.objs[i].ID, Loc: g.objs[i].Loc, Score: sc.best[i].w})
 		}
 		for _, item := range topk.Items() {
 			emit(cellResult{Item: item})

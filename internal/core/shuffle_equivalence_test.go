@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"spq/internal/data"
+	"spq/internal/geo"
+	"spq/internal/mapreduce"
+	"spq/internal/text"
+)
+
+// synthCorpus builds a clustered corpus with enough objects per cell that
+// the reduce-side bucket index engages (groups larger than objGridMinObjs).
+func synthCorpus(n int, seed int64) ([]data.Object, *text.Dict) {
+	rng := rand.New(rand.NewSource(seed))
+	dict := text.NewDict()
+	centers := [][2]float64{{0.2, 0.3}, {0.7, 0.6}, {0.5, 0.85}}
+	var objs []data.Object
+	for i := 0; i < n; i++ {
+		c := centers[i%len(centers)]
+		loc := geo.Point{
+			X: math.Min(0.999, math.Max(0.001, c[0]+rng.NormFloat64()*0.08)),
+			Y: math.Min(0.999, math.Max(0.001, c[1]+rng.NormFloat64()*0.08)),
+		}
+		if i%2 == 0 {
+			objs = append(objs, data.Object{Kind: data.DataObject, ID: uint64(i + 1), Loc: loc})
+		} else {
+			objs = append(objs, data.Object{
+				Kind: data.FeatureObject, ID: uint64(i + 1), Loc: loc,
+				Keywords: dict.InternAll([]string{
+					fmt.Sprintf("kw%d", rng.Intn(40)),
+					fmt.Sprintf("kw%d", rng.Intn(40)),
+				}),
+			})
+		}
+	}
+	return objs, dict
+}
+
+// TestReportResultsInvariantUnderShuffleConfig is the sorted-chunk publish
+// property test: Report.Results must be byte-identical across SpillEvery
+// in {0, 64} and MapSlots in {1, 4} for all three algorithms, because the
+// shuffle configuration only changes how the sorted stream is chunked and
+// merged, never which records a reduce group sees or the canonical top-k
+// it selects.
+func TestReportResultsInvariantUnderShuffleConfig(t *testing.T) {
+	objs, dict := synthCorpus(4000, 5)
+	queries := []Query{
+		{K: 5, Radius: 0.05, Keywords: dict.LookupAll([]string{"kw3", "kw17"})},
+		{K: 10, Radius: 0.12, Keywords: dict.LookupAll([]string{"kw7"})},
+		{K: 3, Radius: 0.02, Keywords: dict.LookupAll([]string{"kw21", "kw5", "kw9"})},
+	}
+	for qi, q := range queries {
+		for _, alg := range Algorithms() {
+			var want []ResultItem
+			var wantCfg string
+			for _, mapSlots := range []int{1, 4} {
+				for _, spillEvery := range []int{0, 64} {
+					cfg := fmt.Sprintf("maps=%d/spill=%d", mapSlots, spillEvery)
+					rep, err := Run(alg, mapreduce.NewMemorySource(objs, 5), q, Options{
+						Cluster:    mapreduce.NewCluster(nil, mapSlots, 3),
+						Bounds:     unitBounds,
+						GridN:      6,
+						SpillEvery: spillEvery,
+					})
+					if err != nil {
+						t.Fatalf("q%d %v %s: %v", qi, alg, cfg, err)
+					}
+					if want == nil {
+						want, wantCfg = rep.Results, cfg
+						continue
+					}
+					if len(rep.Results) != len(want) {
+						t.Fatalf("q%d %v: %s returned %d results, %s returned %d",
+							qi, alg, cfg, len(rep.Results), wantCfg, len(want))
+					}
+					for i := range want {
+						if rep.Results[i] != want[i] {
+							t.Errorf("q%d %v: results diverge at %d between %s and %s:\n %+v\n %+v",
+								qi, alg, i, wantCfg, cfg, want[i], rep.Results[i])
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestObjGridMatchesLinearScan cross-checks the bucket index against the
+// plain scan it replaces: for random probe points and radii, the candidate
+// set restricted to exact distance must be identical.
+func TestObjGridMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := objGridMinObjs + rng.Intn(500)
+		objs := make([]data.Object, n)
+		for i := range objs {
+			objs[i] = data.Object{
+				Kind: data.DataObject, ID: uint64(i),
+				Loc: geo.Point{X: rng.Float64(), Y: rng.Float64()},
+			}
+		}
+		// Degenerate layouts: occasionally collapse one axis.
+		if trial%5 == 4 {
+			for i := range objs {
+				objs[i].Loc.Y = 0.5
+			}
+		}
+		b := buildObjGrid(objs)
+		if b == nil {
+			t.Fatalf("trial %d: index not built for %d objects", trial, n)
+		}
+		for probe := 0; probe < 50; probe++ {
+			p := geo.Point{X: rng.Float64()*1.4 - 0.2, Y: rng.Float64()*1.4 - 0.2}
+			r := rng.Float64() * 0.3
+			r2 := r * r
+			want := make(map[int32]bool)
+			for i := range objs {
+				if geo.Dist2(objs[i].Loc, p) <= r2 {
+					want[int32(i)] = true
+				}
+			}
+			got := make(map[int32]bool)
+			b.each(p, r, func(i int32) {
+				if geo.Dist2(objs[i].Loc, p) <= r2 {
+					got[i] = true
+				}
+			})
+			if len(got) != len(want) {
+				t.Fatalf("trial %d probe %d: index found %d in-range objects, scan found %d",
+					trial, probe, len(got), len(want))
+			}
+			for i := range want {
+				if !got[i] {
+					t.Fatalf("trial %d probe %d: object %d missed by index", trial, probe, i)
+				}
+			}
+		}
+	}
+}
+
+// buildScanGroup lays out one reduce group in pSPQ order: nData data
+// objects (Order 0) followed by nFeat features (Order 1), all in one cell.
+func buildScanGroup(nData, nFeat int, dict *text.Dict, seed int64) []mapreduce.Pair[CellKey, data.Object] {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]mapreduce.Pair[CellKey, data.Object], 0, nData+nFeat)
+	for i := 0; i < nData; i++ {
+		pairs = append(pairs, mapreduce.Pair[CellKey, data.Object]{
+			Key: CellKey{Cell: 0, Order: 0},
+			Value: data.Object{Kind: data.DataObject, ID: uint64(i + 1),
+				Loc: geo.Point{X: rng.Float64(), Y: rng.Float64()}},
+		})
+	}
+	for i := 0; i < nFeat; i++ {
+		pairs = append(pairs, mapreduce.Pair[CellKey, data.Object]{
+			Key: CellKey{Cell: 0, Order: 1},
+			Value: data.Object{Kind: data.FeatureObject, ID: uint64(nData + i + 1),
+				Loc:      geo.Point{X: rng.Float64(), Y: rng.Float64()},
+				Keywords: dict.InternAll([]string{fmt.Sprintf("kw%d", rng.Intn(8))}),
+			},
+		})
+	}
+	return pairs
+}
+
+// BenchmarkReduceScan measures the Algorithm-2 reduce over one populous
+// cell — the loop the bucket index accelerates. The radius keeps each
+// feature's neighborhood at a few percent of the cell, the regime of the
+// paper's default queries.
+func BenchmarkReduceScan(b *testing.B) {
+	dict := text.NewDict()
+	q := Query{K: 10, Radius: 0.05, Keywords: dict.InternAll([]string{"kw1", "kw3", "kw5"})}
+	for _, size := range []struct{ nData, nFeat int }{
+		{1000, 200},
+		{8000, 400},
+	} {
+		pairs := buildScanGroup(size.nData, size.nFeat, dict, 3)
+		b.Run(fmt.Sprintf("objs=%d/feats=%d", size.nData, size.nFeat), func(b *testing.B) {
+			reduce := reduceScan(q, scanOpts{})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				values, more, err := mapreduce.ValuesFromPairs(pairs, CellKeyGroup)
+				if err != nil || !more {
+					b.Fatalf("values: more=%v err=%v", more, err)
+				}
+				ctx := mapreduce.NewTaskContextForTest(mapreduce.ReduceTask)
+				var out int
+				if err := reduce(ctx, values, func(cellResult) { out++ }); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

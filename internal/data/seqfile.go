@@ -56,6 +56,12 @@ type SeqWriter struct {
 	records    int
 	headerDone bool
 	closer     io.Closer
+
+	// Reused encode scratch: each record is staged here to learn its
+	// length before the varint prefix is written, without allocating a
+	// buffer and writer per Append.
+	payload bytes.Buffer
+	enc     *bufio.Writer
 }
 
 // NewSeqWriter creates a binary writer over w. name seeds the sync marker;
@@ -65,7 +71,9 @@ func NewSeqWriter(w io.Writer, name string) *SeqWriter {
 	if wc, ok := w.(io.Closer); ok {
 		c = wc
 	}
-	return &SeqWriter{w: bufio.NewWriterSize(w, 64<<10), marker: newSyncMarker(name), closer: c}
+	s := &SeqWriter{w: bufio.NewWriterSize(w, 64<<10), marker: newSyncMarker(name), closer: c}
+	s.enc = bufio.NewWriter(&s.payload)
+	return s
 }
 
 func (s *SeqWriter) writeHeader() error {
@@ -93,20 +101,20 @@ func (s *SeqWriter) Append(o Object) error {
 		}
 		s.sinceSync = 0
 	}
-	var payload bytes.Buffer
-	pw := bufio.NewWriter(&payload)
-	if err := encodeObject(pw, o); err != nil {
+	s.payload.Reset()
+	s.enc.Reset(&s.payload)
+	if err := encodeObject(s.enc, o); err != nil {
 		return err
 	}
-	if err := pw.Flush(); err != nil {
+	if err := s.enc.Flush(); err != nil {
 		return err
 	}
 	var lenBuf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(lenBuf[:], uint64(payload.Len()))
+	n := binary.PutUvarint(lenBuf[:], uint64(s.payload.Len()))
 	if _, err := s.w.Write(lenBuf[:n]); err != nil {
 		return err
 	}
-	if _, err := s.w.Write(payload.Bytes()); err != nil {
+	if _, err := s.w.Write(s.payload.Bytes()); err != nil {
 		return err
 	}
 	s.sinceSync++
@@ -232,8 +240,13 @@ func (s *seqSplit) Each(yield func(Object) bool) error {
 	}
 
 	// Read records from start; continue past end until the next marker.
+	// The payload buffer and decode readers are reused across records so
+	// the per-record loop allocates only what escapes into the object.
 	r := &dfsReader{fs: s.fs, file: s.split.File, pos: start}
 	br := bufio.NewReaderSize(r, 64<<10)
+	var payload []byte
+	pr := bytes.NewReader(nil)
+	dr := bufio.NewReaderSize(pr, 4<<10)
 	consumed := start
 	for {
 		if consumed >= s.fileLen {
@@ -262,12 +275,18 @@ func (s *seqSplit) Each(yield func(Object) bool) error {
 			return fmt.Errorf("data: seq record length: %w", err)
 		}
 		consumed += int64(uvarintSize(length))
-		payload := make([]byte, length)
+		if uint64(cap(payload)) < length {
+			payload = make([]byte, length)
+		} else {
+			payload = payload[:length]
+		}
 		if _, err := io.ReadFull(br, payload); err != nil {
 			return fmt.Errorf("data: seq record payload: %w", err)
 		}
 		consumed += int64(length)
-		obj, err := decodeObject(bufio.NewReader(bytes.NewReader(payload)))
+		pr.Reset(payload)
+		dr.Reset(pr)
+		obj, err := decodeObject(dr)
 		if err != nil {
 			return fmt.Errorf("data: seq record decode: %w", err)
 		}

@@ -16,6 +16,7 @@ const (
 	CounterValuesConsumed = "reduce.values.consumed"
 	CounterOutputRecords  = "output.records"
 	CounterShuffleBytes   = "shuffle.bytes"
+	CounterShuffleChunks  = "shuffle.chunks"
 	CounterSpillRuns      = "spill.runs"
 	CounterSpilledRecords = "spill.records"
 	CounterDataLocalMaps  = "scheduler.maps.data_local"
@@ -62,6 +63,36 @@ func (c *Counters) Get(name string) int64 {
 	return atomic.LoadInt64(p)
 }
 
+// reset zeroes every cell while keeping the cells (and any pointers held
+// to them) valid, so a task slot can reuse one attempt-local registry
+// across task attempts instead of allocating a fresh one per task.
+func (c *Counters) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range c.m {
+		atomic.StoreInt64(p, 0)
+	}
+}
+
+// Merge folds src into c without materializing an intermediate snapshot
+// map. Both registries are locked for the duration; the engine only ever
+// merges attempt-local counters into the job-global registry, so the lock
+// order (src, then c) is acyclic.
+func (c *Counters) Merge(src *Counters) {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, p := range src.m {
+		q, ok := c.m[name]
+		if !ok {
+			q = new(int64)
+			c.m[name] = q
+		}
+		atomic.AddInt64(q, atomic.LoadInt64(p))
+	}
+}
+
 // Snapshot returns a copy of all counters.
 func (c *Counters) Snapshot() map[string]int64 {
 	c.mu.Lock()
@@ -94,9 +125,56 @@ type TaskContext struct {
 	NodeName string
 
 	counters *Counters
+
+	// Engine counter cells resolved once per attempt, so the per-record
+	// bookkeeping on the hot paths is a single atomic add instead of a
+	// mutex-guarded map lookup.
+	recIn, recOut, consumed *int64
+
+	// cache memoizes Counter's cell lookups. A context belongs to one
+	// task attempt running on one goroutine, so the cache needs no lock;
+	// the cells it points at are still updated atomically.
+	cache map[string]*int64
 }
 
-// Counter adds delta to the named job counter.
+// newTaskContext builds the context for one task attempt, pre-resolving
+// the engine counter cells the attempt's hot path increments per record.
+func newTaskContext(kind TaskKind, task, attempt int, node string, counters *Counters) *TaskContext {
+	t := &TaskContext{Kind: kind, TaskID: task, Attempt: attempt, NodeName: node, counters: counters}
+	if kind == MapTask {
+		t.recIn = counters.cell(CounterMapRecordsIn)
+		t.recOut = counters.cell(CounterMapRecordsOut)
+	} else {
+		t.consumed = counters.cell(CounterValuesConsumed)
+	}
+	return t
+}
+
+// rebind repoints the context at another attempt executed by the same
+// slot. The counters registry is unchanged, so every resolved cell and the
+// Counter cache stay valid.
+func (t *TaskContext) rebind(task, attempt int) {
+	t.TaskID = task
+	t.Attempt = attempt
+}
+
+// NewTaskContextForTest returns a context backed by a fresh counter
+// registry, so map and reduce functions can be unit-tested and benchmarked
+// outside the engine.
+func NewTaskContextForTest(kind TaskKind) *TaskContext {
+	return newTaskContext(kind, 0, 1, "test", NewCounters())
+}
+
+// Counter adds delta to the named job counter. Map and Reduce call this
+// per record, so the cell resolution is memoized per context.
 func (t *TaskContext) Counter(name string, delta int64) {
-	t.counters.Add(name, delta)
+	p, ok := t.cache[name]
+	if !ok {
+		p = t.counters.cell(name)
+		if t.cache == nil {
+			t.cache = make(map[string]*int64, 8)
+		}
+		t.cache[name] = p
+	}
+	atomic.AddInt64(p, delta)
 }

@@ -3,7 +3,6 @@ package mapreduce
 import (
 	"fmt"
 	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,11 +70,16 @@ type Result[O any] struct {
 }
 
 // partitionData accumulates the intermediate records routed to one reduce
-// task: in-memory chunks published by map tasks plus spilled sorted runs.
+// task. As in Hadoop's map-side sort-and-merge shuffle, order is
+// established where the data is produced: every map task sorts its
+// per-partition buffers before publishing, so a partition holds sorted
+// chunks (one per publishing map task) plus spilled sorted runs, and the
+// owning reduce task k-way-merges them. Nothing is ever sorted serially
+// between the phases.
 type partitionData[K, V any] struct {
-	mu   sync.Mutex
-	mem  []Pair[K, V]
-	runs []*spillRun
+	mu     sync.Mutex
+	chunks [][]Pair[K, V]
+	runs   []*spillRun
 }
 
 // Run executes the job on the cluster and returns its result. It is the
@@ -227,6 +231,30 @@ func maxAttempts[I, K, V, O any](job *Job[I, K, V, O]) int {
 	return job.MaxAttempts
 }
 
+// defaultChunkCap is the map-side partition buffer capacity when the
+// split's record count is unknown.
+const defaultChunkCap = 4096
+
+// slotState is the reusable attempt-local state of one worker slot: its
+// tasks run sequentially, so one counter registry and one context serve
+// every attempt, reset between attempts instead of reallocated. Counter
+// deltas of a failed attempt are wiped by the next reset and merged into
+// the job-global registry only on success, preserving the no-trace
+// guarantee of failed attempts.
+type slotState struct {
+	local *Counters
+	ctx   *TaskContext
+}
+
+// get lazily initializes the slot's state for the given task kind.
+func (s *slotState) get(c *Cluster, kind TaskKind, slot int) (*Counters, *TaskContext) {
+	if s.local == nil {
+		s.local = NewCounters()
+		s.ctx = newTaskContext(kind, 0, 1, c.slotNode(slot), s.local)
+	}
+	return s.local, s.ctx
+}
+
 // runMapPhase executes all map tasks and publishes their intermediate
 // output into parts.
 func runMapPhase[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], splits []SourceSplit[I], parts []*partitionData[K, V], counters *Counters) error {
@@ -234,10 +262,14 @@ func runMapPhase[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], splits []Sour
 	counters.Add(CounterDataLocalMaps, int64(local))
 	attempts := maxAttempts(job)
 	r := job.NumReducers
+	states := make([]slotState, len(perSlot))
 
 	return runTasks(perSlot, func(slot, task int) error {
+		lc, ctx := states[slot].get(c, MapTask, slot)
 		for attempt := 1; ; attempt++ {
-			err := runMapAttempt(c, job, splits[task], parts, counters, slot, task, attempt, r)
+			lc.reset()
+			ctx.rebind(task, attempt)
+			err := runMapAttempt(c, job, splits[task], parts, counters, lc, ctx, task, attempt, r)
 			if err == nil {
 				return nil
 			}
@@ -253,19 +285,32 @@ func runMapPhase[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], splits []Sour
 // runMapAttempt runs one attempt of one map task. All side effects (counter
 // deltas, buffered records, spill runs) are kept attempt-local and
 // published only on success, so a failed attempt leaves no trace.
-func runMapAttempt[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], split SourceSplit[I], parts []*partitionData[K, V], counters *Counters, slot, task, attempt, r int) (err error) {
+func runMapAttempt[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], split SourceSplit[I], parts []*partitionData[K, V], counters, local *Counters, ctx *TaskContext, task, attempt, r int) (err error) {
 	if job.FaultInjector != nil {
 		if ferr := job.FaultInjector(MapTask, task, attempt); ferr != nil {
 			return ferr
 		}
 	}
-	local := NewCounters()
-	ctx := &TaskContext{Kind: MapTask, TaskID: task, Attempt: attempt, NodeName: c.slotNode(slot), counters: local}
-
+	cmp := job.compare()
 	buffers := make([][]Pair[K, V], r)
-	var runs [][]*spillRun // per-partition runs created by this attempt
+	// Partition buffers are fixed-capacity chunks sized from the split's
+	// record count when it is known. A full chunk is sorted on the spot and
+	// set aside, and a fresh buffer is allocated — growth never copies. On
+	// skewed key distributions (clustered data) a single partition can
+	// receive many times the per-partition estimate, and doubling one flat
+	// buffer would spend the map phase in growslice.
+	chunkCap := defaultChunkCap
+	if cs, ok := split.(CountedSplit); ok {
+		if n := cs.Records(); n > 0 {
+			chunkCap = n/r + 1
+		}
+	}
+	var sealed [][][]Pair[K, V] // per-partition full chunks, attempt-local
+	var runs [][]*spillRun      // per-partition runs created by this attempt
 	if job.SpillEvery > 0 {
 		runs = make([][]*spillRun, r)
+	} else {
+		sealed = make([][][]Pair[K, V], r)
 	}
 	// Attempt-local cleanup of spill files on failure.
 	defer func() {
@@ -280,7 +325,7 @@ func runMapAttempt[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], split Sourc
 
 	buffered := 0
 	spill := func() error {
-		rs, parts, werr := writeSpill(buffers, job.Less, job.KeyCodec, job.ValueCodec)
+		rs, parts, werr := writeSpill(buffers, cmp, job.KeyCodec, job.ValueCodec)
 		if werr != nil {
 			return werr
 		}
@@ -306,19 +351,33 @@ func runMapAttempt[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], split Sourc
 			}
 			return
 		}
-		buffers[p] = append(buffers[p], Pair[K, V]{Key: k, Value: v})
-		local.Add(CounterMapRecordsOut, 1)
+		buf := buffers[p]
+		if buf == nil {
+			buf = make([]Pair[K, V], 0, chunkCap)
+		}
+		buf = append(buf, Pair[K, V]{Key: k, Value: v})
+		buffers[p] = buf
+		atomic.AddInt64(ctx.recOut, 1)
 		buffered++
-		if job.SpillEvery > 0 && buffered >= job.SpillEvery {
-			if serr := spill(); serr != nil && emitErr == nil {
-				emitErr = serr
+		if job.SpillEvery > 0 {
+			if buffered >= job.SpillEvery {
+				if serr := spill(); serr != nil && emitErr == nil {
+					emitErr = serr
+				}
 			}
+		} else if len(buf) == cap(buf) {
+			// Chunk full: sort it now (spreading the sort across the map
+			// phase) but publish only on attempt success, so a failed
+			// attempt still leaves no trace.
+			sortPairs(buf, cmp)
+			sealed[p] = append(sealed[p], buf)
+			buffers[p] = nil
 		}
 	}
 
 	var mapErr error
 	eachErr := split.Each(func(rec I) bool {
-		local.Add(CounterMapRecordsIn, 1)
+		atomic.AddInt64(ctx.recIn, 1)
 		if merr := job.Map(ctx, rec, emit); merr != nil {
 			mapErr = merr
 			return false
@@ -334,8 +393,10 @@ func runMapAttempt[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], split Sourc
 		return emitErr
 	}
 
-	// Publish: remaining buffers go to the shared in-memory partitions
-	// (or to final runs when spilling), runs are attached to partitions.
+	// Publish: remaining buffers are sorted here, inside the map task —
+	// this is the parallel half of the map-side sort-and-merge shuffle —
+	// and attached to the shared partitions as immutable sorted chunks
+	// (or written as final spill runs when spilling).
 	if job.SpillEvery > 0 {
 		if buffered > 0 {
 			if serr := spill(); serr != nil {
@@ -344,12 +405,18 @@ func runMapAttempt[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], split Sourc
 		}
 	} else {
 		for p, buf := range buffers {
-			if len(buf) == 0 {
+			chunks := sealed[p]
+			if len(buf) > 0 {
+				sortPairs(buf, cmp)
+				chunks = append(chunks, buf)
+			}
+			if len(chunks) == 0 {
 				continue
 			}
 			parts[p].mu.Lock()
-			parts[p].mem = append(parts[p].mem, buf...)
+			parts[p].chunks = append(parts[p].chunks, chunks...)
 			parts[p].mu.Unlock()
+			local.Add(CounterShuffleChunks, int64(len(chunks)))
 		}
 	}
 	for p, rs := range runs {
@@ -360,34 +427,27 @@ func runMapAttempt[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], split Sourc
 		parts[p].runs = append(parts[p].runs, rs...)
 		parts[p].mu.Unlock()
 	}
-	mergeCounters(counters, local)
+	counters.Merge(local)
 	return nil
 }
 
-// mergeCounters folds src into dst.
-func mergeCounters(dst, src *Counters) {
-	for name, v := range src.Snapshot() {
-		dst.Add(name, v)
-	}
-}
-
-// runReducePhase sorts every partition, runs the reduce tasks and returns
-// the concatenated output in task order.
+// runReducePhase runs the reduce tasks and returns the concatenated output
+// in task order. There is no shuffle barrier work left here: map tasks
+// published sorted chunks, and each reduce task merges its own partition's
+// chunks and spill runs, in parallel across the reduce slots.
 func runReducePhase[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], parts []*partitionData[K, V], counters *Counters) ([]O, error) {
 	r := job.NumReducers
 	attempts := maxAttempts(job)
 
-	// Sort each partition's in-memory chunk once; attempts reuse it.
-	for _, p := range parts {
-		pairs := p.mem
-		sort.SliceStable(pairs, func(i, j int) bool { return job.Less(pairs[i].Key, pairs[j].Key) })
-	}
-
 	outputs := make([][]O, r)
 	perSlot := roundRobin(r, c.reduceSlots())
+	states := make([]slotState, len(perSlot))
 	err := runTasks(perSlot, func(slot, task int) error {
+		lc, ctx := states[slot].get(c, ReduceTask, slot)
 		for attempt := 1; ; attempt++ {
-			out, err := runReduceAttempt(c, job, parts[task], counters, slot, task, attempt)
+			lc.reset()
+			ctx.rebind(task, attempt)
+			out, err := runReduceAttempt(c, job, parts[task], counters, lc, ctx, task, attempt)
 			if err == nil {
 				outputs[task] = out
 				return nil
@@ -410,19 +470,27 @@ func runReducePhase[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], parts []*p
 }
 
 // runReduceAttempt runs one attempt of one reduce task over its partition.
-func runReduceAttempt[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], part *partitionData[K, V], counters *Counters, slot, task, attempt int) ([]O, error) {
+func runReduceAttempt[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], part *partitionData[K, V], counters, local *Counters, ctx *TaskContext, task, attempt int) ([]O, error) {
 	if job.FaultInjector != nil {
 		if ferr := job.FaultInjector(ReduceTask, task, attempt); ferr != nil {
 			return nil, ferr
 		}
 	}
-	local := NewCounters()
-	ctx := &TaskContext{Kind: ReduceTask, TaskID: task, Attempt: attempt, NodeName: c.slotNode(slot), counters: local}
-
-	// Build the sorted stream: the pre-sorted in-memory chunk merged with
-	// every spilled run.
-	streams := []stream[K, V]{&memStream[K, V]{pairs: part.mem}}
-	total := int64(len(part.mem))
+	// Build the sorted stream: a k-way merge of the sorted chunks the map
+	// tasks published for this partition and every spilled run. The
+	// all-in-memory case takes the concrete chunkMerge, which skips the
+	// generic stream machinery's per-record dispatch.
+	var total int64
+	for _, ch := range part.chunks {
+		total += int64(len(ch))
+	}
+	var streams []stream[K, V]
+	if len(part.runs) > 0 {
+		streams = make([]stream[K, V], 0, len(part.chunks)+len(part.runs))
+		for _, ch := range part.chunks {
+			streams = append(streams, &memStream[K, V]{pairs: ch})
+		}
+	}
 	var opened []*runStream[K, V]
 	defer func() {
 		for _, rs := range opened {
@@ -438,9 +506,18 @@ func runReduceAttempt[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], part *pa
 		streams = append(streams, rs)
 		total += int64(run.records)
 	}
-	merged, err := newMergeStream(job.Less, streams...)
-	if err != nil {
-		return nil, err
+	var merged stream[K, V]
+	switch {
+	case len(part.runs) == 0 && len(part.chunks) == 1:
+		merged = &memStream[K, V]{pairs: part.chunks[0]} // already sorted, skip the heap
+	case len(part.runs) == 0:
+		merged = newChunkMerge(job.Less, part.chunks)
+	default:
+		m, err := newMergeStream(job.Less, streams...)
+		if err != nil {
+			return nil, err
+		}
+		merged = m
 	}
 	local.Add(CounterReduceValues, total)
 
@@ -448,7 +525,7 @@ func runReduceAttempt[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], part *pa
 	if group == nil {
 		group = func(a, b K) bool { return false }
 	}
-	vals := &Values[K, V]{stream: merged, group: group, counters: local}
+	vals := &Values[K, V]{stream: merged, group: group, consumed: ctx.consumed}
 
 	var out []O
 	emit := func(o O) {
@@ -473,6 +550,6 @@ func runReduceAttempt[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], part *pa
 			return nil, err
 		}
 	}
-	mergeCounters(counters, local)
+	counters.Merge(local)
 	return out, nil
 }

@@ -82,6 +82,12 @@ type Job[I, K, V, O any] struct {
 	// a reduce task iterates its records (Hadoop's sort comparator).
 	Less func(a, b K) bool
 
+	// Compare optionally provides the three-way form of Less (negative,
+	// zero, positive). The sort and merge hot paths call the comparator
+	// once per comparison through it; when nil, the engine derives it from
+	// Less at twice the call cost. When both are set they must agree.
+	Compare func(a, b K) int
+
 	// GroupEqual is the grouping comparator: consecutive sorted records
 	// whose keys are GroupEqual form one reduce group. If nil, every
 	// record is its own group.
@@ -109,6 +115,24 @@ type Job[I, K, V, O any] struct {
 	// FaultInjector, if non-nil, is consulted before each task attempt;
 	// a non-nil return fails that attempt. Used by the failure tests.
 	FaultInjector func(kind TaskKind, taskID, attempt int) error
+}
+
+// compare returns the job's three-way key comparator, deriving one from
+// Less when Compare is not set.
+func (j *Job[I, K, V, O]) compare() func(a, b K) int {
+	if j.Compare != nil {
+		return j.Compare
+	}
+	less := j.Less
+	return func(a, b K) int {
+		if less(a, b) {
+			return -1
+		}
+		if less(b, a) {
+			return 1
+		}
+		return 0
+	}
 }
 
 // validate checks the job for structural errors before execution.

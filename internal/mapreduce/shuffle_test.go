@@ -1,0 +1,235 @@
+package mapreduce
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// shuffleKey is a composite key with a unique secondary component, so the
+// fully sorted record order — and therefore the reduce output — is
+// deterministic regardless of how map tasks chunk and publish it.
+type shuffleKey struct {
+	Group int32
+	Seq   int32
+}
+
+func shuffleKeyLess(a, b shuffleKey) bool {
+	if a.Group != b.Group {
+		return a.Group < b.Group
+	}
+	return a.Seq < b.Seq
+}
+
+func shuffleJob(recs []int32, groups, reducers, spillEvery int) *Job[int32, shuffleKey, int32, string] {
+	return &Job[int32, shuffleKey, int32, string]{
+		Name:        "shuffle-equivalence",
+		Source:      NewMemorySource(recs, 7),
+		NumReducers: reducers,
+		Map: func(ctx *TaskContext, rec int32, emit func(shuffleKey, int32)) error {
+			emit(shuffleKey{Group: rec % int32(groups), Seq: rec}, rec*3)
+			return nil
+		},
+		Partition:  func(k shuffleKey, r int) int { return int(k.Group) % r },
+		Less:       shuffleKeyLess,
+		GroupEqual: func(a, b shuffleKey) bool { return a.Group == b.Group },
+		Reduce: func(ctx *TaskContext, values *Values[shuffleKey, int32], emit func(string)) error {
+			out := fmt.Sprintf("g%d:", values.GroupKey().Group)
+			for {
+				v, ok := values.Next()
+				if !ok {
+					break
+				}
+				out += fmt.Sprintf("%d,", v)
+			}
+			emit(out)
+			return nil
+		},
+		KeyCodec: &Codec[shuffleKey]{
+			Encode: func(w *bufio.Writer, k shuffleKey) error {
+				_, err := fmt.Fprintf(w, "%d %d ", k.Group, k.Seq)
+				return err
+			},
+			Decode: func(r *bufio.Reader) (shuffleKey, error) {
+				var k shuffleKey
+				_, err := fmt.Fscanf(r, "%d %d ", &k.Group, &k.Seq)
+				return k, err
+			},
+		},
+		ValueCodec: &Codec[int32]{
+			Encode: func(w *bufio.Writer, v int32) error {
+				_, err := fmt.Fprintf(w, "%d ", v)
+				return err
+			},
+			Decode: func(r *bufio.Reader) (int32, error) {
+				var v int32
+				_, err := fmt.Fscanf(r, "%d ", &v)
+				return v, err
+			},
+		},
+		SpillEvery: spillEvery,
+	}
+}
+
+// TestShuffleEquivalence is the shuffle-architecture property test: the
+// map-side sorted-chunk publish path and the per-reduce k-way merge must
+// produce identical job output across every combination of map-slot count
+// and spill configuration, because the merged stream each reduce task sees
+// is the same fully sorted sequence however it was chunked.
+func TestShuffleEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	recs := make([]int32, 3000)
+	for i := range recs {
+		recs[i] = int32(rng.Intn(1 << 20))
+	}
+
+	var want []string
+	for _, mapSlots := range []int{1, 4} {
+		for _, spillEvery := range []int{0, 64} {
+			name := fmt.Sprintf("maps=%d/spill=%d", mapSlots, spillEvery)
+			c := NewCluster(nil, mapSlots, 3)
+			res, err := Run(c, shuffleJob(recs, 17, 5, spillEvery))
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			// Reduce-task output order is fixed (task order), so the
+			// concatenated output must match byte for byte.
+			if want == nil {
+				want = res.Output
+				continue
+			}
+			if !reflect.DeepEqual(res.Output, want) {
+				t.Errorf("%s: output diverged\n got: %v\nwant: %v", name, res.Output, want)
+			}
+		}
+	}
+}
+
+// TestMapSideSortPublishesSortedChunks pins the new publish path: with
+// several map tasks and no spilling, partitions receive multiple
+// independently sorted chunks (counted by shuffle.chunks), and the merged
+// stream the reducers consume is still globally sorted — which the
+// deterministic reduce output of TestShuffleEquivalence verifies, and the
+// chunk counter makes observable here.
+func TestMapSideSortPublishesSortedChunks(t *testing.T) {
+	recs := make([]int32, 500)
+	for i := range recs {
+		recs[i] = int32((i * 7919) % 1000)
+	}
+	c := NewCluster(nil, 4, 2)
+	res, err := Run(c, shuffleJob(recs, 5, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Counters[CounterShuffleChunks]; got < 2 {
+		t.Errorf("shuffle.chunks = %d, want >= 2 (one sorted chunk per map task and partition)", got)
+	}
+	// Each reduce group's payload must come out in key order: values were
+	// emitted as rec*3 and keys sort by Seq=rec, so the per-group value
+	// list must be ascending.
+	for _, out := range res.Output {
+		var group int32
+		var vals []int
+		var v int
+		rest := out
+		if _, err := fmt.Sscanf(rest, "g%d:", &group); err != nil {
+			t.Fatalf("bad output %q", out)
+		}
+		for i := indexByte(rest, ':') + 1; i < len(rest); {
+			n, err := fmt.Sscanf(rest[i:], "%d,", &v)
+			if n != 1 || err != nil {
+				break
+			}
+			vals = append(vals, v)
+			i += indexByte(rest[i:], ',') + 1
+		}
+		if !sort.IntsAreSorted(vals) {
+			t.Errorf("group %d values not in key order: %v", group, vals)
+		}
+	}
+}
+
+// TestSkewedPartitionSealsChunks pins the fixed-capacity chunk publish
+// path: when one partition receives far more than the per-partition
+// estimate (records/reducers), the map task seals and publishes multiple
+// sorted chunks for it instead of growing one flat buffer — and the
+// merged reduce output is still the fully sorted record sequence.
+func TestSkewedPartitionSealsChunks(t *testing.T) {
+	recs := make([]int32, 4000)
+	for i := range recs {
+		recs[i] = int32((i * 31) % (1 << 16))
+	}
+	job := shuffleJob(recs, 1, 4, 0) // one group: every record hits partition 0
+	c := NewCluster(nil, 1, 2)
+	res, err := Run(c, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One map task, 4000 records into one partition, chunkCap = 4000/4+1:
+	// at least 3 full chunks plus the remainder.
+	if got := res.Counters[CounterShuffleChunks]; got < 4 {
+		t.Errorf("shuffle.chunks = %d, want >= 4 (sealed chunks from one skewed task)", got)
+	}
+	if len(res.Output) != 1 {
+		t.Fatalf("output groups = %d, want 1", len(res.Output))
+	}
+	var vals []int
+	rest := res.Output[0]
+	for i := indexByte(rest, ':') + 1; i < len(rest); {
+		var v int
+		if n, err := fmt.Sscanf(rest[i:], "%d,", &v); n != 1 || err != nil {
+			break
+		}
+		vals = append(vals, v)
+		i += indexByte(rest[i:], ',') + 1
+	}
+	if len(vals) != len(recs) {
+		t.Fatalf("reduce saw %d values, want %d", len(vals), len(recs))
+	}
+	if !sort.IntsAreSorted(vals) {
+		t.Error("merged values not in key order across sealed chunks")
+	}
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return len(s)
+}
+
+// BenchmarkShuffle exercises the sort-shuffle-merge pipeline end to end:
+// an identity map over random composite keys, grouped reduce that drains
+// every value. The slots sub-benchmarks expose the parallel speedup of
+// the map-side sort; spill adds the external-run merge.
+func BenchmarkShuffle(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	recs := make([]int32, 200000)
+	for i := range recs {
+		recs[i] = int32(rng.Intn(1 << 28))
+	}
+	for _, cfg := range []struct {
+		name       string
+		slots      int
+		spillEvery int
+	}{
+		{"slots=1", 1, 0},
+		{"slots=4", 4, 0},
+		{"slots=4/spill=8192", 4, 8192},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			c := NewCluster(nil, cfg.slots, cfg.slots)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(c, shuffleJob(recs, 64, 16, cfg.spillEvery)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -93,6 +93,14 @@ type SizedSplit interface {
 	Size() int64
 }
 
+// CountedSplit is optionally implemented by splits that know how many
+// records they will yield; the engine uses it to presize map-side
+// partition buffers.
+type CountedSplit interface {
+	// Records returns the number of records the split yields.
+	Records() int
+}
+
 // Coalesce wraps a source so that it yields at most target splits,
 // grouping consecutive small splits into one map-task unit. Partitioned
 // storage produces one file (hence at least one split) per seal-grid
@@ -177,6 +185,20 @@ func (g groupedSplit[I]) Hosts() []string {
 	return out
 }
 
+// Records implements CountedSplit when every member knows its count;
+// otherwise it returns 0 (no estimate).
+func (g groupedSplit[I]) Records() int {
+	n := 0
+	for _, s := range g {
+		cs, ok := s.(CountedSplit)
+		if !ok {
+			return 0
+		}
+		n += cs.Records()
+	}
+	return n
+}
+
 func (g groupedSplit[I]) Each(yield func(I) bool) error {
 	for _, s := range g {
 		stopped := false
@@ -239,6 +261,9 @@ func (m *MemorySource[I]) Splits() ([]SourceSplit[I], error) {
 type memorySplit[I any] []I
 
 func (s memorySplit[I]) Hosts() []string { return nil }
+
+// Records implements CountedSplit.
+func (s memorySplit[I]) Records() int { return len(s) }
 
 func (s memorySplit[I]) Each(yield func(I) bool) error {
 	for _, rec := range s {

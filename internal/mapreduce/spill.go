@@ -2,13 +2,24 @@ package mapreduce
 
 import (
 	"bufio"
-	"container/heap"
 	"errors"
 	"fmt"
 	"io"
 	"os"
-	"sort"
+	"slices"
 )
+
+// sortPairs stable-sorts pairs by the job's three-way key comparator. It
+// goes through slices.SortStableFunc, whose generic instantiation compares
+// and swaps concrete Pair values directly, rather than sort.SliceStable's
+// reflection-based element swapping; the three-way form costs one
+// comparator call per comparison instead of the two a Less-based sort
+// needs to distinguish greater from equal.
+func sortPairs[K, V any](pairs []Pair[K, V], cmp func(a, b K) int) {
+	slices.SortStableFunc(pairs, func(a, b Pair[K, V]) int {
+		return cmp(a.Key, b.Key)
+	})
+}
 
 // memStream yields pairs from an in-memory sorted slice.
 type memStream[K, V any] struct {
@@ -52,7 +63,7 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // writeSpill sorts each non-empty partition buffer and writes all of them
 // into one temporary spill file, returning one run per non-empty
 // partition. On error no file is left behind.
-func writeSpill[K, V any](buffers [][]Pair[K, V], less func(a, b K) bool, kc *Codec[K], vc *Codec[V]) (runs []spillRun, parts []int, err error) {
+func writeSpill[K, V any](buffers [][]Pair[K, V], cmp func(a, b K) int, kc *Codec[K], vc *Codec[V]) (runs []spillRun, parts []int, err error) {
 	f, err := os.CreateTemp("", "spq-spill-*.run")
 	if err != nil {
 		return nil, nil, fmt.Errorf("mapreduce: create spill: %w", err)
@@ -69,7 +80,7 @@ func writeSpill[K, V any](buffers [][]Pair[K, V], less func(a, b K) bool, kc *Co
 		if len(buf) == 0 {
 			continue
 		}
-		sort.SliceStable(buf, func(i, j int) bool { return less(buf[i].Key, buf[j].Key) })
+		sortPairs(buf, cmp)
 		if err = bw.Flush(); err != nil {
 			return nil, nil, err
 		}
@@ -144,9 +155,16 @@ func (s *runStream[K, V]) next() (Pair[K, V], bool, error) {
 func (s *runStream[K, V]) close() error { return s.f.Close() }
 
 // mergeStream performs a k-way merge of sorted streams by the key
-// comparator, yielding a single globally sorted stream.
+// comparator, yielding a single globally sorted stream. The heap is
+// hand-rolled over the concrete item type: container/heap would box every
+// popped item into an interface value, allocating once per exhausted
+// stream and paying dynamic dispatch on every sift.
 type mergeStream[K, V any] struct {
-	h *streamHeap[K, V]
+	items []heapItem[K, V]
+	less  func(a, b K) bool
+	// itemLess orders heap items; wrapped once at construction so the
+	// per-record sift needs no closure allocation.
+	itemLess func(a, b heapItem[K, V]) bool
 }
 
 type heapItem[K, V any] struct {
@@ -154,58 +172,70 @@ type heapItem[K, V any] struct {
 	src  stream[K, V]
 }
 
-type streamHeap[K, V any] struct {
-	items []heapItem[K, V]
-	less  func(a, b K) bool
-}
-
-func (h *streamHeap[K, V]) Len() int { return len(h.items) }
-func (h *streamHeap[K, V]) Less(i, j int) bool {
-	return h.less(h.items[i].head.Key, h.items[j].head.Key)
-}
-func (h *streamHeap[K, V]) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *streamHeap[K, V]) Push(x any)    { h.items = append(h.items, x.(heapItem[K, V])) }
-func (h *streamHeap[K, V]) Pop() any {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
+// siftHeap restores the min-heap property from index i: one copy of the
+// sift shared by every concrete merge (mergeStream, chunkMerge), each
+// instantiated on its own item type so there is no dispatch cost.
+func siftHeap[T any](items []T, less func(a, b T) bool, i int) {
+	n := len(items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && less(items[r], items[l]) {
+			least = r
+		}
+		if !less(items[least], items[i]) {
+			return
+		}
+		items[i], items[least] = items[least], items[i]
+		i = least
+	}
 }
 
 // newMergeStream primes every source and builds the heap. Sources that are
 // already empty are dropped.
 func newMergeStream[K, V any](less func(a, b K) bool, sources ...stream[K, V]) (*mergeStream[K, V], error) {
-	h := &streamHeap[K, V]{less: less}
+	m := &mergeStream[K, V]{less: less, items: make([]heapItem[K, V], 0, len(sources))}
+	m.itemLess = func(a, b heapItem[K, V]) bool { return less(a.head.Key, b.head.Key) }
 	for _, src := range sources {
 		p, ok, err := src.next()
 		if err != nil {
 			return nil, err
 		}
 		if ok {
-			h.items = append(h.items, heapItem[K, V]{head: p, src: src})
+			m.items = append(m.items, heapItem[K, V]{head: p, src: src})
 		}
 	}
-	heap.Init(h)
-	return &mergeStream[K, V]{h: h}, nil
+	for i := len(m.items)/2 - 1; i >= 0; i-- {
+		siftHeap(m.items, m.itemLess, i)
+	}
+	return m, nil
 }
 
 func (m *mergeStream[K, V]) next() (Pair[K, V], bool, error) {
 	var zero Pair[K, V]
-	if m.h.Len() == 0 {
+	if len(m.items) == 0 {
 		return zero, false, nil
 	}
-	top := m.h.items[0]
-	out := top.head
-	p, ok, err := top.src.next()
+	out := m.items[0].head
+	p, ok, err := m.items[0].src.next()
 	if err != nil {
 		return zero, false, err
 	}
 	if ok {
-		m.h.items[0].head = p
-		heap.Fix(m.h, 0)
+		m.items[0].head = p
 	} else {
-		heap.Pop(m.h)
+		// Source exhausted: move the last item to the root.
+		n := len(m.items) - 1
+		m.items[0] = m.items[n]
+		m.items[n] = heapItem[K, V]{} // release the stream reference
+		m.items = m.items[:n]
+		if n == 0 {
+			return out, true, nil
+		}
 	}
+	siftHeap(m.items, m.itemLess, 0)
 	return out, true, nil
 }

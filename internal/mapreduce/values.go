@@ -1,5 +1,7 @@
 package mapreduce
 
+import "sync/atomic"
+
 // Values iterates the records of one reduce group in comparator order. It
 // mirrors the Iterable<VALUE> a Hadoop reducer receives: the consumer pulls
 // records one at a time and may simply stop pulling to terminate early
@@ -13,7 +15,7 @@ package mapreduce
 type Values[K, V any] struct {
 	stream   stream[K, V]
 	group    groupFunc[K]
-	counters *Counters
+	consumed *int64 // cached reduce.values.consumed counter cell
 
 	cur      Pair[K, V]
 	groupKey K
@@ -51,7 +53,7 @@ func (v *Values[K, V]) Next() (val V, ok bool) {
 	if v.hasCur && !v.started {
 		// First record of the group was pre-fetched by the engine.
 		v.started = true
-		v.counters.Add(CounterValuesConsumed, 1)
+		atomic.AddInt64(v.consumed, 1)
 		return v.cur.Value, true
 	}
 	prev := v.cur
@@ -75,7 +77,7 @@ func (v *Values[K, V]) Next() (val V, ok bool) {
 		return val, false
 	}
 	v.cur = p
-	v.counters.Add(CounterValuesConsumed, 1)
+	atomic.AddInt64(v.consumed, 1)
 	return p.Value, true
 }
 
@@ -115,6 +117,24 @@ func (v *Values[K, V]) drain() (more bool, err error) {
 		}
 		prev = p
 	}
+}
+
+// ValuesFromPairs returns a Values iterator over an already-sorted pair
+// slice, positioned on its first group (more reports whether one exists).
+// It exists so reduce implementations can be unit-tested and benchmarked
+// against in-memory data without running a full job; the engine builds its
+// iterators internally.
+func ValuesFromPairs[K, V any](pairs []Pair[K, V], group func(a, b K) bool) (v *Values[K, V], more bool, err error) {
+	if group == nil {
+		group = func(a, b K) bool { return false }
+	}
+	v = &Values[K, V]{
+		stream:   &memStream[K, V]{pairs: pairs},
+		group:    group,
+		consumed: NewCounters().cell(CounterValuesConsumed),
+	}
+	more, err = v.prime()
+	return v, more, err
 }
 
 // prime loads the first record of the partition. It returns whether any
