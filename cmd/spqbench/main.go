@@ -10,14 +10,19 @@
 //	spqbench -fig 8 -scale-unit 1000  # larger scalability sweep
 //	spqbench -quick                   # endpoints of each sweep only
 //	spqbench -json > BENCH_all.json   # machine-readable results
+//	spqbench -concurrency 8           # serving throughput: N concurrent
+//	                                  # clients vs the serial baseline,
+//	                                  # plus the cached repeated workload
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"spq"
 	"spq/internal/bench"
 )
 
@@ -33,8 +38,17 @@ func main() {
 		repeat   = flag.Int("repeat", 1, "run each measured cell N times and keep the fastest (use 3+ when comparing BENCH_*.json trajectories)")
 		counters = flag.Bool("counters", false, "also print features-examined counters per figure")
 		jsonOut  = flag.Bool("json", false, "emit results as a JSON array of rows (figure, series, x, millis, counters) instead of tables")
+		conc     = flag.Int("concurrency", 0, "serving-throughput mode: run the concurrent-query workload with this many clients (skips the figures)")
 	)
 	flag.Parse()
+
+	if *conc > 0 {
+		if err := runConcurrency(*conc, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "spqbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	h := bench.New(bench.Config{
 		SizeReal:      *sizeReal,
@@ -79,4 +93,93 @@ func main() {
 		return
 	}
 	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+}
+
+// runConcurrency measures the serving stack: aggregate QPS with N
+// concurrent clients against one shared engine, compared to a 1-client
+// serial baseline. Three phases:
+//
+//  1. serial, cache bypassed — the baseline QPS;
+//  2. N clients, cache bypassed — slot-pool sharing only, and a
+//     query-by-query proof that concurrent results are identical to
+//     serial ones;
+//  3. N clients on the repeated workload with the cache on — the steady
+//     serving state, where repeats are cache hits.
+func runConcurrency(clients int, quick bool) error {
+	size, queries := 60000, 240
+	if quick {
+		size, queries = 8000, 48
+	}
+	slots := runtime.NumCPU()
+	eng := spq.NewEngine(spq.Config{Storage: spq.StorageMemory, MapSlots: slots, ReduceSlots: slots})
+	if err := eng.LoadSynthetic("uniform", size); err != nil {
+		return err
+	}
+	if err := eng.Seal(); err != nil {
+		return err
+	}
+	kws := eng.FrequentKeywords(64)
+	if len(kws) < 16 {
+		return fmt.Errorf("concurrency workload: only %d keywords", len(kws))
+	}
+	// Distinct query mix: bench.RotatingKeywords guarantees no query
+	// repeats within one pass — a repeat would let the cache flatter the
+	// no-cache phases.
+	query := func(i int) spq.Query {
+		return spq.Query{K: 10, Radius: 0.02, Keywords: bench.RotatingKeywords(kws, i)}
+	}
+	run := func(cache bool) bench.QueryFunc {
+		return func(i int) (string, error) {
+			opts := []spq.QueryOption{spq.WithAutoPlan()}
+			if !cache {
+				opts = append(opts, spq.WithoutCache())
+			}
+			res, err := eng.Query(query(i%queries), opts...)
+			return fmt.Sprint(res), err
+		}
+	}
+
+	fmt.Printf("# concurrency — uniform %d objects, %d distinct queries, %d slots\n", size, queries, slots)
+	serial, serialFPs, err := bench.RunConcurrent(queries, 1, run(false))
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.FormatConcurrencyPoint("serial (no cache)", serial, serial))
+
+	conc, concFPs, err := bench.RunConcurrent(queries, clients, run(false))
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.FormatConcurrencyPoint("concurrent (no cache)", conc, serial))
+	if i := bench.DiffFingerprints(serialFPs, concFPs); i >= 0 {
+		return fmt.Errorf("concurrent query %d returned different results than serial execution", i)
+	}
+	fmt.Println("results: concurrent execution identical to serial, query by query")
+
+	// Cache phases. Cold: first pass over the distinct mix with the cache
+	// on — every query executes and populates its entry. Hot: the same
+	// workload repeated, the steady serving state where repeats are cache
+	// hits.
+	cold, coldFPs, err := bench.RunConcurrent(queries, clients, run(true))
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.FormatConcurrencyPoint("concurrent (cache, cold)", cold, serial))
+	if i := bench.DiffFingerprints(serialFPs, coldFPs); i >= 0 {
+		return fmt.Errorf("cached query %d returned different results than serial execution", i)
+	}
+	hot, hotFPs, err := bench.RunConcurrent(queries, clients, run(true))
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.FormatConcurrencyPoint("concurrent (cache, hot)", hot, serial))
+	if i := bench.DiffFingerprints(serialFPs, hotFPs); i >= 0 {
+		return fmt.Errorf("cache-hit query %d returned different results than serial execution", i)
+	}
+	cs := eng.CacheStats()
+	fmt.Printf("cache: %d hits, %d misses, %d entries\n", cs.Hits, cs.Misses, cs.Entries)
+	if cs.Hits == 0 {
+		return fmt.Errorf("repeated workload produced no cache hits")
+	}
+	return nil
 }

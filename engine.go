@@ -2,7 +2,9 @@ package spq
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"spq/internal/core"
 	"spq/internal/data"
@@ -59,6 +61,12 @@ type Config struct {
 	// manifest of per-cell statistics, which is what the query planner
 	// (WithAutoPlan) prunes against. Default DefaultSealGridN.
 	SealGridN int
+	// QueryCache bounds the engine's query result cache, in cached
+	// reports. Sealed storage is immutable, so repeated queries are served
+	// from the cache without re-running the MapReduce job; entries are
+	// keyed on the seal generation and evicted LRU. Zero selects
+	// DefaultQueryCacheSize; a negative value disables caching entirely.
+	QueryCache int
 	// Seed drives DFS block placement.
 	Seed int64
 }
@@ -76,12 +84,32 @@ func (c Config) withDefaults() Config {
 	if c.SealGridN <= 0 {
 		c.SealGridN = DefaultSealGridN
 	}
+	if c.QueryCache == 0 {
+		c.QueryCache = DefaultQueryCacheSize
+	}
 	return c
 }
 
 // memRange is the half-open index range of one sealed partition inside
 // the memory-mode object layout.
 type memRange struct{ lo, hi int }
+
+// snapshot is the immutable read-path view of the sealed storage. It is
+// published once, atomically, when the engine seals; from then on queries
+// load it without taking the engine mutex, so N concurrent queries
+// proceed lock-free over the shared sealed state.
+type snapshot struct {
+	// gen is the seal generation the snapshot belongs to. It keys the
+	// query cache: a later generation (if re-sealing ever lands) makes
+	// every cached report unreachable without an explicit flush.
+	gen      uint64
+	manifest *data.Manifest
+	bounds   geo.Rect
+	// Memory-mode layout: the cell-ordered object slice and the name to
+	// index-range mapping of its partitions. Nil under DFS storage.
+	sealedObjs []data.Object
+	memLayout  map[string]memRange
+}
 
 // Engine owns a simulated cluster (DFS + worker slots), a keyword
 // dictionary, and the loaded datasets. It is safe for concurrent queries
@@ -91,13 +119,23 @@ type Engine struct {
 	fs      *dfs.FileSystem
 	cluster *mapreduce.Cluster
 	dict    *text.Dict
+	cache   *queryCache // nil when Config.QueryCache < 0
+
+	// snap is the published read-path snapshot; nil until the first seal.
+	// Queries load it lock-free; e.mu is only taken to seal.
+	snap atomic.Pointer[snapshot]
 
 	mu      sync.Mutex
 	objects []data.Object
 	nData   int
 	nFeats  int
+	// dataIDs and featIDs track the loaded object ids of each dataset, so
+	// duplicate ids are rejected at load time (see AddData).
+	dataIDs map[uint64]struct{}
+	featIDs map[uint64]struct{}
 	bounds  geo.Rect
 	sealed  bool
+	gen     uint64
 	fileSeq int
 
 	// Sealed state: the manifest of the partitioned storage layout, plus
@@ -117,21 +155,43 @@ func NewEngine(cfg Config) *Engine {
 		Replication: cfg.Replication,
 		Seed:        cfg.Seed,
 	})
-	return &Engine{
+	e := &Engine{
 		cfg:     cfg,
 		fs:      fs,
 		cluster: mapreduce.NewCluster(fs, cfg.MapSlots, cfg.ReduceSlots),
 		dict:    text.NewDict(),
+		dataIDs: make(map[uint64]struct{}),
+		featIDs: make(map[uint64]struct{}),
 		bounds:  geo.Rect{MinX: 1, MaxX: -1}, // empty
 	}
+	if cfg.QueryCache > 0 {
+		e.cache = newQueryCache(cfg.QueryCache)
+	}
+	return e
 }
 
 // AddData loads data objects (the objects ranked and returned by queries).
+//
+// Every object is validated at load time: coordinates must be finite (a
+// NaN or infinite coordinate used to surface only at seal time, as an
+// opaque JSON encoding error that could wedge the engine mid-seal), and
+// ids must be unique within the data dataset — a duplicate id would
+// otherwise silently yield duplicate top-k entries, so duplicates are
+// rejected outright rather than deduplicated (data and feature ids live
+// in separate namespaces; a data object may share an id with a feature).
+// The whole batch is validated before any of it is loaded, so a rejected
+// call leaves the engine unchanged.
 func (e *Engine) AddData(objs ...DataObject) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.sealed {
 		return fmt.Errorf("spq: engine already sealed; datasets are write-once")
+	}
+	seen := make(map[uint64]struct{}, len(objs))
+	for _, o := range objs {
+		if err := e.checkLocked(data.DataObject, o.ID, o.X, o.Y, seen); err != nil {
+			return err
+		}
 	}
 	for _, o := range objs {
 		e.addLocked(data.Object{Kind: data.DataObject, ID: o.ID, Loc: geo.Point{X: o.X, Y: o.Y}})
@@ -140,12 +200,19 @@ func (e *Engine) AddData(objs ...DataObject) error {
 }
 
 // AddFeature loads feature objects (the keyword-annotated objects that
-// score data objects).
+// score data objects). Validation follows AddData: finite coordinates,
+// unique ids within the feature dataset, all-or-nothing per call.
 func (e *Engine) AddFeature(feats ...Feature) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.sealed {
 		return fmt.Errorf("spq: engine already sealed; datasets are write-once")
+	}
+	seen := make(map[uint64]struct{}, len(feats))
+	for _, f := range feats {
+		if err := e.checkLocked(data.FeatureObject, f.ID, f.X, f.Y, seen); err != nil {
+			return err
+		}
 	}
 	for _, f := range feats {
 		e.addLocked(toFeatureObject(f, e.dict))
@@ -153,14 +220,42 @@ func (e *Engine) AddFeature(feats ...Feature) error {
 	return nil
 }
 
-// addLocked appends one object, maintaining the dataset counts and bounds
-// incrementally so Len and Bounds stay O(1).
+// checkLocked validates one incoming object: finite coordinates and an id
+// unused by its dataset (and, via seen, unused earlier in the same batch).
+// Errors name the offending object so bad records in a bulk load can be
+// found and fixed.
+func (e *Engine) checkLocked(kind data.Kind, id uint64, x, y float64, seen map[uint64]struct{}) error {
+	if !finite(x) || !finite(y) {
+		return fmt.Errorf("spq: %s object %d: non-finite coordinate (%g, %g)", kind, id, x, y)
+	}
+	ids := e.dataIDs
+	if kind == data.FeatureObject {
+		ids = e.featIDs
+	}
+	if _, dup := ids[id]; dup {
+		return fmt.Errorf("spq: duplicate %s object id %d", kind, id)
+	}
+	if seen != nil {
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("spq: duplicate %s object id %d", kind, id)
+		}
+		seen[id] = struct{}{}
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// addLocked appends one validated object, maintaining the dataset counts,
+// the id sets and the bounds incrementally so Len and Bounds stay O(1).
 func (e *Engine) addLocked(o data.Object) {
 	e.objects = append(e.objects, o)
 	if o.Kind == data.DataObject {
 		e.nData++
+		e.dataIDs[o.ID] = struct{}{}
 	} else {
 		e.nFeats++
+		e.featIDs[o.ID] = struct{}{}
 	}
 	e.growBounds(o.Loc)
 }
@@ -263,15 +358,43 @@ func (e *Engine) sealLocked(sealGridN int) error {
 		}
 	}
 	e.sealed = true
+	e.gen++
+	// Publish the read-path snapshot: from here on queries run lock-free
+	// against this immutable view (see snapshotFor).
+	e.snap.Store(&snapshot{
+		gen:        e.gen,
+		manifest:   e.manifest,
+		bounds:     e.bounds,
+		sealedObjs: e.sealedObjs,
+		memLayout:  e.memLayout,
+	})
 	return nil
 }
 
-// sourceLocked returns the MapReduce input source reading exactly the
-// given sealed cell files (a subset of the manifest's file set, possibly
-// pre-pruned by the planner). DFS sources are coalesced: per-cell files
-// are small, and one map task per cell file would drown the job in task
-// overhead, so consecutive splits are grouped down to a few per map slot.
-func (e *Engine) sourceLocked(files []string) mapreduce.Source[data.Object] {
+// snapshotFor returns the published read-path snapshot, sealing first if
+// the engine has not sealed yet. The fast path is one atomic load and no
+// lock: concurrent queries on a sealed engine never serialize here.
+func (e *Engine) snapshotFor(sealGridN int) (*snapshot, error) {
+	if s := e.snap.Load(); s != nil {
+		return s, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.sealLocked(sealGridN); err != nil {
+		return nil, err
+	}
+	return e.snap.Load(), nil
+}
+
+// source returns the MapReduce input source reading exactly the given
+// sealed cell files (a subset of the manifest's file set, possibly
+// pre-pruned by the planner). It reads only the immutable snapshot and
+// the engine's construction-time fields, so concurrent queries build
+// their sources without locking. DFS sources are coalesced: per-cell
+// files are small, and one map task per cell file would drown the job in
+// task overhead, so consecutive splits are grouped down to a few per map
+// slot.
+func (e *Engine) source(s *snapshot, files []string) mapreduce.Source[data.Object] {
 	target := e.cfg.MapSlots * 4
 	switch e.cfg.Storage {
 	case StorageDFS:
@@ -281,20 +404,20 @@ func (e *Engine) sourceLocked(files []string) mapreduce.Source[data.Object] {
 	case StorageDFSBinary:
 		return mapreduce.Coalesce[data.Object](data.NewSeqInput(e.fs, files...), target)
 	default:
-		return e.memorySourceLocked(files)
+		return e.memorySource(s, files)
 	}
 }
 
-// memorySourceLocked builds an in-memory source over the selected
-// partitions. Partitions are contiguous sub-slices of the sealed layout;
-// adjacent selections are merged and then re-split into ~2 chunks per map
-// slot, so no object is ever copied and an unpruned query still gets a
-// handful of big splits rather than one per cell.
-func (e *Engine) memorySourceLocked(files []string) mapreduce.Source[data.Object] {
+// memorySource builds an in-memory source over the selected partitions of
+// the snapshot. Partitions are contiguous sub-slices of the sealed
+// layout; adjacent selections are merged and then re-split into ~2 chunks
+// per map slot, so no object is ever copied and an unpruned query still
+// gets a handful of big splits rather than one per cell.
+func (e *Engine) memorySource(s *snapshot, files []string) mapreduce.Source[data.Object] {
 	var runs []memRange
 	total := 0
 	for _, f := range files {
-		r, ok := e.memLayout[f]
+		r, ok := s.memLayout[f]
 		if !ok {
 			continue
 		}
@@ -320,7 +443,7 @@ func (e *Engine) memorySourceLocked(files []string) mapreduce.Source[data.Object
 			if hi > r.hi {
 				hi = r.hi
 			}
-			src.Chunks = append(src.Chunks, e.sealedObjs[lo:hi])
+			src.Chunks = append(src.Chunks, s.sealedObjs[lo:hi])
 		}
 	}
 	return src
@@ -341,6 +464,14 @@ const defaultGridN = 16
 
 // QueryReport runs a query and additionally returns the execution metrics
 // of the underlying MapReduce job.
+//
+// Serving path: the first query seals the engine (under the engine
+// mutex); every later query runs lock-free against the published
+// snapshot, consults the query cache (a repeated query returns the cached
+// report, marked with the spq.cache.hit counter, without running a job),
+// and draws its map/reduce tasks from the cluster-shared admission pools,
+// so concurrent queries share the configured slots fairly instead of
+// oversubscribing the machine.
 func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 	if err := validateQuery(q); err != nil {
 		return nil, err
@@ -356,12 +487,20 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 		return nil, fmt.Errorf("spq: seal grid size %d, must be positive", cfg.sealGridN)
 	}
 
-	e.mu.Lock()
-	if err := e.sealLocked(cfg.sealGridN); err != nil {
-		e.mu.Unlock()
+	snap, err := e.snapshotFor(cfg.sealGridN)
+	if err != nil {
 		return nil, err
 	}
-	bounds := e.bounds
+
+	var key string
+	if e.cache != nil && !cfg.noCache {
+		key = cacheKey(snap.gen, q, &cfg)
+		if rep, ok := e.cache.get(key); ok {
+			return rep, nil
+		}
+	}
+
+	bounds := snap.bounds
 	if cfg.bounds != nil {
 		bounds = *cfg.bounds
 	}
@@ -376,11 +515,12 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 	}
 	gridN := cfg.gridN
 	reducers := cfg.reducers
-	files := e.manifest.Files()
+	files := snap.manifest.Files()
 	var planStats *PlanStats
 	var extraCounters map[string]int64
+	priority := false
 	if cfg.autoPlan {
-		dec := plan.Plan(e.manifest, plan.Input{
+		dec := plan.Plan(snap.manifest, plan.Input{
 			Radius:      q.Radius,
 			Keywords:    q.Keywords,
 			ReduceSlots: e.cfg.ReduceSlots,
@@ -392,16 +532,23 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 		reducers = dec.NumReducers
 		extraCounters = dec.Counters()
 		planStats = newPlanStats(dec)
+		// A plan that proves the query cheap (it reads at most a quarter
+		// of the stored records) earns the admission priority lane, so
+		// selective queries are not stuck behind scan-heavy ones.
+		priority = dec.Stats.RecordsTotal > 0 &&
+			dec.Stats.RecordsSelected*4 <= dec.Stats.RecordsTotal
 		if dec.Empty() {
-			e.mu.Unlock()
-			return e.emptyPlanReport(q, cfg, bounds, planStats, extraCounters)
+			rep, err := e.emptyPlanReport(q, cfg, bounds, planStats, extraCounters)
+			if err != nil {
+				return nil, err
+			}
+			return e.finishQuery(key, rep), nil
 		}
 	}
 	if gridN <= 0 {
 		gridN = defaultGridN
 	}
-	src := e.sourceLocked(files)
-	e.mu.Unlock()
+	src := e.source(snap, files)
 
 	cq := core.Query{K: q.K, Radius: q.Radius, Keywords: e.dict.InternAll(q.Keywords), Mode: q.Mode}
 	rep, err := core.Run(cfg.alg, src, cq, core.Options{
@@ -411,11 +558,12 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 		NumReducers:   reducers,
 		SpillEvery:    cfg.spillEvery,
 		ExtraCounters: extraCounters,
+		Priority:      priority,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Report{
+	return e.finishQuery(key, &Report{
 		Algorithm:    rep.Algorithm,
 		Results:      toResults(rep.Results),
 		Counters:     rep.Counters,
@@ -423,7 +571,31 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 		MapMillis:    float64(rep.Stats.MapDuration.Microseconds()) / 1000,
 		ReduceMillis: float64(rep.Stats.ReduceDuration.Microseconds()) / 1000,
 		TotalMillis:  float64(rep.Stats.Duration.Microseconds()) / 1000,
-	}, nil
+	}), nil
+}
+
+// finishQuery stores an executed report in the query cache (when this
+// query participates in caching) and marks it as a miss. The cache keeps
+// its own copy, so the returned report is the caller's to mutate.
+func (e *Engine) finishQuery(key string, rep *Report) *Report {
+	if key == "" {
+		return rep
+	}
+	e.cache.put(key, rep)
+	if rep.Counters == nil {
+		rep.Counters = make(map[string]int64, 1)
+	}
+	rep.Counters[CounterCacheMiss] = 1
+	return rep
+}
+
+// CacheStats returns the cumulative hit/miss counts and current size of
+// the query cache. All zeros when caching is disabled.
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.stats()
 }
 
 // emptyPlanReport handles a plan that proves the query returns nothing

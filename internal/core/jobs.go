@@ -76,6 +76,10 @@ type Options struct {
 	// failure tests.
 	MaxAttempts   int
 	FaultInjector func(kind mapreduce.TaskKind, taskID, attempt int) error
+	// Priority admits the job's tasks through the cluster slot pools'
+	// priority lane (see mapreduce.Job.Priority). The engine sets it for
+	// planned queries that read a small fraction of the input.
+	Priority bool
 	// ExtraCounters are merged into the report's counters. The engine uses
 	// this to surface query-planner statistics (cells pruned, records
 	// skipped) next to the job counters when it feeds Run a pre-pruned
@@ -180,6 +184,7 @@ func Run(alg Algorithm, src mapreduce.Source[data.Object], q Query, opts Options
 		SpillEvery:    opts.SpillEvery,
 		MaxAttempts:   opts.MaxAttempts,
 		FaultInjector: opts.FaultInjector,
+		Priority:      opts.Priority,
 	}
 	switch alg {
 	case PSPQ:

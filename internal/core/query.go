@@ -28,6 +28,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"spq/internal/data"
@@ -55,6 +56,11 @@ func (q Query) Validate() error {
 	switch {
 	case q.K <= 0:
 		return fmt.Errorf("core: query k = %d, must be positive", q.K)
+	case math.IsNaN(q.Radius) || math.IsInf(q.Radius, 0):
+		// q.Radius < 0 is false for NaN, and a NaN or infinite radius
+		// makes every distance comparison silently wrong — reject it
+		// explicitly instead.
+		return fmt.Errorf("core: query radius = %g, must be finite", q.Radius)
 	case q.Radius < 0:
 		return fmt.Errorf("core: query radius = %g, must be non-negative", q.Radius)
 	case q.Keywords.Len() == 0:

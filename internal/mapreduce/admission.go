@@ -1,0 +1,158 @@
+package mapreduce
+
+import (
+	"sync"
+	"time"
+)
+
+// Cluster admission control. Historically every job assumed it owned all
+// of the cluster's worker slots: Run fanned out one goroutine per slot,
+// so N concurrent jobs oversubscribed the machine N times over. The slot
+// pool makes the slots a shared, admission-controlled resource — exactly
+// the shared Hadoop cluster of the paper's deployment model, where many
+// queries compete for the same task trackers.
+//
+// Concurrent jobs draw their map and reduce tasks from one pool per
+// phase. A task acquires a slot token before it runs and releases it
+// after; with a single job the pool is contention-free (the job spawns
+// exactly as many worker goroutines as there are slots), while concurrent
+// jobs interleave at task granularity. Admission is FIFO, with a small
+// priority lane that lets the tasks of low-cost planned queries jump the
+// queue so a cheap selective query is not stuck behind a scan-heavy one.
+
+// waiter is one task blocked on slot admission.
+type waiter struct {
+	ch chan struct{}
+}
+
+// slotPool is a FIFO counting semaphore with a priority lane. A released
+// slot is handed directly to the longest-waiting task (priority lane
+// first), so admission order is independent of goroutine scheduling.
+// The priority lane is bounded by aging: after prioBurst consecutive
+// priority grants with regular tasks waiting, the regular lane's head is
+// served, so sustained cheap-query traffic cannot starve a scan-heavy
+// job indefinitely.
+type slotPool struct {
+	mu         sync.Mutex
+	free       int
+	prio       []*waiter // priority lane, FIFO within the lane
+	fifo       []*waiter // regular lane, FIFO
+	prioGrants int       // consecutive priority grants since a regular one
+}
+
+// prioBurst is how many queue-jumps the priority lane gets in a row
+// while regular tasks wait before one regular task is served.
+const prioBurst = 4
+
+func newSlotPool(slots int) *slotPool {
+	if slots < 1 {
+		slots = 1
+	}
+	return &slotPool{free: slots}
+}
+
+// acquire blocks until a slot is available. It reports how long the task
+// waited and the queue depth observed at enqueue time (0 when admitted
+// immediately).
+func (p *slotPool) acquire(priority bool) (waited time.Duration, depth int) {
+	p.mu.Lock()
+	if p.free > 0 {
+		p.free--
+		p.mu.Unlock()
+		return 0, 0
+	}
+	w := &waiter{ch: make(chan struct{})}
+	if priority {
+		p.prio = append(p.prio, w)
+	} else {
+		p.fifo = append(p.fifo, w)
+	}
+	depth = len(p.prio) + len(p.fifo)
+	p.mu.Unlock()
+	start := time.Now()
+	<-w.ch
+	return time.Since(start), depth
+}
+
+// release returns a slot, waking the next waiter if any: the priority
+// lane first, unless it has exhausted its burst while regular tasks
+// wait (aging — see prioBurst). The slot is transferred directly to the
+// waiter rather than returned to the free count, which is what makes
+// admission FIFO.
+func (p *slotPool) release() {
+	p.mu.Lock()
+	var w *waiter
+	switch {
+	case len(p.prio) > 0 && (len(p.fifo) == 0 || p.prioGrants < prioBurst):
+		w = p.prio[0]
+		p.prio = p.prio[1:]
+		if len(p.fifo) > 0 {
+			// Only grants that actually jump a waiting regular task count
+			// against the burst; unchallenged grants are not queue-jumps.
+			p.prioGrants++
+		}
+	case len(p.fifo) > 0:
+		w = p.fifo[0]
+		p.fifo = p.fifo[1:]
+		p.prioGrants = 0
+	default:
+		p.free++
+		p.prioGrants = 0
+	}
+	p.mu.Unlock()
+	if w != nil {
+		close(w.ch)
+	}
+}
+
+// queueDepth returns the number of tasks currently waiting for a slot.
+func (p *slotPool) queueDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.prio) + len(p.fifo)
+}
+
+// slotPools returns the cluster's shared admission pools, creating them on
+// first use. Pool capacity is frozen from MapSlots/ReduceSlots at that
+// point; every job running on this cluster — concurrently or not — draws
+// from the same two pools.
+func (c *Cluster) slotPools() (mapPool, reducePool *slotPool) {
+	c.poolsOnce.Do(func() {
+		c.mapPool = newSlotPool(c.mapSlots())
+		c.reducePool = newSlotPool(c.reduceSlots())
+	})
+	return c.mapPool, c.reducePool
+}
+
+// schedStats accumulates one job's admission outcomes for a phase; they
+// are folded into the job counters once per worker goroutine rather than
+// once per task.
+type schedStats struct {
+	admitted  int64
+	queued    int64
+	waitNanos int64
+	maxDepth  int64
+}
+
+// observe records one admission.
+func (s *schedStats) observe(waited time.Duration, depth int) {
+	s.admitted++
+	if depth > 0 {
+		s.queued++
+		s.waitNanos += waited.Nanoseconds()
+		if int64(depth) > s.maxDepth {
+			s.maxDepth = int64(depth)
+		}
+	}
+}
+
+// flush folds the accumulated outcomes into the job counters.
+func (s *schedStats) flush(counters *Counters) {
+	if s.admitted == 0 {
+		return
+	}
+	counters.Add(CounterSchedAdmitted, s.admitted)
+	counters.Add(CounterSchedQueued, s.queued)
+	counters.Add(CounterSchedWaitMicros, s.waitNanos/1e3)
+	counters.Max(CounterSchedMaxQueueDepth, s.maxDepth)
+}

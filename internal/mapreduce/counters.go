@@ -23,6 +23,17 @@ const (
 	CounterTaskRetries    = "tasks.retries"
 )
 
+// Admission-control counters (see admission.go). They describe how this
+// job's tasks fared against the cluster-shared slot pools: how many task
+// admissions happened, how many had to queue behind other jobs, the total
+// time spent waiting, and the deepest queue any of its tasks observed.
+const (
+	CounterSchedAdmitted      = "spq.sched.admitted"
+	CounterSchedQueued        = "spq.sched.queued"
+	CounterSchedWaitMicros    = "spq.sched.wait_us"
+	CounterSchedMaxQueueDepth = "spq.sched.queue.depth.max"
+)
+
 // Counters is a concurrency-safe registry of named int64 counters,
 // mirroring Hadoop job counters.
 type Counters struct {
@@ -50,6 +61,19 @@ func (c *Counters) cell(name string) *int64 {
 // Add atomically adds delta to the named counter.
 func (c *Counters) Add(name string, delta int64) {
 	atomic.AddInt64(c.cell(name), delta)
+}
+
+// Max raises the named counter to at least v. Used for high-watermark
+// counters (for example the deepest admission queue a job observed), which
+// Add semantics would overstate.
+func (c *Counters) Max(name string, v int64) {
+	p := c.cell(name)
+	for {
+		cur := atomic.LoadInt64(p)
+		if v <= cur || atomic.CompareAndSwapInt64(p, cur, v) {
+			return
+		}
+	}
 }
 
 // Get returns the current value of the named counter (0 if never touched).

@@ -20,8 +20,16 @@ type Cluster struct {
 	// in-memory; locality scheduling then degrades gracefully.
 	FS *dfs.FileSystem
 	// MapSlots and ReduceSlots bound task concurrency (default 1 each).
+	// The bound holds across ALL jobs running on this cluster: concurrent
+	// jobs draw their tasks from one shared admission-controlled slot pool
+	// per phase (see admission.go) instead of each assuming it owns every
+	// slot. Pool capacity is frozen at the first job; mutate the slot
+	// counts before running anything.
 	MapSlots    int
 	ReduceSlots int
+
+	poolsOnce           sync.Once
+	mapPool, reducePool *slotPool
 }
 
 // NewCluster returns a cluster with slots spread across the nodes of fs.
@@ -181,8 +189,12 @@ func assignMapTasks[I any](c *Cluster, splits []SourceSplit[I]) (perSlot [][]int
 }
 
 // runTasks executes fn for every task id in perSlot, one goroutine per
-// slot, stopping at the first error.
-func runTasks(perSlot [][]int, fn func(slot, task int) error) error {
+// slot, stopping at the first error. Each task is admitted through the
+// cluster-shared pool before it runs: with a single job the pool has one
+// token per goroutine and admission is immediate, while concurrent jobs
+// interleave their tasks fairly. Admission outcomes are recorded in the
+// job counters (spq.sched.*).
+func runTasks(perSlot [][]int, pool *slotPool, priority bool, counters *Counters, fn func(slot, task int) error) error {
 	var (
 		wg       sync.WaitGroup
 		firstErr atomic.Value
@@ -195,11 +207,24 @@ func runTasks(perSlot [][]int, fn func(slot, task int) error) error {
 		wg.Add(1)
 		go func(slot int) {
 			defer wg.Done()
+			var sched schedStats
+			defer sched.flush(counters)
 			for _, task := range perSlot[slot] {
 				if failed.Load() {
 					return
 				}
-				if err := fn(slot, task); err != nil {
+				waited, depth := pool.acquire(priority)
+				sched.observe(waited, depth)
+				if failed.Load() {
+					// The job failed while this task queued for admission;
+					// don't spend a shared slot on work whose output is
+					// discarded.
+					pool.release()
+					return
+				}
+				err := fn(slot, task)
+				pool.release()
+				if err != nil {
 					if failed.CompareAndSwap(false, true) {
 						firstErr.Store(err)
 					}
@@ -263,8 +288,9 @@ func runMapPhase[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], splits []Sour
 	attempts := maxAttempts(job)
 	r := job.NumReducers
 	states := make([]slotState, len(perSlot))
+	pool, _ := c.slotPools()
 
-	return runTasks(perSlot, func(slot, task int) error {
+	return runTasks(perSlot, pool, job.Priority, counters, func(slot, task int) error {
 		lc, ctx := states[slot].get(c, MapTask, slot)
 		for attempt := 1; ; attempt++ {
 			lc.reset()
@@ -442,7 +468,8 @@ func runReducePhase[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], parts []*p
 	outputs := make([][]O, r)
 	perSlot := roundRobin(r, c.reduceSlots())
 	states := make([]slotState, len(perSlot))
-	err := runTasks(perSlot, func(slot, task int) error {
+	_, pool := c.slotPools()
+	err := runTasks(perSlot, pool, job.Priority, counters, func(slot, task int) error {
 		lc, ctx := states[slot].get(c, ReduceTask, slot)
 		for attempt := 1; ; attempt++ {
 			lc.reset()

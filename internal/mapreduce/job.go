@@ -112,6 +112,13 @@ type Job[I, K, V, O any] struct {
 	// MaxAttempts is the per-task retry budget (default 1, i.e. no retry).
 	MaxAttempts int
 
+	// Priority admits this job's tasks through the cluster slot pools'
+	// priority lane, ahead of queued tasks of regular jobs. Reserved for
+	// jobs known to be cheap (the engine flags planned queries that read a
+	// small fraction of the input), so short queries are not stuck behind
+	// scan-heavy ones.
+	Priority bool
+
 	// FaultInjector, if non-nil, is consulted before each task attempt;
 	// a non-nil return fails that attempt. Used by the failure tests.
 	FaultInjector func(kind TaskKind, taskID, attempt int) error

@@ -15,6 +15,12 @@ import (
 //	F <id> <x> <y> <kw1,kw2,...>   — feature object
 //
 // This is the same format cmd/spqgen emits and the engine's DFS stores.
+//
+// Records are validated as they stream in — finite coordinates, unique
+// ids per dataset (see AddData) — and a bad record fails the load with an
+// error naming the line and the offending object. Lines before the bad
+// one stay loaded: the reader has been consumed, so the caller should
+// discard the engine on error.
 func (e *Engine) LoadLines(r io.Reader) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -32,6 +38,9 @@ func (e *Engine) LoadLines(r io.Reader) error {
 		n++
 		o, err := data.ParseLine(line, e.dict)
 		if err != nil {
+			return fmt.Errorf("spq: line %d: %w", n, err)
+		}
+		if err := e.checkLocked(o.Kind, o.ID, o.Loc.X, o.Loc.Y, nil); err != nil {
 			return fmt.Errorf("spq: line %d: %w", n, err)
 		}
 		e.addLocked(o)

@@ -26,6 +26,7 @@ package spq
 
 import (
 	"fmt"
+	"math"
 
 	"spq/internal/core"
 	"spq/internal/data"
@@ -159,6 +160,7 @@ type queryConfig struct {
 	autoPlan    bool
 	sealGridN   int
 	sealGridSet bool
+	noCache     bool
 }
 
 // WithAlgorithm selects the processing algorithm (default ESPQSco).
@@ -192,6 +194,14 @@ func WithAutoPlan() QueryOption {
 // if the engine is already sealed: the storage layout is write-once.
 func WithSealGrid(n int) QueryOption {
 	return func(c *queryConfig) { c.sealGridN = n; c.sealGridSet = true }
+}
+
+// WithoutCache bypasses the engine's query cache for this execution: the
+// query neither reads a cached report nor stores its own. Use it when the
+// actual execution matters — benchmarking, or reading fresh job counters
+// and timings for a query that may already be cached.
+func WithoutCache() QueryOption {
+	return func(c *queryConfig) { c.noCache = true }
 }
 
 // WithReducers overrides the number of reduce tasks (default: one per grid
@@ -236,6 +246,13 @@ func toFeatureObject(f Feature, dict *text.Dict) data.Object {
 func validateQuery(q Query) error {
 	if q.K <= 0 {
 		return fmt.Errorf("spq: query K = %d, must be positive", q.K)
+	}
+	if math.IsNaN(q.Radius) || math.IsInf(q.Radius, 0) {
+		// `q.Radius < 0` is false for NaN, so without this check a NaN
+		// radius used to slip through and silently return wrong results
+		// (every distance comparison against NaN is false); +Inf put every
+		// feature in range of every object. Reject both with a clear error.
+		return fmt.Errorf("spq: query radius = %g, must be finite", q.Radius)
 	}
 	if q.Radius < 0 {
 		return fmt.Errorf("spq: query radius = %g, must be non-negative", q.Radius)

@@ -42,6 +42,20 @@ func (e *Engine) LoadSynthetic(dataset string, n int) error {
 	if e.sealed {
 		return fmt.Errorf("spq: engine already sealed; datasets are write-once")
 	}
+	// Generated objects pass the same load-time validation as user input
+	// (finite coordinates, unique ids per dataset) — so loading the same
+	// synthetic family twice into one engine fails on the duplicate ids
+	// instead of silently corrupting top-k results.
+	for _, o := range ds.Data {
+		if err := e.checkLocked(o.Kind, o.ID, o.Loc.X, o.Loc.Y, nil); err != nil {
+			return err
+		}
+	}
+	for _, f := range ds.Features {
+		if err := e.checkLocked(f.Kind, f.ID, f.Loc.X, f.Loc.Y, nil); err != nil {
+			return err
+		}
+	}
 	for _, o := range ds.Data {
 		e.addLocked(o)
 	}
