@@ -10,12 +10,14 @@ import (
 	"sync"
 )
 
-// Query result cache. Sealed storage is immutable, so a query's report is
-// fully determined by (storage generation, canonicalized query, execution
-// options): repeated queries — the common case under serving traffic —
-// can skip the MapReduce job entirely. Entries are keyed on the seal
-// generation, so if re-sealing ever lands, a new seal invalidates every
-// cached report without any explicit flush.
+// Query result cache. A storage generation is immutable once published,
+// so a query's report is fully determined by (storage generation,
+// canonicalized query, execution options): repeated queries — the common
+// case under serving traffic — can skip the MapReduce job entirely.
+// Entries are keyed on the generation, which every committed append batch
+// and every compaction bumps, so a mutation invalidates every cached
+// report without any explicit flush: a query can never be served a report
+// computed against an older generation than the snapshot it runs on.
 
 // Per-report cache counters. A report served from the cache carries
 // CounterCacheHit = 1 (its other counters and timings are those of the
@@ -125,20 +127,25 @@ func copyReport(r *Report) *Report {
 		p := *r.Plan
 		cp.Plan = &p
 	}
+	if r.Delta != nil {
+		d := *r.Delta
+		cp.Delta = &d
+	}
 	return &cp
 }
 
 // cacheKey canonicalizes one query execution. Everything that can change
-// the report given a fixed sealed generation participates: the query
+// the report given a fixed storage generation participates: the query
 // itself (keywords sorted and de-duplicated, radius by exact bit pattern),
 // the algorithm, and every execution option that alters the job or the
-// plan. The seal generation prefixes the key, so re-sealing invalidates
-// by construction.
+// plan — including WithoutDelta, since base-only and base+delta reads of
+// the same generation may differ. The generation prefixes the key, so
+// appends and compactions invalidate by construction.
 func cacheKey(gen uint64, q Query, cfg *queryConfig) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "g%d|a%d|k%d|r%x|m%d|G%d|R%d|S%d|P%t|",
+	fmt.Fprintf(&b, "g%d|a%d|k%d|r%x|m%d|G%d|R%d|S%d|P%t|D%t|",
 		gen, cfg.alg, q.K, math.Float64bits(q.Radius), q.Mode,
-		cfg.gridN, cfg.reducers, cfg.spillEvery, cfg.autoPlan)
+		cfg.gridN, cfg.reducers, cfg.spillEvery, cfg.autoPlan, cfg.noDelta)
 	if cfg.bounds != nil {
 		fmt.Fprintf(&b, "B%x,%x,%x,%x|",
 			math.Float64bits(cfg.bounds.MinX), math.Float64bits(cfg.bounds.MinY),

@@ -1,0 +1,99 @@
+// Command benchguard compares two spqbench -json result files and fails
+// (exit 1) when the candidate's query latency regresses past the allowed
+// factor. Rows are matched on (figure, series, x); the comparison is the
+// geometric mean of the per-row millis ratios over the matched set, so a
+// single noisy cell cannot fail the gate and a uniform slowdown cannot
+// hide behind one fast cell. CI runs it against the checked-in baseline:
+//
+//	spqbench -json -quick > candidate.json
+//	benchguard -baseline BENCH_PR2_post.json -candidate candidate.json -max-ratio 2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+// row mirrors the spqbench -json output row (internal/bench.Row); only
+// the matching key and the latency participate.
+type row struct {
+	Figure string  `json:"figure"`
+	Series string  `json:"series"`
+	X      string  `json:"x"`
+	Millis float64 `json:"millis"`
+}
+
+func load(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64, len(rows))
+	for _, r := range rows {
+		if r.Millis > 0 {
+			out[r.Figure+"|"+r.Series+"|"+r.X] = r.Millis
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "", "baseline spqbench -json file")
+		candidate = flag.String("candidate", "", "candidate spqbench -json file")
+		maxRatio  = flag.Float64("max-ratio", 2.0, "fail when geomean(candidate/baseline) exceeds this")
+		minRows   = flag.Int("min-rows", 10, "fail when fewer rows match (guards against an empty comparison passing vacuously)")
+	)
+	flag.Parse()
+	if *baseline == "" || *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline and -candidate are required")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	cand, err := load(*candidate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+
+	var logSum float64
+	matched := 0
+	worstKey, worstRatio := "", 0.0
+	for key, cm := range cand {
+		bm, ok := base[key]
+		if !ok {
+			continue
+		}
+		ratio := cm / bm
+		logSum += math.Log(ratio)
+		matched++
+		if ratio > worstRatio {
+			worstKey, worstRatio = key, ratio
+		}
+	}
+	if matched < *minRows {
+		fmt.Fprintf(os.Stderr, "benchguard: only %d rows matched between %s and %s (want >= %d)\n",
+			matched, *baseline, *candidate, *minRows)
+		os.Exit(1)
+	}
+	geomean := math.Exp(logSum / float64(matched))
+	fmt.Printf("benchguard: %d rows matched, geomean latency ratio %.3fx (limit %.2fx), worst %.3fx at %s\n",
+		matched, geomean, *maxRatio, worstRatio, worstKey)
+	if geomean > *maxRatio {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL — geomean query latency regressed %.3fx > %.2fx\n",
+			geomean, *maxRatio)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: OK")
+}

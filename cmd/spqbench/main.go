@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"time"
@@ -39,9 +40,17 @@ func main() {
 		counters = flag.Bool("counters", false, "also print features-examined counters per figure")
 		jsonOut  = flag.Bool("json", false, "emit results as a JSON array of rows (figure, series, x, millis, counters) instead of tables")
 		conc     = flag.Int("concurrency", 0, "serving-throughput mode: run the concurrent-query workload with this many clients (skips the figures)")
+		appendN  = flag.Int("append", 0, "append-while-serving mode: run the query workload with this many clients while a writer streams records into the sealed engine (skips the figures)")
 	)
 	flag.Parse()
 
+	if *appendN > 0 {
+		if err := runAppend(*appendN, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "spqbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *conc > 0 {
 		if err := runConcurrency(*conc, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "spqbench: %v\n", err)
@@ -93,6 +102,186 @@ func main() {
 		return
 	}
 	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+}
+
+// appendWorkload deterministically generates the records of the append
+// phase: uniform locations over the unit square, 1–3 keywords per feature
+// from a 64-word vocabulary. Returned vocab feeds the query mix.
+func appendWorkload(n int) (dataObjs []spq.DataObject, feats []spq.Feature, vocab []string) {
+	vocab = make([]string, 64)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("kw%02d", i)
+	}
+	r := rand.New(rand.NewSource(17))
+	dataObjs = make([]spq.DataObject, n/2)
+	feats = make([]spq.Feature, n-n/2)
+	for i := range dataObjs {
+		dataObjs[i] = spq.DataObject{ID: uint64(i + 1), X: r.Float64(), Y: r.Float64()}
+	}
+	for i := range feats {
+		kws := make([]string, 1+r.Intn(3))
+		for j := range kws {
+			kws[j] = vocab[r.Intn(len(vocab))]
+		}
+		feats[i] = spq.Feature{ID: uint64(i + 1), X: r.Float64(), Y: r.Float64(), Keywords: kws}
+	}
+	return dataObjs, feats, vocab
+}
+
+// runAppend measures the generational-ingestion serving path: aggregate
+// QPS with N query clients against one engine while a writer goroutine
+// streams the second half of the dataset into the sealed base, with
+// automatic compactions folding the delta into fresh generations along the
+// way. Three phases:
+//
+//  1. N clients over the static sealed base — the baseline QPS;
+//  2. the same query mix repeated while the writer appends — the
+//     append-under-load QPS, plus generation/compaction accounting;
+//  3. after a final compaction, a query-by-query proof that the engine
+//     serves exactly the results of a reference engine that loaded
+//     everything pre-seal in one batch.
+func runAppend(clients int, quick bool) error {
+	size, queries := 60000, 240
+	if quick {
+		size, queries = 8000, 48
+	}
+	slots := runtime.NumCPU()
+	dataObjs, feats, vocab := appendWorkload(size)
+	half, fhalf := len(dataObjs)/2, len(feats)/2
+	cfg := spq.Config{
+		Storage:     spq.StorageMemory,
+		MapSlots:    slots,
+		ReduceSlots: slots,
+		// A few automatic compactions during the stream: the threshold is
+		// an eighth of the records the writer appends.
+		CompactAfter: (len(dataObjs) - half + len(feats) - fhalf) / 8,
+	}
+	eng := spq.NewEngine(cfg)
+	if err := eng.AddData(dataObjs[:half]...); err != nil {
+		return err
+	}
+	if err := eng.AddFeature(feats[:fhalf]...); err != nil {
+		return err
+	}
+	if err := eng.Seal(); err != nil {
+		return err
+	}
+	baseGen := eng.Generation()
+
+	query := func(i int) spq.Query {
+		return spq.Query{K: 10, Radius: 0.02, Keywords: bench.RotatingKeywords(vocab, i)}
+	}
+	// Both measured phases bypass the cache: between append commits the
+	// generation is stable and repeats would be cache hits, which measures
+	// the cache instead of the delta-merging read path under comparison.
+	run := func(i int) (string, error) {
+		res, err := eng.Query(query(i%queries), spq.WithAutoPlan(), spq.WithoutCache())
+		return fmt.Sprint(res), err
+	}
+
+	fmt.Printf("# append — uniform %d records (half sealed, half streamed), %d distinct queries, %d slots, compact-after %d\n",
+		size, queries, slots, cfg.CompactAfter)
+	static, _, err := bench.RunConcurrent(queries, clients, run)
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.FormatConcurrencyPoint("static base", static, static))
+
+	// Phase 2: the writer streams the second half in small batches while
+	// the clients keep querying; every committed batch bumps the
+	// generation, so cache hits are only possible between consecutive
+	// commits — the worst case for the cache, the target case for the
+	// delta path.
+	const batch = 500
+	var (
+		writerErr error
+		done      = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		d, f := dataObjs[half:], feats[fhalf:]
+		for len(d) > 0 || len(f) > 0 {
+			nd := min(batch, len(d))
+			if nd > 0 {
+				if writerErr = eng.AddData(d[:nd]...); writerErr != nil {
+					return
+				}
+				d = d[nd:]
+			}
+			nf := min(batch, len(f))
+			if nf > 0 {
+				if writerErr = eng.AddFeature(f[:nf]...); writerErr != nil {
+					return
+				}
+				f = f[nf:]
+			}
+		}
+	}()
+	appendQueries := 0
+	start := time.Now()
+	for {
+		p, _, err := bench.RunConcurrent(queries, clients, run)
+		if err != nil {
+			return err
+		}
+		appendQueries += p.Queries
+		select {
+		case <-done:
+		default:
+			continue
+		}
+		break
+	}
+	elapsed := time.Since(start)
+	if writerErr != nil {
+		return fmt.Errorf("writer: %w", writerErr)
+	}
+	during := bench.ConcurrencyPoint{
+		Clients: clients,
+		Queries: appendQueries,
+		Millis:  float64(elapsed.Microseconds()) / 1000,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		during.QPS = float64(appendQueries) / s
+	}
+	fmt.Println(bench.FormatConcurrencyPoint("while appending", during, static))
+	fmt.Printf("generations: %d -> %d (%d delta records uncompacted)\n",
+		baseGen, eng.Generation(), eng.DeltaLen())
+
+	// Phase 3: fold the tail in and prove result identity against a
+	// reference engine that loaded everything pre-seal.
+	if err := eng.Compact(); err != nil {
+		return err
+	}
+	ref := spq.NewEngine(spq.Config{Storage: spq.StorageMemory, MapSlots: slots, ReduceSlots: slots})
+	if err := ref.AddData(dataObjs...); err != nil {
+		return err
+	}
+	if err := ref.AddFeature(feats...); err != nil {
+		return err
+	}
+	if err := ref.Seal(); err != nil {
+		return err
+	}
+	runOn := func(e *spq.Engine) bench.QueryFunc {
+		return func(i int) (string, error) {
+			res, err := e.Query(query(i%queries), spq.WithAutoPlan(), spq.WithoutCache())
+			return fmt.Sprint(res), err
+		}
+	}
+	_, wantFPs, err := bench.RunConcurrent(queries, 1, runOn(ref))
+	if err != nil {
+		return err
+	}
+	_, gotFPs, err := bench.RunConcurrent(queries, 1, runOn(eng))
+	if err != nil {
+		return err
+	}
+	if i := bench.DiffFingerprints(wantFPs, gotFPs); i >= 0 {
+		return fmt.Errorf("query %d differs between the appended+compacted engine and the pre-seal batch reference", i)
+	}
+	fmt.Println("results: appended+compacted engine identical to pre-seal batch load, query by query")
+	return nil
 }
 
 // runConcurrency measures the serving stack: aggregate QPS with N

@@ -62,11 +62,19 @@ type Config struct {
 	// (WithAutoPlan) prunes against. Default DefaultSealGridN.
 	SealGridN int
 	// QueryCache bounds the engine's query result cache, in cached
-	// reports. Sealed storage is immutable, so repeated queries are served
-	// from the cache without re-running the MapReduce job; entries are
-	// keyed on the seal generation and evicted LRU. Zero selects
+	// reports. Repeated queries against an unchanged storage generation
+	// are served from the cache without re-running the MapReduce job;
+	// entries are keyed on the generation — bumped by every seal, append
+	// batch and compaction — and evicted LRU. Zero selects
 	// DefaultQueryCacheSize; a negative value disables caching entirely.
 	QueryCache int
+	// CompactAfter bounds the in-memory delta of a sealed engine, in
+	// records: once an append batch leaves at least CompactAfter records
+	// in the delta, the engine compacts automatically — re-sealing
+	// base+delta into a new storage generation (see Compact). Zero selects
+	// DefaultCompactAfter; a negative value disables automatic compaction
+	// (Compact can still be called explicitly).
+	CompactAfter int
 	// Seed drives DFS block placement.
 	Seed int64
 }
@@ -87,6 +95,9 @@ func (c Config) withDefaults() Config {
 	if c.QueryCache == 0 {
 		c.QueryCache = DefaultQueryCacheSize
 	}
+	if c.CompactAfter == 0 {
+		c.CompactAfter = DefaultCompactAfter
+	}
 	return c
 }
 
@@ -94,14 +105,17 @@ func (c Config) withDefaults() Config {
 // the memory-mode object layout.
 type memRange struct{ lo, hi int }
 
-// snapshot is the immutable read-path view of the sealed storage. It is
-// published once, atomically, when the engine seals; from then on queries
-// load it without taking the engine mutex, so N concurrent queries
-// proceed lock-free over the shared sealed state.
+// snapshot is the immutable read-path view of the engine's storage: the
+// sealed base generation plus — under generational ingestion — the
+// in-memory delta of records appended since. A new snapshot is published
+// atomically by every seal, committed append batch and compaction; queries
+// load it without taking the engine mutex, so N concurrent queries proceed
+// lock-free over the shared state, and a query in flight across a
+// compaction simply finishes on the snapshot it started with.
 type snapshot struct {
-	// gen is the seal generation the snapshot belongs to. It keys the
-	// query cache: a later generation (if re-sealing ever lands) makes
-	// every cached report unreachable without an explicit flush.
+	// gen is the storage generation the snapshot belongs to. It keys the
+	// query cache: any mutation bumps it, making every older cached report
+	// unreachable without an explicit flush.
 	gen      uint64
 	manifest *data.Manifest
 	bounds   geo.Rect
@@ -109,11 +123,16 @@ type snapshot struct {
 	// index-range mapping of its partitions. Nil under DFS storage.
 	sealedObjs []data.Object
 	memLayout  map[string]memRange
+	// delta is the view of records appended after the base sealed; nil
+	// when the delta is empty.
+	delta *deltaState
 }
 
 // Engine owns a simulated cluster (DFS + worker slots), a keyword
-// dictionary, and the loaded datasets. It is safe for concurrent queries
-// once sealed; loading methods must not race with queries.
+// dictionary, and the loaded datasets. Once sealed it is safe for full
+// concurrency: any number of goroutines may query while others append
+// (appends serialize among themselves on the engine mutex; queries never
+// take it).
 type Engine struct {
 	cfg     Config
 	fs      *dfs.FileSystem
@@ -130,13 +149,15 @@ type Engine struct {
 	nData   int
 	nFeats  int
 	// dataIDs and featIDs track the loaded object ids of each dataset, so
-	// duplicate ids are rejected at load time (see AddData).
+	// duplicate ids are rejected at load time (see AddData). They span the
+	// sealed base and the delta: an append can never shadow a sealed id.
 	dataIDs map[uint64]struct{}
 	featIDs map[uint64]struct{}
 	bounds  geo.Rect
 	sealed  bool
 	gen     uint64
 	fileSeq int
+	sealN   int // seal grid edge of the current base generation
 
 	// Sealed state: the manifest of the partitioned storage layout, plus
 	// — under StorageMemory — the cell-ordered object slice and the name
@@ -144,6 +165,11 @@ type Engine struct {
 	manifest   *data.Manifest
 	sealedObjs []data.Object
 	memLayout  map[string]memRange
+
+	// delta holds the records appended after the last seal or compaction,
+	// in append order. It is append-only between compactions: published
+	// snapshots hold fixed-length prefixes of it (see deltaState).
+	delta []data.Object
 }
 
 // NewEngine creates an engine with the given configuration.
@@ -181,12 +207,18 @@ func NewEngine(cfg Config) *Engine {
 // in separate namespaces; a data object may share an id with a feature).
 // The whole batch is validated before any of it is loaded, so a rejected
 // call leaves the engine unchanged.
+//
+// On a sealed engine the batch appends into the in-memory delta instead:
+// validation is identical (duplicate-id checks span the sealed base and
+// the delta), the records become visible to queries atomically when the
+// call returns, and they are merged into sealed storage by the next
+// compaction. See Compact and Config.CompactAfter. One caveat to the
+// unchanged-on-error rule: if the batch itself commits but the automatic
+// compaction it triggers fails, the returned error says so explicitly —
+// the records ARE appended and served, so the batch must not be retried.
 func (e *Engine) AddData(objs ...DataObject) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.sealed {
-		return fmt.Errorf("spq: engine already sealed; datasets are write-once")
-	}
 	seen := make(map[uint64]struct{}, len(objs))
 	for _, o := range objs {
 		if err := e.checkLocked(data.DataObject, o.ID, o.X, o.Y, seen); err != nil {
@@ -196,18 +228,16 @@ func (e *Engine) AddData(objs ...DataObject) error {
 	for _, o := range objs {
 		e.addLocked(data.Object{Kind: data.DataObject, ID: o.ID, Loc: geo.Point{X: o.X, Y: o.Y}})
 	}
-	return nil
+	return e.commitLocked()
 }
 
 // AddFeature loads feature objects (the keyword-annotated objects that
-// score data objects). Validation follows AddData: finite coordinates,
-// unique ids within the feature dataset, all-or-nothing per call.
+// score data objects). Validation and sealed-engine append semantics
+// follow AddData: finite coordinates, unique ids within the feature
+// dataset, all-or-nothing per call.
 func (e *Engine) AddFeature(feats ...Feature) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.sealed {
-		return fmt.Errorf("spq: engine already sealed; datasets are write-once")
-	}
 	seen := make(map[uint64]struct{}, len(feats))
 	for _, f := range feats {
 		if err := e.checkLocked(data.FeatureObject, f.ID, f.X, f.Y, seen); err != nil {
@@ -217,7 +247,45 @@ func (e *Engine) AddFeature(feats ...Feature) error {
 	for _, f := range feats {
 		e.addLocked(toFeatureObject(f, e.dict))
 	}
+	return e.commitLocked()
+}
+
+// commitLocked finishes a successful load batch. Before the first seal it
+// is a no-op: records sit in the load buffer until Seal. On a sealed
+// engine it publishes the post-append snapshot — appended records are
+// invisible to queries until their whole batch commits, as one generation
+// bump — and compacts when the delta has grown past the configured
+// threshold. A compaction failure is reported but does not un-append the
+// batch: the records are already durable in the (published) delta.
+func (e *Engine) commitLocked() error {
+	if !e.sealed {
+		return nil
+	}
+	e.publishLocked()
+	if e.cfg.CompactAfter > 0 && len(e.delta) >= e.cfg.CompactAfter {
+		if err := e.compactLocked(); err != nil {
+			return fmt.Errorf("spq: records appended, but automatic compaction failed: %w", err)
+		}
+	}
 	return nil
+}
+
+// publishLocked bumps the generation and atomically swaps in a snapshot of
+// the engine's current state: the sealed base plus a fixed-length view of
+// the delta. In-flight queries keep the snapshot they loaded.
+func (e *Engine) publishLocked() {
+	e.gen++
+	s := &snapshot{
+		gen:        e.gen,
+		manifest:   e.manifest,
+		bounds:     e.bounds,
+		sealedObjs: e.sealedObjs,
+		memLayout:  e.memLayout,
+	}
+	if len(e.delta) > 0 {
+		s.delta = &deltaState{objs: e.delta[:len(e.delta)]}
+	}
+	e.snap.Store(s)
 }
 
 // checkLocked validates one incoming object: finite coordinates and an id
@@ -246,10 +314,15 @@ func (e *Engine) checkLocked(kind data.Kind, id uint64, x, y float64, seen map[u
 
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
-// addLocked appends one validated object, maintaining the dataset counts,
-// the id sets and the bounds incrementally so Len and Bounds stay O(1).
+// addLocked appends one validated object — to the load buffer before the
+// first seal, to the delta after — maintaining the dataset counts, the id
+// sets and the bounds incrementally so Len and Bounds stay O(1).
 func (e *Engine) addLocked(o data.Object) {
-	e.objects = append(e.objects, o)
+	if e.sealed {
+		e.delta = append(e.delta, o)
+	} else {
+		e.objects = append(e.objects, o)
+	}
 	if o.Kind == data.DataObject {
 		e.nData++
 		e.dataIDs[o.ID] = struct{}{}
@@ -279,14 +352,27 @@ func (e *Engine) Bounds() (minX, minY, maxX, maxY float64) {
 	return e.bounds.MinX, e.bounds.MinY, e.bounds.MaxX, e.bounds.MaxY
 }
 
-// allObjectsLocked returns the loaded objects regardless of seal state:
-// the load-time slice before Seal, the cell-ordered sealed layout after a
-// memory-mode Seal (which releases the load-time slice).
-func (e *Engine) allObjectsLocked() []data.Object {
+// baseObjectsLocked returns the objects of the sealed base generation (or
+// the load buffer before the first seal): the load-order slice under DFS
+// storage, the cell-ordered sealed layout under memory storage (which
+// releases the load-time slice at seal).
+func (e *Engine) baseObjectsLocked() []data.Object {
 	if e.sealedObjs != nil {
 		return e.sealedObjs
 	}
 	return e.objects
+}
+
+// allObjectsLocked returns every loaded object — base plus delta. The
+// returned slice aliases engine state when the delta is empty and must
+// not be mutated or retained past the lock.
+func (e *Engine) allObjectsLocked() []data.Object {
+	base := e.baseObjectsLocked()
+	if len(e.delta) == 0 {
+		return base
+	}
+	out := make([]data.Object, 0, len(base)+len(e.delta))
+	return append(append(out, base...), e.delta...)
 }
 
 // Manifest returns the partition manifest of the sealed storage layout,
@@ -298,21 +384,22 @@ func (e *Engine) Manifest() *data.Manifest {
 	return e.manifest
 }
 
-// Seal publishes the loaded datasets to storage (write-once, like HDFS).
-// Storage is partition-aware: objects are written as per-cell files over
-// the seal grid (Config.SealGridN), with a persisted manifest carrying
-// per-cell statistics — record counts, tight bounding rectangles, keyword
-// summaries — that the query planner uses to skip irrelevant files.
-// Query seals implicitly; calling Seal explicitly lets the caller observe
-// storage errors early. Loading after Seal fails.
+// Seal publishes the loaded datasets to storage (write-once files, like
+// HDFS). Storage is partition-aware: objects are written as per-cell files
+// over the seal grid (Config.SealGridN), with a persisted manifest
+// carrying per-cell statistics — record counts, tight bounding rectangles,
+// keyword summaries — that the query planner uses to skip irrelevant
+// files. Query seals implicitly; calling Seal explicitly lets the caller
+// observe storage errors early. Loading after Seal appends into the
+// in-memory delta (see AddData and Compact) — the engine stays writable.
 func (e *Engine) Seal() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.sealLocked(0)
 }
 
-// sealLocked partitions and publishes the datasets. sealGridN overrides
-// the configured seal grid when positive (WithSealGrid).
+// sealLocked performs the first seal. sealGridN overrides the configured
+// seal grid when positive (WithSealGrid).
 func (e *Engine) sealLocked(sealGridN int) error {
 	if e.sealed {
 		return nil
@@ -320,6 +407,17 @@ func (e *Engine) sealLocked(sealGridN int) error {
 	if len(e.objects) == 0 {
 		return fmt.Errorf("spq: no objects loaded")
 	}
+	return e.writeGenerationLocked(e.objects, sealGridN)
+}
+
+// writeGenerationLocked partitions objs over the seal grid, writes them as
+// a fresh storage generation (new file prefix; existing files are never
+// touched, so queries in flight on the previous snapshot keep reading it),
+// and atomically publishes the new snapshot with an empty delta. On error
+// the engine keeps serving its previous generation unchanged; any
+// partially written files of the failed generation are orphaned under a
+// prefix no snapshot references.
+func (e *Engine) writeGenerationLocked(objs []data.Object, sealGridN int) error {
 	n := sealGridN
 	if n <= 0 {
 		n = e.cfg.SealGridN
@@ -333,7 +431,8 @@ func (e *Engine) sealLocked(sealGridN int) error {
 	g := grid.New(bounds, n, n)
 	prefix := fmt.Sprintf("spq-objects-%d", e.fileSeq)
 	e.fileSeq++
-	parts := data.PartitionObjects(g, e.objects)
+	parts := data.PartitionObjects(g, objs)
+	parts.Generation = e.gen + 1
 	switch e.cfg.Storage {
 	case StorageDFS, StorageDFSBinary:
 		man, err := parts.SealDFS(e.fs, prefix, e.dict, e.cfg.Storage == StorageDFSBinary)
@@ -341,34 +440,73 @@ func (e *Engine) sealLocked(sealGridN int) error {
 			return fmt.Errorf("spq: seal: %w", err)
 		}
 		e.manifest = man
+		e.objects = objs // retained: future compactions re-seal base+delta
+		e.sealedObjs, e.memLayout = nil, nil
 	default:
 		man, ordered := parts.SealMemory(prefix, e.dict)
 		e.manifest = man
 		e.sealedObjs = ordered
 		e.objects = nil
-		e.memLayout = make(map[string]memRange, len(man.Data)+len(man.Features))
-		off := 0
-		for _, cs := range man.Data {
-			e.memLayout[cs.File] = memRange{lo: off, hi: off + cs.Records}
-			off += cs.Records
-		}
-		for _, cs := range man.Features {
-			e.memLayout[cs.File] = memRange{lo: off, hi: off + cs.Records}
-			off += cs.Records
-		}
+		e.memLayout = cellLayout(man.Data, man.Features)
 	}
 	e.sealed = true
-	e.gen++
+	e.sealN = n
+	e.delta = nil
 	// Publish the read-path snapshot: from here on queries run lock-free
 	// against this immutable view (see snapshotFor).
-	e.snap.Store(&snapshot{
-		gen:        e.gen,
-		manifest:   e.manifest,
-		bounds:     e.bounds,
-		sealedObjs: e.sealedObjs,
-		memLayout:  e.memLayout,
-	})
+	e.publishLocked()
 	return nil
+}
+
+// Compact merges the sealed base generation with the in-memory delta and
+// re-seals them as one new storage generation: the delta's records gain
+// partitioned cell files and manifest statistics (so the planner prunes
+// them as effectively as the original load), the delta empties, and the
+// new snapshot is swapped in atomically — queries already in flight finish
+// on the generation they started with, and the generation bump makes every
+// cached report from older generations unreachable. With an empty delta it
+// is a no-op; on an engine that has never sealed it performs the first
+// Seal. Old generation files are not deleted: in-flight queries may still
+// be reading them (write-once storage makes this safe, at the cost of
+// space until the engine is discarded).
+func (e *Engine) Compact() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.sealed {
+		return e.sealLocked(0)
+	}
+	return e.compactLocked()
+}
+
+// compactLocked re-seals base+delta. Caller holds e.mu and has sealed.
+func (e *Engine) compactLocked() error {
+	if len(e.delta) == 0 {
+		return nil
+	}
+	base := e.baseObjectsLocked()
+	merged := make([]data.Object, 0, len(base)+len(e.delta))
+	merged = append(append(merged, base...), e.delta...)
+	return e.writeGenerationLocked(merged, e.sealN)
+}
+
+// Generation returns the storage generation queries are currently served
+// from: 0 before the first seal, bumped by Seal, by every committed append
+// batch and by Compact. The query cache is keyed on it, so a report cached
+// against an older generation is never served to a newer one.
+func (e *Engine) Generation() uint64 {
+	if s := e.snap.Load(); s != nil {
+		return s.gen
+	}
+	return 0
+}
+
+// DeltaLen returns the number of records currently in the in-memory delta
+// — appended after the last seal or compaction and not yet compacted. 0 on
+// an unsealed engine.
+func (e *Engine) DeltaLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.delta)
 }
 
 // snapshotFor returns the published read-path snapshot, sealing first if
@@ -409,44 +547,10 @@ func (e *Engine) source(s *snapshot, files []string) mapreduce.Source[data.Objec
 }
 
 // memorySource builds an in-memory source over the selected partitions of
-// the snapshot. Partitions are contiguous sub-slices of the sealed
-// layout; adjacent selections are merged and then re-split into ~2 chunks
-// per map slot, so no object is ever copied and an unpruned query still
-// gets a handful of big splits rather than one per cell.
+// the snapshot's sealed layout, re-split into ~2 chunks per map slot (see
+// memoryChunks, which the delta view shares).
 func (e *Engine) memorySource(s *snapshot, files []string) mapreduce.Source[data.Object] {
-	var runs []memRange
-	total := 0
-	for _, f := range files {
-		r, ok := s.memLayout[f]
-		if !ok {
-			continue
-		}
-		total += r.hi - r.lo
-		if n := len(runs); n > 0 && runs[n-1].hi == r.lo {
-			runs[n-1].hi = r.hi
-		} else {
-			runs = append(runs, r)
-		}
-	}
-	src := &mapreduce.MemorySource[data.Object]{}
-	if total == 0 {
-		return src
-	}
-	target := e.cfg.MapSlots * 2
-	if target < 1 {
-		target = 1
-	}
-	chunkSize := (total + target - 1) / target
-	for _, r := range runs {
-		for lo := r.lo; lo < r.hi; lo += chunkSize {
-			hi := lo + chunkSize
-			if hi > r.hi {
-				hi = r.hi
-			}
-			src.Chunks = append(src.Chunks, s.sealedObjs[lo:hi])
-		}
-	}
-	return src
+	return memoryChunks(s.sealedObjs, s.memLayout, files, e.cfg.MapSlots*2)
 }
 
 // Query runs a spatial preference query and returns the ranked results.
@@ -467,11 +571,12 @@ const defaultGridN = 16
 //
 // Serving path: the first query seals the engine (under the engine
 // mutex); every later query runs lock-free against the published
-// snapshot, consults the query cache (a repeated query returns the cached
-// report, marked with the spq.cache.hit counter, without running a job),
-// and draws its map/reduce tasks from the cluster-shared admission pools,
-// so concurrent queries share the configured slots fairly instead of
-// oversubscribing the machine.
+// snapshot — the sealed base plus any in-memory delta of appended
+// records — consults the query cache (a repeated query returns the
+// cached report, marked with the spq.cache.hit counter, without running
+// a job), and draws its map/reduce tasks from the cluster-shared
+// admission pools, so concurrent queries share the configured slots
+// fairly instead of oversubscribing the machine.
 func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 	if err := validateQuery(q); err != nil {
 		return nil, err
@@ -513,14 +618,39 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 		}
 		bounds = bounds.Expand(pad)
 	}
+	// The delta participating in this query: records appended after the
+	// base generation sealed, unless the caller opted out.
+	delta := snap.delta
+	if cfg.noDelta {
+		delta = nil
+	}
+	deltaStats := &DeltaStats{Generation: snap.gen}
+	if delta != nil {
+		deltaStats.Records = int64(len(delta.objs))
+		deltaStats.RecordsSelected = deltaStats.Records
+	}
 	gridN := cfg.gridN
 	reducers := cfg.reducers
 	files := snap.manifest.Files()
+	var deltaSrc mapreduce.Source[data.Object]
+	if delta != nil && !cfg.autoPlan {
+		// Unplanned queries read the whole delta in append order; planned
+		// queries build their source from the surviving delta cells below.
+		deltaSrc = mapreduce.NewMemorySource(delta.objs, e.cfg.MapSlots*2)
+	}
 	var planStats *PlanStats
-	var extraCounters map[string]int64
+	extraCounters := deltaCounters(nil, deltaStats)
 	priority := false
 	if cfg.autoPlan {
-		dec := plan.Plan(snap.manifest, plan.Input{
+		var view *deltaView
+		var deltaData, deltaFeatures []data.CellStats
+		if delta != nil {
+			// Partition the delta over the manifest's seal grid (lazily,
+			// once per snapshot) so its cells prune like sealed ones.
+			view = delta.buildView(snap.manifest, e.dict)
+			deltaData, deltaFeatures = view.dataCells, view.featureCells
+		}
+		dec := plan.PlanGenerations(snap.manifest, deltaData, deltaFeatures, plan.Input{
 			Radius:      q.Radius,
 			Keywords:    q.Keywords,
 			ReduceSlots: e.cfg.ReduceSlots,
@@ -530,7 +660,10 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 		files = dec.Files
 		gridN = dec.GridN
 		reducers = dec.NumReducers
-		extraCounters = dec.Counters()
+		deltaStats.Cells = dec.Stats.DeltaCells
+		deltaStats.CellsPruned = dec.Stats.DeltaCellsPruned
+		deltaStats.RecordsSelected = dec.Stats.DeltaRecordsSelected
+		extraCounters = deltaCounters(dec.Counters(), deltaStats)
 		planStats = newPlanStats(dec)
 		// A plan that proves the query cheap (it reads at most a quarter
 		// of the stored records) earns the admission priority lane, so
@@ -538,17 +671,30 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 		priority = dec.Stats.RecordsTotal > 0 &&
 			dec.Stats.RecordsSelected*4 <= dec.Stats.RecordsTotal
 		if dec.Empty() {
-			rep, err := e.emptyPlanReport(q, cfg, bounds, planStats, extraCounters)
+			rep, err := e.emptyPlanReport(q, cfg, bounds, planStats, deltaStats, extraCounters)
 			if err != nil {
 				return nil, err
 			}
 			return e.finishQuery(key, rep), nil
+		}
+		if view != nil && len(dec.DeltaData)+len(dec.DeltaFeatures) > 0 {
+			sel := make([]string, 0, len(dec.DeltaData)+len(dec.DeltaFeatures))
+			for _, cs := range dec.DeltaData {
+				sel = append(sel, cs.File)
+			}
+			for _, cs := range dec.DeltaFeatures {
+				sel = append(sel, cs.File)
+			}
+			deltaSrc = memoryChunks(view.ordered, view.layout, sel, e.cfg.MapSlots*2)
 		}
 	}
 	if gridN <= 0 {
 		gridN = defaultGridN
 	}
 	src := e.source(snap, files)
+	if deltaSrc != nil {
+		src = mapreduce.Concat(src, deltaSrc)
+	}
 
 	cq := core.Query{K: q.K, Radius: q.Radius, Keywords: e.dict.InternAll(q.Keywords), Mode: q.Mode}
 	rep, err := core.Run(cfg.alg, src, cq, core.Options{
@@ -568,10 +714,28 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 		Results:      toResults(rep.Results),
 		Counters:     rep.Counters,
 		Plan:         planStats,
+		Delta:        deltaStats,
 		MapMillis:    float64(rep.Stats.MapDuration.Microseconds()) / 1000,
 		ReduceMillis: float64(rep.Stats.ReduceDuration.Microseconds()) / 1000,
 		TotalMillis:  float64(rep.Stats.Duration.Microseconds()) / 1000,
 	}), nil
+}
+
+// deltaCounters merges the spq.delta.* counters into base (the planner's
+// counter map, or nil). They are emitted only when a delta was actually
+// visible to the query, so delta-free executions keep their counter sets
+// unchanged.
+func deltaCounters(base map[string]int64, ds *DeltaStats) map[string]int64 {
+	if ds.Records == 0 {
+		return base
+	}
+	if base == nil {
+		base = make(map[string]int64, 3)
+	}
+	base[CounterDeltaRecords] = ds.Records
+	base[CounterDeltaRecordsSelected] = ds.RecordsSelected
+	base[CounterDeltaCellsPruned] = int64(ds.CellsPruned)
+	return base
 }
 
 // finishQuery stores an executed report in the query cache (when this
@@ -603,7 +767,7 @@ func (e *Engine) CacheStats() CacheStats {
 // entirely. The execution is still validated through the same core
 // precondition check the executed path runs, so a query core.Run would
 // reject fails identically whether or not the planner short-circuits.
-func (e *Engine) emptyPlanReport(q Query, cfg queryConfig, bounds geo.Rect, planStats *PlanStats, counters map[string]int64) (*Report, error) {
+func (e *Engine) emptyPlanReport(q Query, cfg queryConfig, bounds geo.Rect, planStats *PlanStats, deltaStats *DeltaStats, counters map[string]int64) (*Report, error) {
 	cq := core.Query{K: q.K, Radius: q.Radius, Keywords: e.dict.InternAll(q.Keywords), Mode: q.Mode}
 	if err := core.Validate(cfg.alg, cq, core.Options{Bounds: bounds}); err != nil {
 		return nil, err
@@ -612,6 +776,7 @@ func (e *Engine) emptyPlanReport(q Query, cfg queryConfig, bounds geo.Rect, plan
 		Algorithm: cfg.alg,
 		Counters:  counters,
 		Plan:      planStats,
+		Delta:     deltaStats,
 	}, nil
 }
 

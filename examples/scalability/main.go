@@ -6,9 +6,11 @@
 // scaling result.
 //
 //	go run ./examples/scalability
+//	go run ./examples/scalability -base 500   # tiny run (CI smoke)
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,8 +18,10 @@ import (
 )
 
 func main() {
+	base := flag.Int("base", 8000, "smallest dataset size; the example doubles it three times")
+	flag.Parse()
 	fmt.Printf("%-8s  %10s  %10s  %10s\n", "objects", "pSPQ(ms)", "eSPQlen(ms)", "eSPQsco(ms)")
-	for _, n := range []int{8000, 16000, 32000, 64000} {
+	for _, n := range []int{*base, *base * 2, *base * 4, *base * 8} {
 		var times []float64
 		for _, alg := range spq.Algorithms() {
 			eng := spq.NewEngine(spq.Config{Storage: spq.StorageMemory})

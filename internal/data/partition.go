@@ -130,11 +130,17 @@ type CellStats struct {
 // dataset: the seal grid, the storage format, and per-cell statistics for
 // both datasets. Only non-empty cells appear.
 type Manifest struct {
-	Version  int         `json:"version"`
-	Format   string      `json:"format"`
-	Grid     GridSpec    `json:"grid"`
-	Data     []CellStats `json:"data"`
-	Features []CellStats `json:"features"`
+	Version int    `json:"version"`
+	Format  string `json:"format"`
+	// Generation is the storage generation this manifest seals. Under
+	// generational ingestion the engine re-seals base+delta into a fresh
+	// manifest on every compaction; the strictly increasing generation is
+	// what keys query caches and lets readers tell apart the layouts. 0 in
+	// manifests written before generations existed.
+	Generation uint64      `json:"generation,omitempty"`
+	Grid       GridSpec    `json:"grid"`
+	Data       []CellStats `json:"data"`
+	Features   []CellStats `json:"features"`
 }
 
 // Files returns every cell file of the manifest, data cells first.
@@ -204,9 +210,12 @@ type CellPart struct {
 // feature objects separately, each sorted by cell id for deterministic
 // file layout.
 type Partitions struct {
-	Grid     *grid.Grid
-	Data     []CellPart
-	Features []CellPart
+	Grid *grid.Grid
+	// Generation, when set before sealing, is recorded in the manifest (see
+	// Manifest.Generation).
+	Generation uint64
+	Data       []CellPart
+	Features   []CellPart
 }
 
 // PartitionObjects assigns every object to its enclosing seal-grid cell.
@@ -277,9 +286,10 @@ func (p *Partitions) SealDFS(fs *dfs.FileSystem, prefix string, dict *text.Dict,
 		ext, format = "seq", FormatBinary
 	}
 	m := &Manifest{
-		Version: ManifestVersion,
-		Format:  format,
-		Grid:    GridSpec{Bounds: p.Grid.Bounds(), N: dims(p.Grid)},
+		Version:    ManifestVersion,
+		Format:     format,
+		Generation: p.Generation,
+		Grid:       GridSpec{Bounds: p.Grid.Bounds(), N: dims(p.Grid)},
 	}
 	write := func(part CellPart, kind string, withKeywords bool) (CellStats, error) {
 		name := cellFileName(prefix, kind, part.Cell, ext)
@@ -343,10 +353,23 @@ func (p *Partitions) SealDFS(fs *dfs.FileSystem, prefix string, dict *text.Dict,
 // no per-query copying is ever needed.
 func (p *Partitions) SealMemory(prefix string, dict *text.Dict) (*Manifest, []Object) {
 	m := &Manifest{
-		Version: ManifestVersion,
-		Format:  FormatMemory,
-		Grid:    GridSpec{Bounds: p.Grid.Bounds(), N: dims(p.Grid)},
+		Version:    ManifestVersion,
+		Format:     FormatMemory,
+		Generation: p.Generation,
+		Grid:       GridSpec{Bounds: p.Grid.Bounds(), N: dims(p.Grid)},
 	}
+	var ordered []Object
+	m.Data, m.Features, ordered = p.CellView(prefix, dict)
+	return m, ordered
+}
+
+// CellView computes the per-cell statistics and the cell-ordered object
+// layout of the partitions without writing any storage: the in-memory
+// analogue of a seal. It is what generational ingestion uses to describe
+// the unsealed delta to the query planner — the returned CellStats mirror
+// a manifest's (record counts, tight bounds, keyword summaries, synthetic
+// per-cell names), so delta cells prune exactly like sealed ones.
+func (p *Partitions) CellView(prefix string, dict *text.Dict) (dataCells, featureCells []CellStats, ordered []Object) {
 	total := 0
 	for _, part := range p.Data {
 		total += len(part.Objects)
@@ -354,16 +377,16 @@ func (p *Partitions) SealMemory(prefix string, dict *text.Dict) (*Manifest, []Ob
 	for _, part := range p.Features {
 		total += len(part.Objects)
 	}
-	ordered := make([]Object, 0, total)
+	ordered = make([]Object, 0, total)
 	for _, part := range p.Data {
-		m.Data = append(m.Data, part.stats(cellFileName(prefix, "d", part.Cell, "mem"), dict, false))
+		dataCells = append(dataCells, part.stats(cellFileName(prefix, "d", part.Cell, "mem"), dict, false))
 		ordered = append(ordered, part.Objects...)
 	}
 	for _, part := range p.Features {
-		m.Features = append(m.Features, part.stats(cellFileName(prefix, "f", part.Cell, "mem"), dict, true))
+		featureCells = append(featureCells, part.stats(cellFileName(prefix, "f", part.Cell, "mem"), dict, true))
 		ordered = append(ordered, part.Objects...)
 	}
-	return m, ordered
+	return dataCells, featureCells, ordered
 }
 
 // dims returns the edge cell count of a square grid.

@@ -216,6 +216,62 @@ func TestSealMemoryLayoutMatchesManifest(t *testing.T) {
 	}
 }
 
+// TestCellViewMatchesSealMemory pins the delta view to the sealed layout:
+// CellView must produce exactly the cell statistics and object order of a
+// memory seal over the same partitions, since planner pruning treats the
+// two interchangeably.
+func TestCellViewMatchesSealMemory(t *testing.T) {
+	dict := text.NewDict()
+	objs := testObjects(250, dict)
+	g := grid.NewSquare(6)
+	p := PartitionObjects(g, objs)
+	p.Generation = 7
+	man, sealed := p.SealMemory("t", dict)
+	dataCells, featureCells, ordered := p.CellView("t", dict)
+	if !reflect.DeepEqual(man.Data, dataCells) {
+		t.Error("CellView data cells differ from SealMemory manifest")
+	}
+	if !reflect.DeepEqual(man.Features, featureCells) {
+		t.Error("CellView feature cells differ from SealMemory manifest")
+	}
+	if !reflect.DeepEqual(sealed, ordered) {
+		t.Error("CellView object order differs from the sealed layout")
+	}
+	if man.Generation != 7 {
+		t.Errorf("manifest generation = %d, want 7", man.Generation)
+	}
+}
+
+// TestManifestGenerationRoundTrips: the generation survives encode/decode,
+// and manifests without one (written before generations existed) decode
+// with generation 0.
+func TestManifestGenerationRoundTrips(t *testing.T) {
+	dict := text.NewDict()
+	g := grid.NewSquare(2)
+	p := PartitionObjects(g, testObjects(20, dict))
+	p.Generation = 42
+	man, _ := p.SealMemory("t", dict)
+	var buf bytes.Buffer
+	if err := EncodeManifest(&buf, man); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Generation != 42 {
+		t.Errorf("decoded generation = %d, want 42", dec.Generation)
+	}
+	man.Generation = 0
+	buf.Reset()
+	if err := EncodeManifest(&buf, man); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeManifest(&buf); err != nil {
+		t.Errorf("manifest without generation rejected: %v", err)
+	}
+}
+
 func TestDecodeManifestRejectsBadInput(t *testing.T) {
 	if _, err := DecodeManifest(bytes.NewReader([]byte("{"))); err == nil {
 		t.Error("truncated JSON accepted")

@@ -274,12 +274,12 @@ func TestRectMinDist2(t *testing.T) {
 		a, b Rect
 		want float64
 	}{
-		{Rect{0, 0, 1, 1}, Rect{0.5, 0.5, 2, 2}, 0},        // overlapping
-		{Rect{0, 0, 1, 1}, Rect{1, 1, 2, 2}, 0},            // touching corner
-		{Rect{0, 0, 1, 1}, Rect{3, 0, 4, 1}, 4},            // horizontal gap 2
-		{Rect{0, 0, 1, 1}, Rect{0, 4, 1, 5}, 9},            // vertical gap 3
-		{Rect{0, 0, 1, 1}, Rect{4, 5, 6, 7}, 3*3 + 4*4},    // diagonal gap (3,4)
-		{Rect{2, 2, 2, 2}, Rect{5, 2, 5, 2}, 9},            // degenerate points
+		{Rect{0, 0, 1, 1}, Rect{0.5, 0.5, 2, 2}, 0},     // overlapping
+		{Rect{0, 0, 1, 1}, Rect{1, 1, 2, 2}, 0},         // touching corner
+		{Rect{0, 0, 1, 1}, Rect{3, 0, 4, 1}, 4},         // horizontal gap 2
+		{Rect{0, 0, 1, 1}, Rect{0, 4, 1, 5}, 9},         // vertical gap 3
+		{Rect{0, 0, 1, 1}, Rect{4, 5, 6, 7}, 3*3 + 4*4}, // diagonal gap (3,4)
+		{Rect{2, 2, 2, 2}, Rect{5, 2, 5, 2}, 9},         // degenerate points
 	}
 	for _, c := range cases {
 		if got := RectMinDist2(c.a, c.b); got != c.want {

@@ -68,23 +68,37 @@ type Stats struct {
 	SealGridN int
 	// DataCells and FeatureCells count the manifest's non-empty cells;
 	// the *Pruned counts say how many of each the planner discarded.
+	// Under PlanGenerations they count base and delta cells together.
 	DataCells          int
 	FeatureCells       int
 	DataCellsPruned    int
 	FeatureCellsPruned int
-	// RecordsTotal and RecordsSelected count input records before and
-	// after pruning.
+	// RecordsTotal and RecordsSelected count input records — base plus
+	// delta — before and after pruning.
 	RecordsTotal    int64
 	RecordsSelected int64
+	// DeltaCells, DeltaCellsPruned, DeltaRecords and DeltaRecordsSelected
+	// break out the delta's share of the counts above (all zero when the
+	// plan had no delta).
+	DeltaCells           int
+	DeltaCellsPruned     int
+	DeltaRecords         int64
+	DeltaRecordsSelected int64
 }
 
 // Decision is the planner's output: the surviving cell files and the
 // execution parameters for the MapReduce job.
 type Decision struct {
-	// Data and Features are the surviving manifest entries.
+	// Data and Features are the surviving sealed-base manifest entries.
 	Data     []data.CellStats
 	Features []data.CellStats
-	// Files is the surviving cell file set, data cells first.
+	// DeltaData and DeltaFeatures are the surviving delta cells (see
+	// PlanGenerations). Their File names are the synthetic per-cell names
+	// the caller handed in, resolvable against its in-memory delta layout.
+	DeltaData     []data.CellStats
+	DeltaFeatures []data.CellStats
+	// Files is the surviving sealed cell file set, data cells first. Delta
+	// cells are not files; they are returned separately above.
 	Files []string
 	// GridN and NumReducers are the chosen execution parameters.
 	GridN       int
@@ -94,9 +108,11 @@ type Decision struct {
 }
 
 // Empty reports whether the plan proves the query returns no results
-// (every data cell or every feature cell pruned): the job can be skipped
-// entirely.
-func (d *Decision) Empty() bool { return len(d.Data) == 0 || len(d.Features) == 0 }
+// (every data cell or every feature cell pruned, across base and delta):
+// the job can be skipped entirely.
+func (d *Decision) Empty() bool {
+	return len(d.Data)+len(d.DeltaData) == 0 || len(d.Features)+len(d.DeltaFeatures) == 0
+}
 
 // Counters renders the pruning outcome as job-counter deltas.
 func (d *Decision) Counters() map[string]int64 {
@@ -110,49 +126,101 @@ func (d *Decision) Counters() map[string]int64 {
 // Plan prunes the manifest's cells against the query and picks the
 // execution parameters.
 func Plan(m *data.Manifest, in Input) *Decision {
+	return PlanGenerations(m, nil, nil, in)
+}
+
+// genCell is one cell under consideration, tagged with the generation it
+// belongs to (sealed base or in-memory delta).
+type genCell struct {
+	cs    data.CellStats
+	delta bool
+}
+
+// PlanGenerations prunes the union of the sealed base manifest and the
+// in-memory delta cell sets against the query. The delta cells describe
+// records appended after the base generation sealed, partitioned over the
+// same seal grid with statistics mirroring the manifest's (the engine
+// computes them on the fly). Pruning is performed jointly — a base data
+// cell survives if any feature cell of either generation is within reach,
+// and vice versa — so results over base+delta are identical to a
+// hypothetical re-seal of everything.
+func PlanGenerations(m *data.Manifest, deltaData, deltaFeatures []data.CellStats, in Input) *Decision {
 	d := &Decision{Stats: Stats{
 		SealGridN:    m.Grid.N,
-		DataCells:    len(m.Data),
-		FeatureCells: len(m.Features),
+		DataCells:    len(m.Data) + len(deltaData),
+		FeatureCells: len(m.Features) + len(deltaFeatures),
 		RecordsTotal: m.TotalRecords(),
+		DeltaCells:   len(deltaData) + len(deltaFeatures),
 	}}
+	for _, cs := range deltaData {
+		d.Stats.DeltaRecords += int64(cs.Records)
+	}
+	for _, cs := range deltaFeatures {
+		d.Stats.DeltaRecords += int64(cs.Records)
+	}
+	d.Stats.RecordsTotal += d.Stats.DeltaRecords
+
+	tag := func(base, delta []data.CellStats) []genCell {
+		out := make([]genCell, 0, len(base)+len(delta))
+		for _, cs := range base {
+			out = append(out, genCell{cs: cs})
+		}
+		for _, cs := range delta {
+			out = append(out, genCell{cs: cs, delta: true})
+		}
+		return out
+	}
+	allF := tag(m.Features, deltaFeatures)
+	allD := tag(m.Data, deltaData)
 
 	// 1. Keyword pruning of feature cells.
-	survF := make([]data.CellStats, 0, len(m.Features))
-	for _, cs := range m.Features {
-		if cs.Keywords.MayContainAny(in.Keywords) {
-			survF = append(survF, cs)
+	survF := make([]genCell, 0, len(allF))
+	for _, fc := range allF {
+		if fc.cs.Keywords.MayContainAny(in.Keywords) {
+			survF = append(survF, fc)
 		}
 	}
 
 	// 2. Distance pruning of data cells against surviving feature cells.
 	r2 := in.Radius * in.Radius
-	survD := make([]data.CellStats, 0, len(m.Data))
-	for _, dc := range m.Data {
-		if withinAny(dc.Bounds, survF, r2) {
+	survD := make([]genCell, 0, len(allD))
+	for _, dc := range allD {
+		if withinAny(dc.cs.Bounds, survF, r2) {
 			survD = append(survD, dc)
 		}
 	}
 
 	// 3. Distance pruning of feature cells against surviving data cells.
-	d.Features = survF[:0]
+	finalF := survF[:0]
 	for _, fc := range survF {
-		if withinAny(fc.Bounds, survD, r2) {
-			d.Features = append(d.Features, fc)
+		if withinAny(fc.cs.Bounds, survD, r2) {
+			finalF = append(finalF, fc)
 		}
 	}
-	d.Data = survD
 
-	for _, cs := range d.Data {
-		d.Files = append(d.Files, cs.File)
-		d.Stats.RecordsSelected += int64(cs.Records)
+	for _, dc := range survD {
+		d.Stats.RecordsSelected += int64(dc.cs.Records)
+		if dc.delta {
+			d.DeltaData = append(d.DeltaData, dc.cs)
+			d.Stats.DeltaRecordsSelected += int64(dc.cs.Records)
+		} else {
+			d.Data = append(d.Data, dc.cs)
+			d.Files = append(d.Files, dc.cs.File)
+		}
 	}
-	for _, cs := range d.Features {
-		d.Files = append(d.Files, cs.File)
-		d.Stats.RecordsSelected += int64(cs.Records)
+	for _, fc := range finalF {
+		d.Stats.RecordsSelected += int64(fc.cs.Records)
+		if fc.delta {
+			d.DeltaFeatures = append(d.DeltaFeatures, fc.cs)
+			d.Stats.DeltaRecordsSelected += int64(fc.cs.Records)
+		} else {
+			d.Features = append(d.Features, fc.cs)
+			d.Files = append(d.Files, fc.cs.File)
+		}
 	}
-	d.Stats.DataCellsPruned = len(m.Data) - len(d.Data)
-	d.Stats.FeatureCellsPruned = len(m.Features) - len(d.Features)
+	d.Stats.DataCellsPruned = d.Stats.DataCells - len(d.Data) - len(d.DeltaData)
+	d.Stats.FeatureCellsPruned = d.Stats.FeatureCells - len(d.Features) - len(d.DeltaFeatures)
+	d.Stats.DeltaCellsPruned = d.Stats.DeltaCells - len(d.DeltaData) - len(d.DeltaFeatures)
 
 	d.GridN = in.GridN
 	if d.GridN <= 0 {
@@ -166,9 +234,9 @@ func Plan(m *data.Manifest, in Input) *Decision {
 }
 
 // withinAny reports whether any cell in cells has MINDIST <= r from b.
-func withinAny(b geo.Rect, cells []data.CellStats, r2 float64) bool {
+func withinAny(b geo.Rect, cells []genCell, r2 float64) bool {
 	for _, c := range cells {
-		if geo.RectMinDist2(b, c.Bounds) <= r2 {
+		if geo.RectMinDist2(b, c.cs.Bounds) <= r2 {
 			return true
 		}
 	}

@@ -108,6 +108,106 @@ func TestPlanLargeRadiusKeepsEverythingRelevant(t *testing.T) {
 	}
 }
 
+// buildDelta computes delta cell sets for a cluster around (cx, cy) with
+// the given keyword vocabulary, partitioned over the manifest's seal grid
+// exactly as the engine's delta view does.
+func buildDelta(m *data.Manifest, cx, cy float64, vocab string, n int) (dataCells, featureCells []data.CellStats) {
+	dict := text.NewDict()
+	r := rand.New(rand.NewSource(9))
+	var objs []data.Object
+	for i := 0; i < n; i++ {
+		loc := geo.Point{X: cx + r.Float64()*0.1 - 0.05, Y: cy + r.Float64()*0.1 - 0.05}
+		if i%2 == 0 {
+			objs = append(objs, data.Object{Kind: data.DataObject, ID: uint64(10000 + i), Loc: loc})
+		} else {
+			objs = append(objs, data.Object{
+				Kind:     data.FeatureObject,
+				ID:       uint64(10000 + i),
+				Loc:      loc,
+				Keywords: dict.InternAll([]string{fmt.Sprintf("%s%d", vocab, r.Intn(10))}),
+			})
+		}
+	}
+	dataCells, featureCells, _ = data.PartitionObjects(m.Grid.Grid(), objs).CellView("delta", dict)
+	return dataCells, featureCells
+}
+
+func TestPlanGenerationsJointPruning(t *testing.T) {
+	m := buildManifest(t, 16)
+	// Delta cluster around (0.5, 0.5) with its own vocabulary "c*".
+	dd, df := buildDelta(m, 0.5, 0.5, "c", 200)
+
+	// A "c"-keyword query prunes every base feature cell by keyword
+	// disjointness but keeps the delta: surviving cells must be delta-only
+	// features plus the data cells (base or delta) they can reach.
+	d := PlanGenerations(m, dd, df, Input{Radius: 0.02, Keywords: []string{"c4"}, ReduceSlots: 4})
+	if d.Empty() {
+		t.Fatal("plan empty despite matching delta cells")
+	}
+	if len(d.Features) != 0 {
+		t.Errorf("%d base feature cells survived a delta-only keyword", len(d.Features))
+	}
+	if len(d.DeltaFeatures) == 0 {
+		t.Error("no delta feature cell survived its own keyword")
+	}
+	if d.Stats.DeltaCells != len(dd)+len(df) {
+		t.Errorf("DeltaCells = %d, want %d", d.Stats.DeltaCells, len(dd)+len(df))
+	}
+	if d.Stats.DeltaRecords != records(dd)+records(df) {
+		t.Errorf("DeltaRecords = %d, want %d", d.Stats.DeltaRecords, records(dd)+records(df))
+	}
+	if got := records(d.DeltaData) + records(d.DeltaFeatures); got != d.Stats.DeltaRecordsSelected {
+		t.Errorf("DeltaRecordsSelected = %d, delta cells sum to %d", d.Stats.DeltaRecordsSelected, got)
+	}
+	if got := records(d.Data) + records(d.Features) + d.Stats.DeltaRecordsSelected; got != d.Stats.RecordsSelected {
+		t.Errorf("RecordsSelected = %d, survivors sum to %d", d.Stats.RecordsSelected, got)
+	}
+	// Delta cells never appear in the sealed file list.
+	for _, f := range d.Files {
+		for _, cs := range append(dd, df...) {
+			if f == cs.File {
+				t.Errorf("delta cell %s leaked into Files", f)
+			}
+		}
+	}
+
+	// An "a"-keyword query with a small radius keeps cluster A and prunes
+	// the whole delta — base data cells must not be kept alive by
+	// unreachable delta features.
+	d = PlanGenerations(m, dd, df, Input{Radius: 0.02, Keywords: []string{"a3"}, ReduceSlots: 4})
+	if len(d.DeltaFeatures) != 0 {
+		t.Errorf("%d delta feature cells survived keyword 'a3'", len(d.DeltaFeatures))
+	}
+	if len(d.DeltaData) != 0 {
+		t.Errorf("%d delta data cells survived with no reachable feature", len(d.DeltaData))
+	}
+	if d.Stats.DeltaCellsPruned != d.Stats.DeltaCells {
+		t.Errorf("DeltaCellsPruned = %d, want all %d", d.Stats.DeltaCellsPruned, d.Stats.DeltaCells)
+	}
+
+	// Cross-generation reachability: a radius large enough to span the
+	// space keeps base data cells alive through delta features alone.
+	d = PlanGenerations(m, dd, df, Input{Radius: 2, Keywords: []string{"c1"}})
+	if len(d.Data) != len(m.Data) {
+		t.Errorf("kept %d of %d base data cells; delta features should reach all", len(d.Data), len(m.Data))
+	}
+	if d.Empty() {
+		t.Error("plan empty despite space-covering radius and matching delta keyword")
+	}
+}
+
+func TestPlanGenerationsEmptyAcrossBothSets(t *testing.T) {
+	m := buildManifest(t, 16)
+	dd, df := buildDelta(m, 0.5, 0.5, "c", 50)
+	// A keyword in neither generation's vocabulary proves emptiness even
+	// with delta cells present.
+	d := PlanGenerations(m, dd, df, Input{Radius: 0.1, Keywords: []string{"no-such-word-xyzzy"}})
+	if !d.Empty() {
+		t.Errorf("plan kept %d+%d data / %d+%d feature cells for an unknown keyword",
+			len(d.Data), len(d.DeltaData), len(d.Features), len(d.DeltaFeatures))
+	}
+}
+
 func TestPlanRespectsOverrides(t *testing.T) {
 	m := buildManifest(t, 8)
 	d := Plan(m, Input{Radius: 0.05, Keywords: []string{"a1", "b1"}, GridN: 7, NumReducers: 3})

@@ -18,17 +18,23 @@ import (
 //
 // Records are validated as they stream in — finite coordinates, unique
 // ids per dataset (see AddData) — and a bad record fails the load with an
-// error naming the line and the offending object. Lines before the bad
-// one stay loaded: the reader has been consumed, so the caller should
-// discard the engine on error.
+// error naming the line and the offending object. The whole batch is
+// buffered and committed only after the last line validates, so a failed
+// call leaves the engine unchanged. On a sealed engine the batch appends
+// into the in-memory delta and becomes visible to queries atomically when
+// the call returns (see AddData).
 func (e *Engine) LoadLines(r io.Reader) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.sealed {
-		return fmt.Errorf("spq: engine already sealed; datasets are write-once")
-	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var objs []data.Object
+	// Per-batch duplicate tracking, one namespace per dataset (see
+	// AddData): nothing is loaded until every line has validated.
+	seen := map[data.Kind]map[uint64]struct{}{
+		data.DataObject:    make(map[uint64]struct{}),
+		data.FeatureObject: make(map[uint64]struct{}),
+	}
 	n := 0
 	for sc.Scan() {
 		line := sc.Bytes()
@@ -40,12 +46,18 @@ func (e *Engine) LoadLines(r io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("spq: line %d: %w", n, err)
 		}
-		if err := e.checkLocked(o.Kind, o.ID, o.Loc.X, o.Loc.Y, nil); err != nil {
+		if err := e.checkLocked(o.Kind, o.ID, o.Loc.X, o.Loc.Y, seen[o.Kind]); err != nil {
 			return fmt.Errorf("spq: line %d: %w", n, err)
 		}
+		objs = append(objs, o)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for _, o := range objs {
 		e.addLocked(o)
 	}
-	return sc.Err()
+	return e.commitLocked()
 }
 
 // LoadFile reads a text-format object file from the local file system.

@@ -115,6 +115,11 @@ type Report struct {
 	// Plan describes what the query planner did; nil unless the query ran
 	// with WithAutoPlan.
 	Plan *PlanStats
+	// Delta describes the in-memory delta's participation: the storage
+	// generation served, how many appended-but-not-yet-compacted records
+	// were visible, and — for planned queries — how many delta cells were
+	// pruned. The spq.delta.* entries of Counters carry the same numbers.
+	Delta *DeltaStats
 	// MapMillis and ReduceMillis are the phase durations.
 	MapMillis    float64
 	ReduceMillis float64
@@ -161,6 +166,7 @@ type queryConfig struct {
 	sealGridN   int
 	sealGridSet bool
 	noCache     bool
+	noDelta     bool
 }
 
 // WithAlgorithm selects the processing algorithm (default ESPQSco).
@@ -191,7 +197,8 @@ func WithAutoPlan() QueryOption {
 
 // WithSealGrid sets the seal grid to n x n cells for the implicit Seal
 // performed by the first query (default Config.SealGridN). It is ignored
-// if the engine is already sealed: the storage layout is write-once.
+// if the engine is already sealed; compactions re-use the grid edge the
+// base generation was sealed with.
 func WithSealGrid(n int) QueryOption {
 	return func(c *queryConfig) { c.sealGridN = n; c.sealGridSet = true }
 }
@@ -202,6 +209,16 @@ func WithSealGrid(n int) QueryOption {
 // and timings for a query that may already be cached.
 func WithoutCache() QueryOption {
 	return func(c *queryConfig) { c.noCache = true }
+}
+
+// WithoutDelta restricts this query to the sealed base generation,
+// ignoring records appended since the last seal or compaction. Useful for
+// repeatable reads while a writer is streaming appends, or to measure the
+// delta's cost: the same query with and without the option isolates the
+// delta's contribution to results and timings. Cached separately from
+// delta-inclusive executions.
+func WithoutDelta() QueryOption {
+	return func(c *queryConfig) { c.noDelta = true }
 }
 
 // WithReducers overrides the number of reduce tasks (default: one per grid

@@ -126,7 +126,7 @@ func TestEngineValidation(t *testing.T) {
 	}
 }
 
-func TestSealIsWriteOnce(t *testing.T) {
+func TestSealThenAppend(t *testing.T) {
 	e := loadPaperExample(t, Config{})
 	if err := e.Seal(); err != nil {
 		t.Fatal(err)
@@ -134,14 +134,34 @@ func TestSealIsWriteOnce(t *testing.T) {
 	if err := e.Seal(); err != nil {
 		t.Errorf("second Seal = %v, want nil (idempotent)", err)
 	}
-	if err := e.AddData(DataObject{ID: 99}); err == nil {
-		t.Error("AddData after Seal succeeded")
+	gen := e.Generation()
+	// Loading after Seal appends into the in-memory delta: the records are
+	// visible to the next query, no rebuild required.
+	if err := e.AddData(DataObject{ID: 99, X: 2.9, Y: 1.1}); err != nil {
+		t.Errorf("AddData after Seal = %v, want append", err)
 	}
-	if err := e.AddFeature(Feature{ID: 99, Keywords: []string{"x"}}); err == nil {
-		t.Error("AddFeature after Seal succeeded")
+	if err := e.AddFeature(Feature{ID: 99, X: 2.9, Y: 1.15, Keywords: []string{"zanzibari"}}); err != nil {
+		t.Errorf("AddFeature after Seal = %v, want append", err)
 	}
-	if err := e.LoadSynthetic("uniform", 10); err == nil {
-		t.Error("LoadSynthetic after Seal succeeded")
+	if n := e.DeltaLen(); n != 2 {
+		t.Errorf("DeltaLen = %d, want 2", n)
+	}
+	if g := e.Generation(); g <= gen {
+		t.Errorf("generation %d after appends, want > %d", g, gen)
+	}
+	// Duplicate-id validation spans the sealed base and the delta.
+	if err := e.AddData(DataObject{ID: 1, X: 0, Y: 0}); err == nil {
+		t.Error("sealed-base data id re-accepted after seal")
+	}
+	if err := e.AddData(DataObject{ID: 99, X: 0, Y: 0}); err == nil {
+		t.Error("delta data id re-accepted")
+	}
+	res, err := e.Query(Query{K: 1, Radius: 0.5, Keywords: []string{"zanzibari"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != 99 {
+		t.Fatalf("query after append = %v, want appended object 99", res)
 	}
 }
 

@@ -39,9 +39,6 @@ func (e *Engine) LoadSynthetic(dataset string, n int) error {
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.sealed {
-		return fmt.Errorf("spq: engine already sealed; datasets are write-once")
-	}
 	// Generated objects pass the same load-time validation as user input
 	// (finite coordinates, unique ids per dataset) — so loading the same
 	// synthetic family twice into one engine fails on the duplicate ids
@@ -65,7 +62,7 @@ func (e *Engine) LoadSynthetic(dataset string, n int) error {
 		f.Keywords = e.dict.InternAll(ds.Dict.Words(f.Keywords))
 		e.addLocked(f)
 	}
-	return nil
+	return e.commitLocked()
 }
 
 // FrequentKeywords returns up to n of the most frequently used feature
