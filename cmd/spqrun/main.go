@@ -28,6 +28,7 @@ func main() {
 		nodes    = flag.Int("nodes", 16, "simulated DFS nodes")
 		slots    = flag.Int("slots", 8, "map/reduce worker slots")
 		autoplan = flag.Bool("autoplan", false, "prune sealed cell files against the query and pick the grid from the manifest statistics")
+		storage  = flag.String("storage", "text", "sealed storage format: text, spq2 (columnar segments with block zone maps), spq1 (record segments), memory")
 		verbose  = flag.Bool("v", false, "print job counters")
 	)
 	flag.Parse()
@@ -53,7 +54,22 @@ func main() {
 		os.Exit(2)
 	}
 
-	eng := spq.NewEngine(spq.Config{Nodes: *nodes, MapSlots: *slots, ReduceSlots: *slots})
+	cfg := spq.Config{Nodes: *nodes, MapSlots: *slots, ReduceSlots: *slots}
+	switch strings.ToLower(*storage) {
+	case "text":
+		cfg.Storage = spq.StorageDFS
+	case "spq2":
+		cfg.Storage = spq.StorageDFSBinary
+	case "spq1":
+		cfg.Storage = spq.StorageDFSBinary
+		cfg.Segment = spq.SegmentRecord
+	case "memory":
+		cfg.Storage = spq.StorageMemory
+	default:
+		fmt.Fprintf(os.Stderr, "spqrun: unknown storage %q\n", *storage)
+		os.Exit(2)
+	}
+	eng := spq.NewEngine(cfg)
 	for _, f := range strings.Split(*files, ",") {
 		if err := eng.LoadFile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "spqrun: %v\n", err)

@@ -30,11 +30,33 @@ const (
 	// through an in-memory source. Faster, and sufficient when only the
 	// algorithms (not the storage substrate) matter.
 	StorageMemory
-	// StorageDFSBinary stores objects in the SequenceFile-like binary
-	// format (length-prefixed records with sync markers) instead of text
-	// lines. Splittable like text, but parsing is a binary decode instead
-	// of string splitting — the classic Hadoop optimization.
+	// StorageDFSBinary stores objects in a binary format instead of text
+	// lines. By default this is the SPQ2 columnar segment format: each
+	// sealed cell is written as column blocks with per-block zone maps
+	// (bounding box, record count, keyword bloom) in the manifest, so the
+	// query planner prunes inside cells and the reader decodes only
+	// surviving blocks — straight into dense, cache-shared column buffers.
+	// Config.Segment selects the legacy SPQ1 record format (length-prefixed
+	// records with sync markers) instead; SPQ1 storage stays fully
+	// readable and returns identical query results.
 	StorageDFSBinary
+)
+
+// SegmentFormat selects the record layout of binary sealed storage
+// (StorageDFSBinary).
+type SegmentFormat int
+
+// The binary segment formats.
+const (
+	// SegmentColumnar is the SPQ2 columnar format: per-cell segments of
+	// column blocks (ids, xs, ys, keyword postings in struct-of-arrays
+	// layout, ~2K records per block) with block-level zone maps in the
+	// manifest. The default.
+	SegmentColumnar SegmentFormat = iota
+	// SegmentRecord is the legacy SPQ1 record format, modeled after
+	// Hadoop's SequenceFile. Kept for compatibility; reads decode record
+	// at a time and prune only at whole-cell granularity.
+	SegmentRecord
 )
 
 // DefaultSealGridN is the default seal grid edge: Seal partitions the
@@ -68,6 +90,19 @@ type Config struct {
 	// batch and compaction — and evicted LRU. Zero selects
 	// DefaultQueryCacheSize; a negative value disables caching entirely.
 	QueryCache int
+	// Segment selects the record layout of binary sealed storage
+	// (StorageDFSBinary): the SPQ2 columnar segment format (default) or
+	// the legacy SPQ1 record format. Ignored by the other storage modes.
+	Segment SegmentFormat
+	// SegmentCache bounds the engine's decoded-segment cache, in column
+	// blocks (~2K records each). Columnar reads check it before touching
+	// storage: a hot block — clustered query traffic revisiting the same
+	// cells — skips both the ranged read and the decode. Entries are keyed
+	// on (generation, cell file, block), so compactions invalidate by
+	// construction, mirroring the query cache. Zero selects a default of
+	// data.DefaultBlockCacheSize blocks; a negative value disables the
+	// cache. Only columnar storage uses it.
+	SegmentCache int
 	// CompactAfter bounds the in-memory delta of a sealed engine, in
 	// records: once an append batch leaves at least CompactAfter records
 	// in the delta, the engine compacts automatically — re-sealing
@@ -139,6 +174,14 @@ type Engine struct {
 	cluster *mapreduce.Cluster
 	dict    *text.Dict
 	cache   *queryCache // nil when Config.QueryCache < 0
+	// segCache is the decoded-segment cache of columnar storage; nil when
+	// disabled or unused by the storage mode.
+	segCache *data.BlockCache
+	// viewCache caches per-query-grid data views of columnar storage (see
+	// core.DataView): delta-free queries shuffle only feature records and
+	// reduce against the view's dense per-cell columns. Nil unless the
+	// storage mode is columnar.
+	viewCache *core.ViewCache
 
 	// snap is the published read-path snapshot; nil until the first seal.
 	// Queries load it lock-free; e.mu is only taken to seal.
@@ -192,6 +235,12 @@ func NewEngine(cfg Config) *Engine {
 	}
 	if cfg.QueryCache > 0 {
 		e.cache = newQueryCache(cfg.QueryCache)
+	}
+	if cfg.Storage == StorageDFSBinary && cfg.Segment == SegmentColumnar {
+		if cfg.SegmentCache >= 0 {
+			e.segCache = data.NewBlockCache(cfg.SegmentCache)
+		}
+		e.viewCache = core.NewViewCache(0)
 	}
 	return e
 }
@@ -435,7 +484,14 @@ func (e *Engine) writeGenerationLocked(objs []data.Object, sealGridN int) error 
 	parts.Generation = e.gen + 1
 	switch e.cfg.Storage {
 	case StorageDFS, StorageDFSBinary:
-		man, err := parts.SealDFS(e.fs, prefix, e.dict, e.cfg.Storage == StorageDFSBinary)
+		format := data.FormatText
+		if e.cfg.Storage == StorageDFSBinary {
+			format = data.FormatColumnar
+			if e.cfg.Segment == SegmentRecord {
+				format = data.FormatBinary
+			}
+		}
+		man, err := parts.SealDFS(e.fs, prefix, e.dict, format)
 		if err != nil {
 			return fmt.Errorf("spq: seal: %w", err)
 		}
@@ -526,21 +582,26 @@ func (e *Engine) snapshotFor(sealGridN int) (*snapshot, error) {
 
 // source returns the MapReduce input source reading exactly the given
 // sealed cell files (a subset of the manifest's file set, possibly
-// pre-pruned by the planner). It reads only the immutable snapshot and
+// pre-pruned by the planner). Columnar storage reads the cols selection
+// instead: per-cell surviving block lists, fetched by ranged read through
+// the decoded-segment cache. It reads only the immutable snapshot and
 // the engine's construction-time fields, so concurrent queries build
 // their sources without locking. DFS sources are coalesced: per-cell
-// files are small, and one map task per cell file would drown the job in
-// task overhead, so consecutive splits are grouped down to a few per map
-// slot.
-func (e *Engine) source(s *snapshot, files []string) mapreduce.Source[data.Object] {
+// files (and column blocks) are small, and one map task per unit would
+// drown the job in task overhead, so consecutive splits are grouped down
+// to a few per map slot.
+func (e *Engine) source(s *snapshot, files []string, cols []data.ColSel) mapreduce.Source[data.Object] {
 	target := e.cfg.MapSlots * 4
-	switch e.cfg.Storage {
-	case StorageDFS:
+	switch s.manifest.Format {
+	case data.FormatText:
 		return mapreduce.Coalesce[data.Object](mapreduce.NewTextInput(e.fs, func(line []byte) (data.Object, error) {
 			return data.ParseLine(line, e.dict)
 		}, files...), target)
-	case StorageDFSBinary:
+	case data.FormatBinary:
 		return mapreduce.Coalesce[data.Object](data.NewSeqInput(e.fs, files...), target)
+	case data.FormatColumnar:
+		return mapreduce.Coalesce[data.Object](
+			data.NewColInput(e.fs, cols, e.segCache, s.manifest.Generation), target)
 	default:
 		return e.memorySource(s, files)
 	}
@@ -632,6 +693,16 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 	gridN := cfg.gridN
 	reducers := cfg.reducers
 	files := snap.manifest.Files()
+	// Columnar storage reads a block selection rather than whole files:
+	// everything by default, narrowed by the planner below. Data and
+	// feature selections stay separate so delta-free queries can route the
+	// data half through the cached per-grid view instead of the shuffle.
+	columnar := snap.manifest.Format == data.FormatColumnar && e.viewCache != nil
+	var colsData, colsFeat []data.ColSel
+	if columnar {
+		colsData = selectCells(snap.manifest.Data, nil)
+		colsFeat = selectCells(snap.manifest.Features, nil)
+	}
 	var deltaSrc mapreduce.Source[data.Object]
 	if delta != nil && !cfg.autoPlan {
 		// Unplanned queries read the whole delta in append order; planned
@@ -658,6 +729,10 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 			NumReducers: cfg.reducers,
 		})
 		files = dec.Files
+		if columnar {
+			colsData = selectCells(dec.Data, dec.Blocks)
+			colsFeat = selectCells(dec.Features, dec.Blocks)
+		}
 		gridN = dec.GridN
 		reducers = dec.NumReducers
 		deltaStats.Cells = dec.Stats.DeltaCells
@@ -691,7 +766,23 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 	if gridN <= 0 {
 		gridN = defaultGridN
 	}
-	src := e.source(snap, files)
+	// Delta-free columnar queries take the data-view path: the sealed data
+	// blocks become (or reuse) the dense per-grid layout, and the job
+	// shuffles feature records only. With a delta visible the combined
+	// source carries both kinds in-stream, exactly as before — appended
+	// records cannot be in any sealed view.
+	var view *core.DataView
+	cols := colsFeat
+	if columnar && delta == nil {
+		v, err := e.dataView(snap, colsData, gridN, bounds)
+		if err != nil {
+			return nil, err
+		}
+		view = v
+	} else {
+		cols = append(append([]data.ColSel(nil), colsData...), colsFeat...)
+	}
+	src := e.source(snap, files, cols)
 	if deltaSrc != nil {
 		src = mapreduce.Concat(src, deltaSrc)
 	}
@@ -705,6 +796,7 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 		SpillEvery:    cfg.spillEvery,
 		ExtraCounters: extraCounters,
 		Priority:      priority,
+		DataView:      view,
 	})
 	if err != nil {
 		return nil, err
@@ -788,9 +880,46 @@ func newPlanStats(d *plan.Decision) *PlanStats {
 		FeatureCells:       d.Stats.FeatureCells,
 		DataCellsPruned:    d.Stats.DataCellsPruned,
 		FeatureCellsPruned: d.Stats.FeatureCellsPruned,
+		Blocks:             d.Stats.Blocks,
+		BlocksPruned:       d.Stats.BlocksPruned,
 		RecordsTotal:       d.Stats.RecordsTotal,
 		RecordsSelected:    d.Stats.RecordsSelected,
 		GridN:              d.GridN,
 		NumReducers:        d.NumReducers,
 	}
+}
+
+// selectCells builds the columnar read selection over one dataset's cells:
+// every block when blocks is nil (the unplanned path), otherwise each
+// cell's surviving block indices from the planner decision.
+func selectCells(cells []data.CellStats, blocks map[string][]int) []data.ColSel {
+	out := make([]data.ColSel, 0, len(cells))
+	for _, cs := range cells {
+		sel := data.ColSel{Cell: cs}
+		if blocks != nil {
+			sel.Blocks = blocks[cs.File]
+		}
+		out = append(out, sel)
+	}
+	return out
+}
+
+// dataView returns the cached per-grid data view for this generation,
+// grid and pruned data-block selection, building it from the (segment-
+// cache-resident) data blocks on first use. Concurrent cold queries for
+// the same view — every in-flight client right after a compaction —
+// share one build.
+func (e *Engine) dataView(s *snapshot, dataSel []data.ColSel, gridN int, bounds geo.Rect) (*core.DataView, error) {
+	key := core.ViewKey(s.manifest.Generation, gridN, bounds, dataSel)
+	return e.viewCache.GetOrBuild(key, func() (*core.DataView, error) {
+		g := grid.New(bounds, gridN, gridN)
+		return core.BuildDataView(g, data.NewColInput(e.fs, dataSel, e.segCache, s.manifest.Generation))
+	})
+}
+
+// SegmentCacheStats returns the cumulative hit/miss counts and current
+// size of the decoded-segment cache. All zeros when the engine's storage
+// mode does not use one, or when Config.SegmentCache disabled it.
+func (e *Engine) SegmentCacheStats() data.BlockCacheStats {
+	return e.segCache.Stats()
 }

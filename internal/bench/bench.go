@@ -24,6 +24,7 @@ import (
 	"spq/internal/data"
 	"spq/internal/grid"
 	"spq/internal/mapreduce"
+	"spq/internal/plan"
 	"spq/internal/text"
 )
 
@@ -52,6 +53,19 @@ type Config struct {
 	// fastest (default 1). Use 3+ when comparing against a committed
 	// BENCH_*.json trajectory file, to factor out scheduler and GC noise.
 	Repeat int
+	// Legacy routes the query figures through the pre-SPQ2 path: an
+	// unplanned full scan of the in-memory object slice, the measurement
+	// every BENCH_*.json up to PR 2 recorded. The default (false) measures
+	// the modern serving path instead: datasets sealed once as SPQ2
+	// columnar segments, each query planned against the block zone maps
+	// and executed over the surviving blocks through the decoded-segment
+	// cache.
+	Legacy bool
+	// Verify proves result identity for every measured figure cell: the
+	// planned columnar execution is re-run against the legacy full-scan
+	// reference and the ranked results must match exactly. Rows carry
+	// "verified": true in the JSON output. No-op under Legacy.
+	Verify bool
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +105,22 @@ type Cell struct {
 	ScoreComputations int64
 	Duplicates        int64
 	ShuffledRecords   int64
+	// Per-phase breakdown: read/decode and map work happens inside the map
+	// phase, merge and scoring inside the reduce phase. Their sum can be
+	// under Millis (scheduling gaps) but attributes where a format change
+	// lands.
+	MapMillis    float64
+	ReduceMillis float64
+	// Planner and decoded-segment-cache activity of the planned columnar
+	// path; all zero under Config.Legacy.
+	BlocksScanned      int64
+	BlocksPruned       int64
+	PlanRecordsSkipped int64
+	SegCacheHits       int64
+	SegCacheMisses     int64
+	// Verified records that this cell's results were proven identical to
+	// the legacy full-scan reference (Config.Verify).
+	Verified bool
 }
 
 // Figure is one reproduced figure panel: a table of series (one per
@@ -188,13 +218,21 @@ func (f *Figure) WriteCounters(w io.Writer) {
 }
 
 // Row is one measured point in the machine-readable output: one series
-// (algorithm) at one swept x-value of one figure.
+// (algorithm) at one swept x-value of one figure. MapMillis/ReduceMillis
+// break the latency into its phases — read+decode+map+sort versus
+// merge+reduce — so a storage-format win is attributable: a format change
+// moves map_millis (and the seg_cache_* / blocks_* counters), a scoring
+// change moves reduce_millis. Verified marks rows whose results were
+// proven identical to the legacy full-scan reference.
 type Row struct {
-	Figure   string           `json:"figure"`
-	Series   string           `json:"series"`
-	X        string           `json:"x"`
-	Millis   float64          `json:"millis"`
-	Counters map[string]int64 `json:"counters"`
+	Figure       string           `json:"figure"`
+	Series       string           `json:"series"`
+	X            string           `json:"x"`
+	Millis       float64          `json:"millis"`
+	MapMillis    float64          `json:"map_millis"`
+	ReduceMillis float64          `json:"reduce_millis"`
+	Verified     bool             `json:"verified,omitempty"`
+	Counters     map[string]int64 `json:"counters"`
 }
 
 // Rows flattens the figure into machine-readable rows, in sweep order.
@@ -207,15 +245,23 @@ func (f *Figure) Rows() []Row {
 				continue
 			}
 			out = append(out, Row{
-				Figure: f.ID,
-				Series: s,
-				X:      x,
-				Millis: c.Millis,
+				Figure:       f.ID,
+				Series:       s,
+				X:            x,
+				Millis:       c.Millis,
+				MapMillis:    c.MapMillis,
+				ReduceMillis: c.ReduceMillis,
+				Verified:     c.Verified,
 				Counters: map[string]int64{
-					"features_examined":  c.FeaturesExamined,
-					"score_computations": c.ScoreComputations,
-					"duplicates":         c.Duplicates,
-					"shuffled_records":   c.ShuffledRecords,
+					"features_examined":    c.FeaturesExamined,
+					"score_computations":   c.ScoreComputations,
+					"duplicates":           c.Duplicates,
+					"shuffled_records":     c.ShuffledRecords,
+					"blocks_scanned":       c.BlocksScanned,
+					"blocks_pruned":        c.BlocksPruned,
+					"plan_records_skipped": c.PlanRecordsSkipped,
+					"seg_cache_hits":       c.SegCacheHits,
+					"seg_cache_misses":     c.SegCacheMisses,
 				},
 			})
 		}
@@ -253,6 +299,34 @@ type Harness struct {
 	// read-only for jobs, and materializing 100k+ objects per measured run
 	// would charge allocation and GC time to every figure point.
 	objCache map[*data.Dataset][]data.Object
+	// segCache memoizes the SPQ2 columnar seal of each dataset — segment
+	// store, manifest with block zone maps, decoded-segment cache — built
+	// once per dataset, exactly as an engine seals once and serves many
+	// queries. It is a tiny LRU (most recent first): figures sweep one
+	// dataset at a time, and retaining every family's segments, decoded
+	// blocks and views for the whole 20-figure run would tax the later
+	// figures with GC scans over hundreds of megabytes they never touch.
+	segCache []*segStore
+}
+
+// maxSegStores bounds the harness's resident columnar seals. Three covers
+// every sweep's reuse pattern (consecutive figures share a dataset);
+// rebuilding an evicted store happens outside the measured window.
+const maxSegStores = 3
+
+// benchSealGridN is the seal grid the harness partitions datasets over,
+// matching the engine's default.
+const benchSealGridN = 32
+
+// segStore is one dataset sealed as SPQ2 columnar segments, with the two
+// read-path caches an engine would hold: decoded column blocks and
+// per-grid data views.
+type segStore struct {
+	ds    *data.Dataset
+	store data.MemSegStore
+	man   *data.Manifest
+	cache *data.BlockCache
+	views *core.ViewCache
 }
 
 // New creates a harness.
@@ -264,6 +338,40 @@ func New(cfg Config) *Harness {
 		cache:    make(map[string]*data.Dataset),
 		objCache: make(map[*data.Dataset][]data.Object),
 	}
+}
+
+// segStore returns the dataset's cached columnar seal, sealing on first
+// use. The block cache is sized to hold every block of the dataset, the
+// steady serving state of an engine whose working set fits its cache.
+func (h *Harness) segStore(ds *data.Dataset) (*segStore, error) {
+	for i, st := range h.segCache {
+		if st.ds == ds {
+			if i != 0 {
+				copy(h.segCache[1:i+1], h.segCache[:i])
+				h.segCache[0] = st
+			}
+			return st, nil
+		}
+	}
+	g := grid.New(ds.Bounds(), benchSealGridN, benchSealGridN)
+	store := data.MemSegStore{}
+	man, err := data.PartitionObjects(g, h.objects(ds)).SealSegments(store, "bench", ds.Dict, 0)
+	if err != nil {
+		return nil, fmt.Errorf("bench: seal %s: %w", ds.Spec.Name, err)
+	}
+	blocks := 0
+	for _, cs := range man.Data {
+		blocks += len(cs.Blocks)
+	}
+	for _, cs := range man.Features {
+		blocks += len(cs.Blocks)
+	}
+	st := &segStore{ds: ds, store: store, man: man, cache: data.NewBlockCache(blocks), views: core.NewViewCache(0)}
+	h.segCache = append([]*segStore{st}, h.segCache...)
+	if len(h.segCache) > maxSegStores {
+		h.segCache = h.segCache[:maxSegStores]
+	}
+	return st, nil
 }
 
 // objects returns the cached merged object slice of ds.
@@ -333,46 +441,184 @@ func queryKeywords(ds *data.Dataset, nk int, seed int64) text.KeywordSet {
 	return text.NewKeywordSet(ids...)
 }
 
+// Decoded-segment-cache deltas of one measured run, surfaced next to the
+// job counters in the JSON rows.
+const (
+	counterSegHits   = "bench.seg.cache.hits"
+	counterSegMisses = "bench.seg.cache.misses"
+)
+
 // runOne executes one algorithm on one workload configuration and collects
-// the measured cell.
+// the measured cell: the planned columnar serving path by default, the
+// pre-SPQ2 full scan under Config.Legacy.
 func (h *Harness) runOne(ds *data.Dataset, alg core.Algorithm, q core.Query, gridN int) (Cell, error) {
-	return h.measure(func() (*core.Report, error) {
-		src := mapreduce.NewMemorySource(h.objects(ds), h.cfg.MapSlots*2)
-		return core.Run(alg, src, q, core.Options{
-			Cluster: h.cluster,
-			Bounds:  ds.Bounds(),
-			GridN:   gridN,
-		})
+	if h.cfg.Legacy {
+		return h.runLegacy(ds, alg, q, gridN)
+	}
+	return h.runPlanned(ds, alg, q, gridN)
+}
+
+// runLegacy measures the unplanned full scan over the in-memory object
+// slice — the measurement every BENCH_*.json up to PR 2 recorded, and the
+// reference results Verify compares against.
+func (h *Harness) runLegacy(ds *data.Dataset, alg core.Algorithm, q core.Query, gridN int) (Cell, error) {
+	cell, _, err := h.measure(func() (*core.Report, error) {
+		return h.runReference(ds, alg, q, gridN)
+	})
+	return cell, err
+}
+
+// runReference executes one unplanned full-scan job.
+func (h *Harness) runReference(ds *data.Dataset, alg core.Algorithm, q core.Query, gridN int) (*core.Report, error) {
+	src := mapreduce.NewMemorySource(h.objects(ds), h.cfg.MapSlots*2)
+	return core.Run(alg, src, q, core.Options{
+		Cluster: h.cluster,
+		Bounds:  ds.Bounds(),
+		GridN:   gridN,
 	})
 }
 
-// measure runs the job cfg.Repeat times and reports the cell with the
-// minimum wall time. Counters are deterministic across repeats; the
-// minimum is the standard way to factor scheduler and GC noise out of a
-// single-machine measurement.
-func (h *Harness) measure(run func() (*core.Report, error)) (Cell, error) {
+// runPlanned measures the modern serving path: the query is planned
+// against the dataset's SPQ2 block zone maps, executed over the surviving
+// blocks through the decoded-segment cache, with the planner's reducer
+// choice. The figure's swept grid still overrides the query-time grid, so
+// the x-axis keeps its meaning.
+func (h *Harness) runPlanned(ds *data.Dataset, alg core.Algorithm, q core.Query, gridN int) (Cell, error) {
+	st, err := h.segStore(ds)
+	if err != nil {
+		return Cell{}, err
+	}
+	dec := plan.Plan(st.man, plan.Input{
+		Radius:      q.Radius,
+		Keywords:    ds.Dict.Words(q.Keywords),
+		ReduceSlots: h.cfg.ReduceSlots,
+		GridN:       gridN,
+	})
+	if dec.Empty() {
+		// Figure queries draw keywords from the corpus, so a provably
+		// empty plan means the harness itself is broken.
+		return Cell{}, fmt.Errorf("bench: plan proved figure query empty (k=%d r=%g)", q.K, q.Radius)
+	}
+	dataSel := make([]data.ColSel, 0, len(dec.Data))
+	for _, cs := range dec.Data {
+		dataSel = append(dataSel, data.ColSel{Cell: cs, Blocks: dec.Blocks[cs.File]})
+	}
+	featSel := make([]data.ColSel, 0, len(dec.Features))
+	for _, cs := range dec.Features {
+		featSel = append(featSel, data.ColSel{Cell: cs, Blocks: dec.Blocks[cs.File]})
+	}
+	cell, rep, err := h.measure(func() (*core.Report, error) {
+		before := st.cache.Stats()
+		// The surviving data blocks become (or reuse) the per-grid data
+		// view: the job shuffles feature records only, and reduce tasks
+		// score against the view's dense per-cell columns.
+		view, err := st.dataView(ds, dataSel, gridN)
+		if err != nil {
+			return nil, err
+		}
+		src := mapreduce.Coalesce[data.Object](
+			data.NewColInput(st.store, featSel, st.cache, st.man.Generation), h.cfg.MapSlots*4)
+		r, err := core.Run(alg, src, q, core.Options{
+			Cluster:       h.cluster,
+			Bounds:        ds.Bounds(),
+			GridN:         gridN,
+			NumReducers:   dec.NumReducers,
+			ExtraCounters: dec.Counters(),
+			DataView:      view,
+		})
+		if err != nil {
+			return nil, err
+		}
+		after := st.cache.Stats()
+		r.Counters[counterSegHits] = after.Hits - before.Hits
+		r.Counters[counterSegMisses] = after.Misses - before.Misses
+		return r, nil
+	})
+	if err != nil {
+		return Cell{}, err
+	}
+	if h.cfg.Verify {
+		ref, err := h.runReference(ds, alg, q, gridN)
+		if err != nil {
+			return Cell{}, fmt.Errorf("bench: verify reference: %w", err)
+		}
+		if !sameResults(rep.Results, ref.Results) {
+			return Cell{}, fmt.Errorf("bench: %v k=%d r=%g grid %d: planned columnar results differ from the full-scan reference",
+				alg, q.K, q.Radius, gridN)
+		}
+		cell.Verified = true
+	}
+	return cell, nil
+}
+
+// dataView returns the cached data view for this grid and pruned data
+// selection, building it from the (cache-resident) data blocks on first
+// use. Keyed by core.ViewKey, the same canonical identity the engine
+// uses, so the harness measures the cache behaviour the engine ships.
+func (st *segStore) dataView(ds *data.Dataset, dataSel []data.ColSel, gridN int) (*core.DataView, error) {
+	key := core.ViewKey(st.man.Generation, gridN, ds.Bounds(), dataSel)
+	return st.views.GetOrBuild(key, func() (*core.DataView, error) {
+		g := grid.New(ds.Bounds(), gridN, gridN)
+		return core.BuildDataView(g, data.NewColInput(st.store, dataSel, st.cache, st.man.Generation))
+	})
+}
+
+// sameResults compares two ranked result lists exactly (ids, locations
+// and bitwise scores): pruning and storage format may never change them.
+func sameResults(a, b []core.ResultItem) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// measure runs the job cfg.Repeat times and reports the cell (and report)
+// with the minimum wall time — the standard way to factor scheduler and
+// GC noise out of a single-machine measurement. Job counters are
+// deterministic across repeats; the segment-cache deltas are not (the
+// first repeat decodes cold, later ones hit), so the cell always carries
+// the LAST repeat's cache deltas — the steady serving state the minimum
+// wall time corresponds to — regardless of which repeat was fastest.
+func (h *Harness) measure(run func() (*core.Report, error)) (Cell, *core.Report, error) {
 	repeat := h.cfg.Repeat
 	if repeat < 1 {
 		repeat = 1
 	}
 	var best Cell
+	var bestRep *core.Report
 	for i := 0; i < repeat; i++ {
 		rep, err := run()
 		if err != nil {
-			return Cell{}, err
+			return Cell{}, nil, err
 		}
 		cell := Cell{
-			Millis:            float64(rep.Stats.Duration.Microseconds()) / 1000,
-			FeaturesExamined:  rep.Counters[core.CounterFeaturesExamined],
-			ScoreComputations: rep.Counters[core.CounterScoreComputations],
-			Duplicates:        rep.Counters[core.CounterDuplicates],
-			ShuffledRecords:   rep.Counters[mapreduce.CounterMapRecordsOut],
+			Millis:             float64(rep.Stats.Duration.Microseconds()) / 1000,
+			FeaturesExamined:   rep.Counters[core.CounterFeaturesExamined],
+			ScoreComputations:  rep.Counters[core.CounterScoreComputations],
+			Duplicates:         rep.Counters[core.CounterDuplicates],
+			ShuffledRecords:    rep.Counters[mapreduce.CounterMapRecordsOut],
+			MapMillis:          float64(rep.Stats.MapDuration.Microseconds()) / 1000,
+			ReduceMillis:       float64(rep.Stats.ReduceDuration.Microseconds()) / 1000,
+			BlocksScanned:      rep.Counters[plan.CounterBlocksScanned],
+			BlocksPruned:       rep.Counters[plan.CounterBlocksPruned],
+			PlanRecordsSkipped: rep.Counters[plan.CounterRecordsSkipped],
+			SegCacheHits:       rep.Counters[counterSegHits],
+			SegCacheMisses:     rep.Counters[counterSegMisses],
 		}
 		if i == 0 || cell.Millis < best.Millis {
 			best = cell
+			bestRep = rep
 		}
+		// Last repeat's cache deltas win regardless of which repeat was
+		// fastest (see doc comment).
+		best.SegCacheHits, best.SegCacheMisses = cell.SegCacheHits, cell.SegCacheMisses
 	}
-	return best, nil
+	return best, bestRep, nil
 }
 
 // trim reduces a sweep to its endpoints in Quick mode.
@@ -580,7 +826,9 @@ func (h *Harness) duplicationFactor(id string) (*Figure, error) {
 	g := defaultGridSyn
 	for _, pc := range h.trim([]int{5, 10, 25, 50}) {
 		q := h.defaultQuery(ds, g, defaultKeywords, pc, defaultK, 42)
-		cell, err := h.runOne(ds, core.PSPQ, q, g)
+		// The duplication-factor model validates against the full unpruned
+		// map input; pruning would change the measured duplicates.
+		cell, err := h.runLegacy(ds, core.PSPQ, q, g)
 		if err != nil {
 			return nil, err
 		}
@@ -627,7 +875,7 @@ func (h *Harness) loadBalance(id string) (*Figure, error) {
 	for _, reducers := range h.trim([]int{2, 4, 8, 16}) {
 		ideal := total / float64(reducers)
 		for _, balance := range []bool{false, true} {
-			cell, err := h.measure(func() (*core.Report, error) {
+			cell, _, err := h.measure(func() (*core.Report, error) {
 				src := mapreduce.NewMemorySource(h.objects(ds), h.cfg.MapSlots*2)
 				return core.Run(core.ESPQSco, src, q, core.Options{
 					Cluster:     h.cluster,
@@ -674,7 +922,7 @@ func (h *Harness) shuffleScaling(id string) (*Figure, error) {
 	for _, slots := range h.trim([]int{1, 2, 4, 8}) {
 		cluster := mapreduce.NewCluster(nil, slots, slots)
 		for _, spill := range []int{0, 4096} {
-			cell, err := h.measure(func() (*core.Report, error) {
+			cell, _, err := h.measure(func() (*core.Report, error) {
 				src := mapreduce.NewMemorySource(h.objects(ds), slots*2)
 				return core.Run(core.ESPQSco, src, q, core.Options{
 					Cluster:    cluster,

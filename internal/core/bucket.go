@@ -6,6 +6,7 @@ import (
 
 	"spq/internal/data"
 	"spq/internal/geo"
+	"spq/internal/grid"
 )
 
 // objGrid is a per-cell sub-grid bucket index over the data objects of one
@@ -150,13 +151,39 @@ func (b *objGrid) each(p geo.Point, r float64, fn func(i int32)) int64 {
 // precede the first feature in comparator order, so the index is built
 // exactly once per group; the rebuild-on-growth check keeps the exotic
 // interleaved case (identical sort keys for data and features) correct.
+//
+// Under a DataView the group is seeded with the view cell's shared slice
+// and prebuilt index instead (setView); shared backing arrays are never
+// written — add copies out first — and never survive into the scratch
+// pool.
 type groupObjs struct {
 	objs    []data.Object
 	index   *objGrid
 	indexed int // len(objs) the index was last built over
+	// shared marks objs as aliasing an immutable DataView cell: growing
+	// the group (delta records arriving in-stream) must copy out first,
+	// and the scratch pool must drop the alias rather than truncate it —
+	// appending through a truncated alias would scribble over view memory
+	// other queries are concurrently reading.
+	shared bool
 }
 
-func (g *groupObjs) add(o data.Object) { g.objs = append(g.objs, o) }
+func (g *groupObjs) add(o data.Object) {
+	if g.shared {
+		g.objs = append(append(make([]data.Object, 0, len(g.objs)+8), g.objs...), o)
+		g.shared = false
+		return
+	}
+	g.objs = append(g.objs, o)
+}
+
+// setView seeds the group with a view cell's objects and prebuilt index.
+func (g *groupObjs) setView(vc *viewCell) {
+	g.objs = vc.objs
+	g.index = vc.index
+	g.indexed = len(vc.objs)
+	g.shared = true
+}
 
 // reduceScratch is the pooled per-group state of the reduce functions:
 // the collected data objects with their bucket index, the dense
@@ -179,6 +206,13 @@ var scratchPool = sync.Pool{New: func() any { return new(reduceScratch) }}
 // Return it with putScratch when the group is done.
 func getScratch(k int) *reduceScratch {
 	s := scratchPool.Get().(*reduceScratch)
+	if s.g.shared {
+		// The previous group aliased a DataView cell; drop the alias
+		// instead of truncating it, so appends can never write into the
+		// shared view arrays.
+		s.g.objs = nil
+		s.g.shared = false
+	}
 	s.g.objs = s.g.objs[:0]
 	s.g.index = nil
 	s.g.indexed = 0
@@ -189,6 +223,39 @@ func getScratch(k int) *reduceScratch {
 		s.topk = NewTopK(k)
 	} else {
 		s.topk.Reset(k)
+	}
+	return s
+}
+
+// seedView points the scratch at the group's DataView cell, as if the
+// cell's data objects had just arrived in-stream: shared objects and
+// prebuilt index in, per-object bookkeeping slices zero-filled to match.
+// Safe no-op when the view has no objects in the cell.
+func (s *reduceScratch) seedView(view *DataView, cell grid.CellID) {
+	vc := view.cell(cell)
+	if vc == nil {
+		return
+	}
+	s.g.setView(vc)
+	n := len(vc.objs)
+	s.scores = growZeroed(s.scores, n)
+	s.covered = growZeroed(s.covered, n)
+	s.best = growZeroed(s.best, n)
+	for i := range s.best {
+		s.best[i] = nnState{d2: math.Inf(1)}
+	}
+}
+
+// growZeroed returns s resized to n zero-valued elements, reusing the
+// backing array when it is large enough.
+func growZeroed[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
 	}
 	return s
 }

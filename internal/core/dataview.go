@@ -1,0 +1,272 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"spq/internal/data"
+	"spq/internal/geo"
+	"spq/internal/grid"
+	"spq/internal/mapreduce"
+)
+
+// DataView is the dense query-grid layout of a storage generation's data
+// objects: for every query-grid cell, the cell's data objects in one
+// contiguous slice with the reduce-side bucket index prebuilt. It exists
+// because the data half of an SPQ job is query-independent given the grid:
+// data objects carry no keywords, never duplicate (only features fan out
+// under Lemma 1), and land in exactly one cell — so shuffling them
+// per-query sorts, copies and merges the same 50% of the input into the
+// same buckets every time. A view computes that bucketing once; queries
+// sharing (generation, grid, pruned data selection) reuse it through
+// ViewCache, and their MapReduce jobs read only feature records. Reduce
+// tasks resolve their cell's objects directly from the view, exactly as if
+// the records had arrived in-stream first (the comparator guarantees data
+// before features, so preloading is order-equivalent), making results
+// bit-identical to the shuffled path.
+type DataView struct {
+	gridN  int
+	bounds geo.Rect
+	// records is the total object count, the unit of ViewCache accounting.
+	records int
+	cells   []viewCell // indexed by grid.CellID
+}
+
+// viewCell is one grid cell's data objects plus its prebuilt bucket index
+// (nil when the cell is too small for the index to pay off, mirroring
+// buildObjGrid). Both are immutable after construction and shared
+// read-only by concurrent reduce tasks.
+type viewCell struct {
+	objs  []data.Object
+	index *objGrid
+}
+
+// BuildDataView lays the source's data objects out over the query grid and
+// prebuilds each cell's bucket index. The source must yield data objects
+// only; feature objects are rejected, because silently accepting them
+// would drop their scores from every query using the view.
+func BuildDataView(g *grid.Grid, src mapreduce.Source[data.Object]) (*DataView, error) {
+	splits, err := src.Splits()
+	if err != nil {
+		return nil, err
+	}
+	v := &DataView{gridN: dimsOf(g), bounds: g.Bounds(), cells: make([]viewCell, g.NumCells())}
+	var badKind bool
+	for _, s := range splits {
+		err := s.Each(func(o data.Object) bool {
+			if o.Kind != data.DataObject {
+				badKind = true
+				return false
+			}
+			c := g.CellOf(o.Loc)
+			v.cells[c].objs = append(v.cells[c].objs, o)
+			v.records++
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		if badKind {
+			return nil, fmt.Errorf("core: data view source yielded a feature object")
+		}
+	}
+	for i := range v.cells {
+		v.cells[i].index = buildObjGrid(v.cells[i].objs)
+	}
+	return v, nil
+}
+
+// Records returns the number of data objects the view holds.
+func (v *DataView) Records() int { return v.records }
+
+// cell returns the view cell for id, or nil when the cell holds no data.
+func (v *DataView) cell(id grid.CellID) *viewCell {
+	if int(id) < 0 || int(id) >= len(v.cells) {
+		return nil
+	}
+	if len(v.cells[id].objs) == 0 {
+		return nil
+	}
+	return &v.cells[id]
+}
+
+// matches reports whether the view was built for this job's grid.
+func (v *DataView) matches(g *grid.Grid) bool {
+	return v.gridN == dimsOf(g) && v.bounds == g.Bounds()
+}
+
+func dimsOf(g *grid.Grid) int {
+	nx, _ := g.Dims()
+	return nx
+}
+
+// ViewKey canonicalizes one data-view identity: storage generation, query
+// grid (size and bounds), and the exact pruned data-block selection. The
+// full string is the cache key — a digest would let two distinct
+// selections collide and silently serve a view built for the wrong blocks.
+// A nil block list and an explicit every-block list render identically, so
+// planned-but-unpruned and unplanned reads of the same generation share
+// one cached view.
+func ViewKey(gen uint64, gridN int, bounds geo.Rect, sel []data.ColSel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%d|%x,%x,%x,%x|", gen, gridN,
+		math.Float64bits(bounds.MinX), math.Float64bits(bounds.MinY),
+		math.Float64bits(bounds.MaxX), math.Float64bits(bounds.MaxY))
+	for _, cs := range sel {
+		fmt.Fprintf(&b, "%s:", cs.Cell.File)
+		if cs.Blocks == nil || len(cs.Blocks) == len(cs.Cell.Blocks) {
+			b.WriteByte('*')
+		} else {
+			fmt.Fprintf(&b, "%v", cs.Blocks)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// DefaultViewCacheRecords is the default ViewCache budget, in cached data
+// objects (~48 bytes each, so the default is on the order of 100 MiB).
+const DefaultViewCacheRecords = 1 << 21
+
+// ViewCache is an LRU over data views, budgeted by total cached records
+// rather than entry count: one view of a 10M-object generation should not
+// cost the same as one view of a 10k-object test corpus. Keys are caller-
+// defined; the engine keys on (generation, grid, pruned data selection),
+// so — like the query and segment caches — a generation bump makes stale
+// views unreachable by construction.
+type ViewCache struct {
+	mu      sync.Mutex
+	budget  int
+	records int
+	ll      *list.List
+	entries map[string]*list.Element
+	hits    int64
+	misses  int64
+	// inflight deduplicates concurrent builds of the same view (see
+	// GetOrBuild): after a generation bump every in-flight query misses at
+	// once, and N redundant full-dataset builds would multiply both the
+	// build CPU and the transient allocation by the client count.
+	inflight map[string]*viewBuild
+}
+
+// viewBuild is one in-progress GetOrBuild computation.
+type viewBuild struct {
+	done chan struct{}
+	view *DataView
+	err  error
+}
+
+type viewEntry struct {
+	key  string
+	view *DataView
+}
+
+// NewViewCache creates a cache holding up to budget records across its
+// views. budget <= 0 selects DefaultViewCacheRecords.
+func NewViewCache(budget int) *ViewCache {
+	if budget <= 0 {
+		budget = DefaultViewCacheRecords
+	}
+	return &ViewCache{
+		budget:   budget,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*viewBuild),
+	}
+}
+
+// GetOrBuild returns the cached view for key, or runs build exactly once
+// to create it — concurrent callers for the same key wait for the single
+// build instead of each building their own. A failed build is not cached;
+// the next caller retries.
+func (c *ViewCache) GetOrBuild(key string, build func() (*DataView, error)) (*DataView, error) {
+	if c == nil {
+		return build()
+	}
+	for {
+		if v, ok := c.Get(key); ok {
+			return v, nil
+		}
+		c.mu.Lock()
+		if b, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			<-b.done
+			if b.err == nil {
+				return b.view, nil
+			}
+			// The winning build failed; loop to retry (or join a newer
+			// attempt).
+			continue
+		}
+		b := &viewBuild{done: make(chan struct{})}
+		c.inflight[key] = b
+		c.mu.Unlock()
+
+		b.view, b.err = build()
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(b.done)
+		if b.err != nil {
+			return nil, b.err
+		}
+		c.Put(key, b.view)
+		return b.view, nil
+	}
+}
+
+// Get returns the cached view for key, if present.
+func (c *ViewCache) Get(key string) (*DataView, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*viewEntry).view, true
+}
+
+// Put stores a view, evicting least-recently-used entries until the record
+// budget holds. A view larger than the whole budget is cached alone (the
+// working set IS that one view).
+func (c *ViewCache) Put(key string, v *DataView) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.records += v.records - el.Value.(*viewEntry).view.records
+		el.Value.(*viewEntry).view = v
+		c.ll.MoveToFront(el)
+	} else {
+		c.entries[key] = c.ll.PushFront(&viewEntry{key: key, view: v})
+		c.records += v.records
+	}
+	for c.records > c.budget && c.ll.Len() > 1 {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		e := oldest.Value.(*viewEntry)
+		delete(c.entries, e.key)
+		c.records -= e.view.records
+	}
+}
+
+// Stats returns the cumulative hit/miss counts and current size.
+func (c *ViewCache) Stats() (hits, misses int64, entries, records int) {
+	if c == nil {
+		return 0, 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len(), c.records
+}

@@ -85,6 +85,16 @@ type Options struct {
 	// skipped) next to the job counters when it feeds Run a pre-pruned
 	// file set with a planner-chosen grid.
 	ExtraCounters map[string]int64
+	// DataView, when set, supplies the data objects out of band: the
+	// source must then yield feature objects only, and each reduce group
+	// is seeded with its cell's data objects from the view — shared dense
+	// slices with prebuilt bucket indexes — instead of receiving them
+	// through the shuffle. Results are identical to the in-stream path
+	// (the comparator already guarantees data before features within a
+	// group; preloading is the limit of that order), but the job sorts,
+	// copies and merges only feature records. The view must have been
+	// built for exactly this grid (Bounds, GridN). See BuildDataView.
+	DataView *DataView
 }
 
 func (o Options) gridN() int {
@@ -158,6 +168,9 @@ func Run(alg Algorithm, src mapreduce.Source[data.Object], q Query, opts Options
 		opts.Cluster = mapreduce.NewCluster(nil, 1, 1)
 	}
 	g := grid.New(opts.Bounds, opts.gridN(), opts.gridN())
+	if opts.DataView != nil && !opts.DataView.matches(g) {
+		return nil, fmt.Errorf("core: data view built for a different grid than %v", g)
+	}
 
 	partition := CellKeyPartition
 	if opts.LoadBalance && opts.numReducers() < g.NumCells() {
@@ -192,29 +205,29 @@ func Run(alg Algorithm, src mapreduce.Source[data.Object], q Query, opts Options
 		job.Less = CellKeyAscLess
 		job.Compare = CellKeyAscCompare
 		if q.Mode == ScoreNearest {
-			job.Reduce = reduceNearest(q)
+			job.Reduce = reduceNearest(q, opts.DataView)
 		} else {
-			job.Reduce = reduceScan(q, scanOpts{})
+			job.Reduce = reduceScan(q, scanOpts{}, opts.DataView)
 		}
 	case ESPQLen:
 		job.Map = mapESPQLen(g, q, opts)
 		job.Less = CellKeyAscLess
 		job.Compare = CellKeyAscCompare
 		// Algorithm 4 = Algorithm 2 + the Equation-1 bound check.
-		job.Reduce = reduceScan(q, scanOpts{lenBound: true})
+		job.Reduce = reduceScan(q, scanOpts{lenBound: true}, opts.DataView)
 	case ESPQSco:
 		job.Map = mapESPQSco(g, q, opts)
 		job.Less = CellKeyDescLess
 		job.Compare = CellKeyDescCompare
 		if q.Mode == ScoreRange {
-			job.Reduce = reduceESPQSco(q)
+			job.Reduce = reduceESPQSco(q, opts.DataView)
 		} else {
 			// Influence: a feature's contribution is at most its textual
 			// score, so under descending-score order the group can stop as
 			// soon as w(x,q) <= τ — but the first covering feature is no
 			// longer final, so Algorithm 6 gives way to the Algorithm-2
 			// scan with a descending-order break.
-			job.Reduce = reduceScan(q, scanOpts{descBreak: true})
+			job.Reduce = reduceScan(q, scanOpts{descBreak: true}, opts.DataView)
 		}
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %d", int(alg))
@@ -352,11 +365,14 @@ type scanOpts struct {
 // monotone contribution (range and influence modes). Under eSPQlen
 // ordering, the Equation-1 bound of the current feature bounds every later
 // feature, so τ ≥ w̄(f,q) stops the group (Lemma 2).
-func reduceScan(q Query, opts scanOpts) reduceFunc {
+func reduceScan(q Query, opts scanOpts, view *DataView) reduceFunc {
 	r2 := q.Radius * q.Radius
 	return func(ctx *taskCtx, values *valueIter, emit func(cellResult)) error {
 		sc := getScratch(q.K)
 		defer putScratch(sc)
+		if view != nil {
+			sc.seedView(view, values.GroupKey().Cell)
+		}
 		var (
 			g    = &sc.g
 			topk = sc.topk
@@ -433,11 +449,14 @@ func reduceScan(q Query, opts scanOpts) reduceFunc {
 // drops below τ (Lemma 3; the strict comparison keeps scanning through
 // features tied with τ so that ties resolve canonically by id, not by
 // arrival order).
-func reduceESPQSco(q Query) reduceFunc {
+func reduceESPQSco(q Query, view *DataView) reduceFunc {
 	r2 := q.Radius * q.Radius
 	return func(ctx *taskCtx, values *valueIter, emit func(cellResult)) error {
 		sc := getScratch(q.K)
 		defer putScratch(sc)
+		if view != nil {
+			sc.seedView(view, values.GroupKey().Cell)
+		}
 		var (
 			g    = &sc.g
 			topk = sc.topk

@@ -78,11 +78,14 @@ type nnState struct {
 // the textual score of its nearest relevant feature (ties at equal
 // distance resolved toward the higher score, so results are independent
 // of arrival order).
-func reduceNearest(q Query) reduceFunc {
+func reduceNearest(q Query, view *DataView) reduceFunc {
 	r2 := q.Radius * q.Radius
 	return func(ctx *taskCtx, values *valueIter, emit func(cellResult)) error {
 		sc := getScratch(q.K)
 		defer putScratch(sc)
+		if view != nil {
+			sc.seedView(view, values.GroupKey().Cell)
+		}
 		var (
 			g    = &sc.g
 			fLoc geo.Point

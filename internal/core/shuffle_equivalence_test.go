@@ -180,7 +180,7 @@ func BenchmarkReduceScan(b *testing.B) {
 	} {
 		pairs := buildScanGroup(size.nData, size.nFeat, dict, 3)
 		b.Run(fmt.Sprintf("objs=%d/feats=%d", size.nData, size.nFeat), func(b *testing.B) {
-			reduce := reduceScan(q, scanOpts{})
+			reduce := reduceScan(q, scanOpts{}, nil)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				values, more, err := mapreduce.ValuesFromPairs(pairs, CellKeyGroup)

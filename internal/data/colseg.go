@@ -1,0 +1,450 @@
+package data
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"spq/internal/geo"
+	"spq/internal/text"
+)
+
+// SPQ2 columnar cell segments. Where the SPQ1 SequenceFile layout
+// (seqfile.go) stores one length-prefixed record after another, an SPQ2
+// segment stores the objects of one seal-grid cell as column blocks of
+// ColBlockRecords records each, in struct-of-arrays layout: all ids, then
+// all x coordinates, then all y coordinates, then — for feature cells —
+// the per-record keyword counts followed by one flat keyword-id array.
+// Disk-based keyword search systems organize postings the same way
+// (block-organized lists with per-block metadata) precisely because it
+// buys two things record files cannot offer:
+//
+//  1. Block skipping. Every block carries a zone map — record count,
+//     tight bounding rectangle, keyword bloom — persisted in the seal
+//     manifest (CellStats.Blocks), so the query planner prunes at block
+//     granularity and the reader fetches only surviving blocks by
+//     (offset, length) random access. SPQ1 readers must decode a whole
+//     cell file to skip any of it.
+//  2. Dense decode. A block decodes into parallel column slices
+//     (ColumnBlock) exactly once; the map phase then views records as
+//     stack-allocated Object values whose keyword sets alias the block's
+//     flat keyword column — no per-record allocation, and a decoded block
+//     is shared read-only by every concurrent query through the segment
+//     cache (BlockCache).
+//
+// File layout:
+//
+//	magic   [4]byte  "SPQ2"
+//	kind    byte     'D' (data cell) or 'F' (feature cell)
+//	repeat per block:
+//	    length  uvarint   payload byte count
+//	    payload []byte    one encoded column block (below)
+//	    crc32   [4]byte   IEEE CRC of payload, little-endian
+//
+// Block payload layout (all varints unsigned LEB128 unless noted):
+//
+//	kind     byte      'D' or 'F' (blocks are self-describing)
+//	count    uvarint   records in the block (>= 1)
+//	ids      count zigzag varints, delta-coded from the previous id
+//	xs, ys   count * 8 bytes each, raw little-endian float64 columns
+//	if 'F':
+//	    kwCounts  count uvarints  keywords per record
+//	    kws       sum(kwCounts) uvarints  flat keyword-id column
+//
+// Readers never scan a segment: block offsets and lengths come from the
+// manifest's zone maps, and the per-block CRC turns any corruption —
+// truncation, bit rot, a wrong offset — into an error instead of garbage
+// objects or a panic (see DecodeColBlock and the package fuzz tests).
+
+// colMagic identifies an SPQ2 segment file.
+var colMagic = [4]byte{'S', 'P', 'Q', '2'}
+
+// ColBlockRecords is the number of records per column block. Blocks are
+// the unit of zone-map pruning, of decode, and of segment caching: small
+// enough that a block's bounding box and keyword bloom stay selective on
+// skewed cells (a clustered cell holding tens of thousands of records
+// splits into many prunable blocks), large enough that per-block framing
+// and decode dispatch are noise.
+const ColBlockRecords = 2048
+
+// Block kind bytes.
+const (
+	colKindData    = 'D'
+	colKindFeature = 'F'
+)
+
+func colKindByte(k Kind) byte {
+	if k == DataObject {
+		return colKindData
+	}
+	return colKindFeature
+}
+
+// BlockStats is the zone map of one column block, persisted in the seal
+// manifest next to the owning cell's statistics. Offset and Length frame
+// the block inside its segment file (varint length prefix through trailing
+// CRC), so a reader fetches exactly the surviving blocks with one ranged
+// read each.
+type BlockStats struct {
+	// Records is the number of objects in the block.
+	Records int `json:"records"`
+	// Offset is the byte position of the block's frame in the segment
+	// file; Length is the frame's total byte count.
+	Offset int64 `json:"offset"`
+	Length int   `json:"length"`
+	// Bounds is the tight bounding rectangle of the block's objects.
+	Bounds geo.Rect `json:"bounds"`
+	// Keywords summarizes the keywords of the block's features. Empty for
+	// data blocks.
+	Keywords KeywordBloom `json:"keywords,omitempty"`
+}
+
+// ColWriter writes one cell's objects as an SPQ2 columnar segment,
+// accumulating the per-block zone maps as it goes.
+type ColWriter struct {
+	w            io.Writer
+	kind         Kind
+	dict         *text.Dict
+	blockRecords int
+	off          int64
+	headerDone   bool
+	closer       io.Closer
+
+	pending []Object
+	stats   []BlockStats
+	buf     bytes.Buffer // reused block-payload scratch
+}
+
+// NewColWriter creates a columnar writer over w for a single-kind cell
+// partition. dict resolves keyword ids to words for the per-block bloom
+// summaries (may be nil for data cells). blockRecords <= 0 selects
+// ColBlockRecords.
+func NewColWriter(w io.Writer, kind Kind, dict *text.Dict, blockRecords int) *ColWriter {
+	if blockRecords <= 0 {
+		blockRecords = ColBlockRecords
+	}
+	var c io.Closer
+	if wc, ok := w.(io.Closer); ok {
+		c = wc
+	}
+	return &ColWriter{w: w, kind: kind, dict: dict, blockRecords: blockRecords, closer: c}
+}
+
+func (c *ColWriter) writeHeader() error {
+	if c.headerDone {
+		return nil
+	}
+	if _, err := c.w.Write(colMagic[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write([]byte{colKindByte(c.kind)}); err != nil {
+		return err
+	}
+	c.off = int64(len(colMagic)) + 1
+	c.headerDone = true
+	return nil
+}
+
+// Append adds one object. Objects of the wrong kind are rejected: a
+// segment holds exactly one cell of one dataset.
+func (c *ColWriter) Append(o Object) error {
+	if o.Kind != c.kind {
+		return fmt.Errorf("data: %s object %d appended to a %s segment", o.Kind, o.ID, c.kind)
+	}
+	c.pending = append(c.pending, o)
+	if len(c.pending) >= c.blockRecords {
+		return c.flushBlock()
+	}
+	return nil
+}
+
+// flushBlock encodes the pending objects as one framed block and records
+// its zone map.
+func (c *ColWriter) flushBlock() error {
+	if len(c.pending) == 0 {
+		return nil
+	}
+	if err := c.writeHeader(); err != nil {
+		return err
+	}
+	c.buf.Reset()
+	encodeColBlock(&c.buf, c.kind, c.pending)
+	payload := c.buf.Bytes()
+
+	bs := BlockStats{Records: len(c.pending), Offset: c.off}
+	bs.Bounds = geo.Rect{MinX: 1, MaxX: -1} // empty
+	if c.kind == FeatureObject {
+		bs.Keywords = NewKeywordBloom()
+	}
+	for _, o := range c.pending {
+		bs.Bounds = bs.Bounds.Union(geo.Rect{MinX: o.Loc.X, MinY: o.Loc.Y, MaxX: o.Loc.X, MaxY: o.Loc.Y})
+		if c.kind == FeatureObject && c.dict != nil {
+			for _, w := range c.dict.Words(o.Keywords) {
+				bs.Keywords.Add(w)
+			}
+		}
+	}
+
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+	if _, err := c.w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return err
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(payload))
+	if _, err := c.w.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	bs.Length = n + len(payload) + len(crcBuf)
+	c.off += int64(bs.Length)
+	c.stats = append(c.stats, bs)
+	c.pending = c.pending[:0]
+	return nil
+}
+
+// Close flushes the final partial block (and closes the underlying writer
+// when it is an io.Closer). Empty segments still get a header.
+func (c *ColWriter) Close() error {
+	if err := c.flushBlock(); err != nil {
+		return err
+	}
+	if err := c.writeHeader(); err != nil {
+		return err
+	}
+	if c.closer != nil {
+		return c.closer.Close()
+	}
+	return nil
+}
+
+// Stats returns the zone maps of the blocks written so far, in file order.
+// Call after Close for the complete set.
+func (c *ColWriter) Stats() []BlockStats { return c.stats }
+
+// encodeColBlock renders objs as one block payload. Writes to a
+// bytes.Buffer cannot fail, so encoding is infallible.
+func encodeColBlock(buf *bytes.Buffer, kind Kind, objs []Object) {
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf.Write(tmp[:n])
+	}
+	putVarint := func(v int64) {
+		n := binary.PutVarint(tmp[:], v)
+		buf.Write(tmp[:n])
+	}
+	buf.WriteByte(colKindByte(kind))
+	putUvarint(uint64(len(objs)))
+	prev := uint64(0)
+	for _, o := range objs {
+		putVarint(int64(o.ID - prev)) // two's-complement delta, zigzag-coded
+		prev = o.ID
+	}
+	var fixed [8]byte
+	for _, o := range objs {
+		binary.LittleEndian.PutUint64(fixed[:], math.Float64bits(o.Loc.X))
+		buf.Write(fixed[:])
+	}
+	for _, o := range objs {
+		binary.LittleEndian.PutUint64(fixed[:], math.Float64bits(o.Loc.Y))
+		buf.Write(fixed[:])
+	}
+	if kind == FeatureObject {
+		for _, o := range objs {
+			putUvarint(uint64(len(o.Keywords)))
+		}
+		for _, o := range objs {
+			for _, kw := range o.Keywords {
+				putUvarint(uint64(kw))
+			}
+		}
+	}
+}
+
+// ColumnBlock is one decoded column block: parallel slices holding the
+// block's records in struct-of-arrays layout. A decoded block is immutable
+// and safe for concurrent readers; the segment cache shares one instance
+// across queries.
+type ColumnBlock struct {
+	Kind Kind
+	IDs  []uint64
+	Xs   []float64
+	Ys   []float64
+	// KwOff and Kws hold the keyword postings of a feature block: record
+	// i's keywords are Kws[KwOff[i]:KwOff[i+1]]. Nil for data blocks.
+	KwOff []int32
+	Kws   []uint32
+}
+
+// Len returns the number of records in the block.
+func (b *ColumnBlock) Len() int { return len(b.IDs) }
+
+// Object views record i as an Object. The value is constructed on the
+// caller's stack; its keyword set aliases the block's flat keyword column,
+// so no per-record heap allocation happens on the read path.
+func (b *ColumnBlock) Object(i int) Object {
+	o := Object{Kind: b.Kind, ID: b.IDs[i], Loc: geo.Point{X: b.Xs[i], Y: b.Ys[i]}}
+	if b.KwOff != nil {
+		if kws := b.Kws[b.KwOff[i]:b.KwOff[i+1]]; len(kws) > 0 {
+			o.Keywords = text.KeywordSet(kws)
+		}
+	}
+	return o
+}
+
+// errCorrupt builds the uniform corrupt-block error.
+func errCorrupt(format string, args ...any) error {
+	return fmt.Errorf("data: corrupt column block: "+format, args...)
+}
+
+// byteReaderSlice adapts a byte slice for binary varint readers while
+// tracking the position.
+type byteReaderSlice struct {
+	buf []byte
+	pos int
+}
+
+func (r *byteReaderSlice) ReadByte() (byte, error) {
+	if r.pos >= len(r.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *byteReaderSlice) remaining() int { return len(r.buf) - r.pos }
+
+// DecodeColBlock decodes one block payload (the bytes between the frame's
+// length prefix and its CRC). Every structural violation — truncation,
+// impossible counts, unsorted keyword sets, trailing garbage — returns an
+// error; malformed input can never panic or silently yield objects. This
+// is the fuzzing boundary of the format.
+func DecodeColBlock(payload []byte) (*ColumnBlock, error) {
+	r := &byteReaderSlice{buf: payload}
+	kindByte, err := r.ReadByte()
+	if err != nil {
+		return nil, errCorrupt("missing kind byte")
+	}
+	var kind Kind
+	switch kindByte {
+	case colKindData:
+		kind = DataObject
+	case colKindFeature:
+		kind = FeatureObject
+	default:
+		return nil, errCorrupt("unknown kind byte %#x", kindByte)
+	}
+	count64, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, errCorrupt("record count: %v", err)
+	}
+	if count64 == 0 {
+		return nil, errCorrupt("empty block")
+	}
+	// Each record needs at least 1 id byte + 16 coordinate bytes, so the
+	// count is bounded by the payload size; checking before allocating
+	// keeps a hostile count varint from forcing a huge allocation.
+	if count64 > uint64(r.remaining())/17 {
+		return nil, errCorrupt("record count %d exceeds payload size %d", count64, len(payload))
+	}
+	count := int(count64)
+	b := &ColumnBlock{
+		Kind: kind,
+		IDs:  make([]uint64, count),
+		Xs:   make([]float64, count),
+		Ys:   make([]float64, count),
+	}
+	prev := uint64(0)
+	for i := 0; i < count; i++ {
+		d, err := binary.ReadVarint(r)
+		if err != nil {
+			return nil, errCorrupt("id delta %d: %v", i, err)
+		}
+		prev += uint64(d)
+		b.IDs[i] = prev
+	}
+	if r.remaining() < 16*count {
+		return nil, errCorrupt("truncated coordinate columns: %d bytes left, need %d", r.remaining(), 16*count)
+	}
+	for i := 0; i < count; i++ {
+		b.Xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.pos:]))
+		r.pos += 8
+	}
+	for i := 0; i < count; i++ {
+		b.Ys[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.pos:]))
+		r.pos += 8
+	}
+	if kind == FeatureObject {
+		b.KwOff = make([]int32, count+1)
+		total := uint64(0)
+		for i := 0; i < count; i++ {
+			n, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, errCorrupt("keyword count %d: %v", i, err)
+			}
+			total += n
+			// Every keyword id costs at least one byte, so the running
+			// total is bounded by what is left of the payload.
+			if total > uint64(len(payload)) {
+				return nil, errCorrupt("keyword total %d exceeds payload size %d", total, len(payload))
+			}
+			b.KwOff[i+1] = int32(total)
+		}
+		if total > uint64(r.remaining()) {
+			return nil, errCorrupt("truncated keyword column: %d bytes left, need at least %d", r.remaining(), total)
+		}
+		b.Kws = make([]uint32, total)
+		for i := range b.Kws {
+			v, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, errCorrupt("keyword %d: %v", i, err)
+			}
+			if v > math.MaxUint32 {
+				return nil, errCorrupt("keyword id %d overflows uint32", v)
+			}
+			b.Kws[i] = uint32(v)
+		}
+		// Keyword sets are stored sorted and de-duplicated (the KeywordSet
+		// invariant the scoring code relies on); enforce it at the trust
+		// boundary instead of propagating a corrupt set into queries.
+		for i := 0; i < count; i++ {
+			kws := b.Kws[b.KwOff[i]:b.KwOff[i+1]]
+			for j := 1; j < len(kws); j++ {
+				if kws[j] <= kws[j-1] {
+					return nil, errCorrupt("record %d keyword set not strictly ascending", i)
+				}
+			}
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, errCorrupt("%d trailing bytes", r.remaining())
+	}
+	return b, nil
+}
+
+// DecodeColFrame validates and decodes one framed block as stored on disk:
+// varint payload length, payload, CRC32. frame must be exactly the bytes
+// BlockStats.{Offset,Length} describe.
+func DecodeColFrame(frame []byte) (*ColumnBlock, error) {
+	r := &byteReaderSlice{buf: frame}
+	length, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, errCorrupt("frame length: %v", err)
+	}
+	if length > uint64(r.remaining()) || r.remaining()-int(length) != 4 {
+		return nil, errCorrupt("frame of %d bytes does not hold a %d-byte payload plus CRC", len(frame), length)
+	}
+	payload := frame[r.pos : r.pos+int(length)]
+	want := binary.LittleEndian.Uint32(frame[len(frame)-4:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, errCorrupt("CRC mismatch: computed %#x, stored %#x", got, want)
+	}
+	return DecodeColBlock(payload)
+}

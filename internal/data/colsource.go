@@ -1,0 +1,163 @@
+package data
+
+import (
+	"fmt"
+
+	"spq/internal/mapreduce"
+)
+
+// RangeReader is the storage access a columnar segment reader needs:
+// random-access ranged reads, nothing else. dfs.FileSystem satisfies it;
+// MemSegStore is the in-memory implementation used by the bench harness
+// and tests.
+type RangeReader interface {
+	// ReadRange returns up to n bytes of the named file starting at off.
+	ReadRange(file string, off int64, n int) ([]byte, error)
+}
+
+// MemSegStore holds segment files as in-memory byte slices. It is the
+// cheapest RangeReader: what a warmed OS page cache looks like to the
+// reader, without simulating one.
+type MemSegStore map[string][]byte
+
+// ReadRange implements RangeReader.
+func (m MemSegStore) ReadRange(file string, off int64, n int) ([]byte, error) {
+	buf, ok := m[file]
+	if !ok {
+		return nil, fmt.Errorf("data: segment store: no file %q", file)
+	}
+	if off < 0 || off > int64(len(buf)) {
+		return nil, fmt.Errorf("data: segment store: offset %d out of range for %q (%d bytes)", off, file, len(buf))
+	}
+	end := off + int64(n)
+	if end > int64(len(buf)) {
+		end = int64(len(buf))
+	}
+	return buf[off:end], nil
+}
+
+// ColSel selects what a query reads of one sealed columnar cell: the
+// cell's manifest entry plus the indices of its surviving blocks. A nil
+// Blocks slice selects every block (the unplanned path); the query planner
+// narrows it using the per-block zone maps.
+type ColSel struct {
+	Cell   CellStats
+	Blocks []int
+}
+
+// SelectAllBlocks builds the unpruned selection over a manifest's cells:
+// every cell, every block.
+func SelectAllBlocks(m *Manifest) []ColSel {
+	out := make([]ColSel, 0, len(m.Data)+len(m.Features))
+	for _, cs := range m.Data {
+		out = append(out, ColSel{Cell: cs})
+	}
+	for _, cs := range m.Features {
+		out = append(out, ColSel{Cell: cs})
+	}
+	return out
+}
+
+// ColInput is a MapReduce source over SPQ2 columnar segments: one split
+// per selected block, fetched by ranged read at the zone map's offset and
+// decoded into dense column buffers — or served straight from the decoded-
+// segment cache. Splits report their payload size and record count, so
+// mapreduce.Coalesce packs them into balanced map tasks exactly like file
+// splits.
+type ColInput struct {
+	R     RangeReader
+	Cells []ColSel
+	// Cache, when non-nil, memoizes decoded blocks across queries. Gen
+	// scopes the cache keys to one storage generation.
+	Cache *BlockCache
+	Gen   uint64
+}
+
+// NewColInput constructs a columnar source.
+func NewColInput(r RangeReader, cells []ColSel, cache *BlockCache, gen uint64) *ColInput {
+	return &ColInput{R: r, Cells: cells, Cache: cache, Gen: gen}
+}
+
+// Splits implements mapreduce.Source.
+func (c *ColInput) Splits() ([]mapreduce.SourceSplit[Object], error) {
+	var out []mapreduce.SourceSplit[Object]
+	for _, sel := range c.Cells {
+		if len(sel.Cell.Blocks) == 0 {
+			return nil, fmt.Errorf("data: columnar read of cell %q: manifest carries no block zone maps", sel.Cell.File)
+		}
+		idxs := sel.Blocks
+		if idxs == nil {
+			for i := range sel.Cell.Blocks {
+				out = append(out, &colSplit{in: c, file: sel.Cell.File, idx: i, bs: sel.Cell.Blocks[i]})
+			}
+			continue
+		}
+		for _, i := range idxs {
+			if i < 0 || i >= len(sel.Cell.Blocks) {
+				return nil, fmt.Errorf("data: columnar read of cell %q: block %d of %d selected", sel.Cell.File, i, len(sel.Cell.Blocks))
+			}
+			out = append(out, &colSplit{in: c, file: sel.Cell.File, idx: i, bs: sel.Cell.Blocks[i]})
+		}
+	}
+	return out, nil
+}
+
+// colSplit reads one column block.
+type colSplit struct {
+	in   *ColInput
+	file string
+	idx  int
+	bs   BlockStats
+}
+
+// Hosts implements mapreduce.SourceSplit. Ranged block reads fail over
+// across replicas inside the DFS, so no placement preference is reported.
+func (s *colSplit) Hosts() []string { return nil }
+
+// Size implements mapreduce.SizedSplit.
+func (s *colSplit) Size() int64 { return int64(s.bs.Length) }
+
+// Records implements mapreduce.CountedSplit.
+func (s *colSplit) Records() int { return s.bs.Records }
+
+// Each implements mapreduce.SourceSplit: fetch (or reuse) the decoded
+// block and view its records as Objects. The Object values live on the
+// stack and alias the block's keyword column — the hot path allocates
+// nothing per record.
+func (s *colSplit) Each(yield func(Object) bool) error {
+	b, err := s.fetch()
+	if err != nil {
+		return err
+	}
+	if b.Len() != s.bs.Records {
+		return fmt.Errorf("data: segment %s block %d: decoded %d records, zone map says %d",
+			s.file, s.idx, b.Len(), s.bs.Records)
+	}
+	for i := 0; i < b.Len(); i++ {
+		if !yield(b.Object(i)) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// fetch returns the decoded block, from the segment cache when possible.
+func (s *colSplit) fetch() (*ColumnBlock, error) {
+	key := BlockKey{Gen: s.in.Gen, File: s.file, Index: s.idx}
+	if b, ok := s.in.Cache.Get(key); ok {
+		return b, nil
+	}
+	frame, err := s.in.R.ReadRange(s.file, s.bs.Offset, s.bs.Length)
+	if err != nil {
+		return nil, fmt.Errorf("data: segment %s block %d: %w", s.file, s.idx, err)
+	}
+	if len(frame) != s.bs.Length {
+		return nil, fmt.Errorf("data: segment %s block %d: read %d of %d bytes", s.file, s.idx, len(frame), s.bs.Length)
+	}
+	b, err := DecodeColFrame(frame)
+	if err != nil {
+		return nil, fmt.Errorf("data: segment %s block %d: %w", s.file, s.idx, err)
+	}
+	s.in.Cache.Put(key, b)
+	return b, nil
+}

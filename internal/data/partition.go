@@ -1,6 +1,7 @@
 package data
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -27,9 +28,10 @@ const ManifestVersion = 1
 
 // Storage formats recorded in the manifest.
 const (
-	FormatText   = "text" // newline-delimited EncodeLine records
-	FormatBinary = "seq"  // SequenceFile-like binary records
-	FormatMemory = "mem"  // in-memory partitions, no DFS files
+	FormatText     = "text" // newline-delimited EncodeLine records
+	FormatBinary   = "seq"  // SPQ1: SequenceFile-like binary records
+	FormatColumnar = "spq2" // SPQ2: columnar cell segments with block zone maps
+	FormatMemory   = "mem"  // in-memory partitions, no DFS files
 )
 
 // Bloom filter geometry for per-cell keyword summaries. 2048 bits and 3
@@ -124,6 +126,13 @@ type CellStats struct {
 	// Keywords summarizes the keywords of the cell's features. Empty for
 	// data cells.
 	Keywords KeywordBloom `json:"keywords,omitempty"`
+	// Blocks are the per-block zone maps of an SPQ2 columnar cell segment
+	// (FormatColumnar), in file order: each block's record count, frame
+	// offset/length, tight bounding rectangle and keyword summary. The
+	// planner prunes individual blocks against them, and readers fetch
+	// surviving blocks by ranged read. Empty for SPQ1 and text cells,
+	// which are only addressable whole.
+	Blocks []BlockStats `json:"blocks,omitempty"`
 }
 
 // Manifest is the persisted description of one sealed, partitioned
@@ -190,14 +199,67 @@ func DecodeManifest(r io.Reader) (*Manifest, error) {
 		if len(cs.Keywords) != 0 {
 			return nil, fmt.Errorf("data: manifest data cell %d has a keyword summary", cs.Cell)
 		}
+		if err := checkBlocks(cs, m.Format, false); err != nil {
+			return nil, err
+		}
 	}
 	for _, cs := range m.Features {
 		if len(cs.Keywords) != bloomBits/8 {
 			return nil, fmt.Errorf("data: manifest feature cell %d has a %d-byte keyword summary, want %d",
 				cs.Cell, len(cs.Keywords), bloomBits/8)
 		}
+		if err := checkBlocks(cs, m.Format, true); err != nil {
+			return nil, err
+		}
 	}
 	return &m, nil
+}
+
+// checkBlocks validates one cell's block zone maps: columnar cells must
+// carry maps whose record counts sum to the cell's, with non-overlapping
+// frames in file order; non-columnar cells must carry none. A manifest
+// failing these checks could make a reader fetch garbage offsets, so it is
+// rejected whole.
+func checkBlocks(cs CellStats, format string, feature bool) error {
+	if format != FormatColumnar {
+		if len(cs.Blocks) != 0 {
+			return fmt.Errorf("data: manifest %s cell %d has block zone maps but format %q", kindName(feature), cs.Cell, format)
+		}
+		return nil
+	}
+	if len(cs.Blocks) == 0 {
+		return fmt.Errorf("data: manifest columnar %s cell %d has no block zone maps", kindName(feature), cs.Cell)
+	}
+	total := 0
+	next := int64(0)
+	for i, bs := range cs.Blocks {
+		if bs.Records <= 0 || bs.Length <= 0 || bs.Offset < next {
+			return fmt.Errorf("data: manifest %s cell %d block %d has invalid frame (%d records at %d+%d)",
+				kindName(feature), cs.Cell, i, bs.Records, bs.Offset, bs.Length)
+		}
+		wantBloom := 0
+		if feature {
+			wantBloom = bloomBits / 8
+		}
+		if len(bs.Keywords) != wantBloom {
+			return fmt.Errorf("data: manifest %s cell %d block %d has a %d-byte keyword summary, want %d",
+				kindName(feature), cs.Cell, i, len(bs.Keywords), wantBloom)
+		}
+		next = bs.Offset + int64(bs.Length)
+		total += bs.Records
+	}
+	if total != cs.Records {
+		return fmt.Errorf("data: manifest %s cell %d blocks hold %d records, cell says %d",
+			kindName(feature), cs.Cell, total, cs.Records)
+	}
+	return nil
+}
+
+func kindName(feature bool) string {
+	if feature {
+		return "feature"
+	}
+	return "data"
 }
 
 // CellPart is the objects of one dataset falling into one seal-grid cell.
@@ -277,14 +339,30 @@ func cellFileName(prefix, kind string, cell grid.CellID, ext string) string {
 // a seal with the given prefix.
 func ManifestFileName(prefix string) string { return prefix + ".manifest.json" }
 
-// SealDFS writes every cell partition as its own DFS file (text or binary
-// format) and persists the manifest as <prefix>.manifest.json. The
-// returned manifest carries the per-cell statistics the planner prunes on.
-func (p *Partitions) SealDFS(fs *dfs.FileSystem, prefix string, dict *text.Dict, binary bool) (*Manifest, error) {
-	ext, format := "txt", FormatText
-	if binary {
-		ext, format = "seq", FormatBinary
+// sealExt maps a storage format to its cell-file extension.
+func sealExt(format string) string {
+	switch format {
+	case FormatBinary:
+		return "seq"
+	case FormatColumnar:
+		return "spq2"
+	default:
+		return "txt"
 	}
+}
+
+// SealDFS writes every cell partition as its own DFS file in the given
+// format (FormatText, FormatBinary or FormatColumnar) and persists the
+// manifest as <prefix>.manifest.json. The returned manifest carries the
+// per-cell statistics the planner prunes on; columnar seals additionally
+// carry every block's zone map (CellStats.Blocks).
+func (p *Partitions) SealDFS(fs *dfs.FileSystem, prefix string, dict *text.Dict, format string) (*Manifest, error) {
+	switch format {
+	case FormatText, FormatBinary, FormatColumnar:
+	default:
+		return nil, fmt.Errorf("data: seal format %q", format)
+	}
+	ext := sealExt(format)
 	m := &Manifest{
 		Version:    ManifestVersion,
 		Format:     format,
@@ -297,7 +375,9 @@ func (p *Partitions) SealDFS(fs *dfs.FileSystem, prefix string, dict *text.Dict,
 		if err != nil {
 			return CellStats{}, err
 		}
-		if binary {
+		var blocks []BlockStats
+		switch format {
+		case FormatBinary:
 			sw := NewSeqWriter(w, name)
 			for _, o := range part.Objects {
 				if err := sw.Append(o); err != nil {
@@ -307,7 +387,18 @@ func (p *Partitions) SealDFS(fs *dfs.FileSystem, prefix string, dict *text.Dict,
 			if err := sw.Close(); err != nil {
 				return CellStats{}, err
 			}
-		} else {
+		case FormatColumnar:
+			cw := NewColWriter(w, part.Objects[0].Kind, dict, 0)
+			for _, o := range part.Objects {
+				if err := cw.Append(o); err != nil {
+					return CellStats{}, err
+				}
+			}
+			if err := cw.Close(); err != nil {
+				return CellStats{}, err
+			}
+			blocks = cw.Stats()
+		default:
 			for _, o := range part.Objects {
 				if err := EncodeLine(w, o, dict); err != nil {
 					return CellStats{}, err
@@ -317,7 +408,9 @@ func (p *Partitions) SealDFS(fs *dfs.FileSystem, prefix string, dict *text.Dict,
 				return CellStats{}, err
 			}
 		}
-		return part.stats(name, dict, withKeywords), nil
+		cs := part.stats(name, dict, withKeywords)
+		cs.Blocks = blocks
+		return cs, nil
 	}
 	for _, part := range p.Data {
 		cs, err := write(part, "d", false)
@@ -361,6 +454,52 @@ func (p *Partitions) SealMemory(prefix string, dict *text.Dict) (*Manifest, []Ob
 	var ordered []Object
 	m.Data, m.Features, ordered = p.CellView(prefix, dict)
 	return m, ordered
+}
+
+// SealSegments writes every cell partition as an SPQ2 columnar segment
+// into an in-memory store and returns the manifest describing it: the
+// columnar analogue of SealMemory, used by harnesses and tests that want
+// the full block-pruned read path without a simulated DFS underneath.
+// blockRecords <= 0 selects ColBlockRecords.
+func (p *Partitions) SealSegments(store MemSegStore, prefix string, dict *text.Dict, blockRecords int) (*Manifest, error) {
+	m := &Manifest{
+		Version:    ManifestVersion,
+		Format:     FormatColumnar,
+		Generation: p.Generation,
+		Grid:       GridSpec{Bounds: p.Grid.Bounds(), N: dims(p.Grid)},
+	}
+	write := func(part CellPart, kind string, withKeywords bool) (CellStats, error) {
+		name := cellFileName(prefix, kind, part.Cell, "spq2")
+		var buf bytes.Buffer
+		cw := NewColWriter(&buf, part.Objects[0].Kind, dict, blockRecords)
+		for _, o := range part.Objects {
+			if err := cw.Append(o); err != nil {
+				return CellStats{}, err
+			}
+		}
+		if err := cw.Close(); err != nil {
+			return CellStats{}, err
+		}
+		store[name] = append([]byte(nil), buf.Bytes()...)
+		cs := part.stats(name, dict, withKeywords)
+		cs.Blocks = cw.Stats()
+		return cs, nil
+	}
+	for _, part := range p.Data {
+		cs, err := write(part, "d", false)
+		if err != nil {
+			return nil, fmt.Errorf("data: seal cell %d: %w", part.Cell, err)
+		}
+		m.Data = append(m.Data, cs)
+	}
+	for _, part := range p.Features {
+		cs, err := write(part, "f", true)
+		if err != nil {
+			return nil, fmt.Errorf("data: seal cell %d: %w", part.Cell, err)
+		}
+		m.Features = append(m.Features, cs)
+	}
+	return m, nil
 }
 
 // CellView computes the per-cell statistics and the cell-ordered object

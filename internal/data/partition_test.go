@@ -11,6 +11,7 @@ import (
 	"spq/internal/dfs"
 	"spq/internal/geo"
 	"spq/internal/grid"
+	"spq/internal/mapreduce"
 	"spq/internal/text"
 )
 
@@ -99,61 +100,96 @@ func TestPartitionObjectsPreservesDataset(t *testing.T) {
 }
 
 func TestSealDFSRoundTrip(t *testing.T) {
-	for _, binary := range []bool{false, true} {
+	for _, format := range []string{FormatText, FormatBinary, FormatColumnar} {
 		dict := text.NewDict()
 		objs := testObjects(300, dict)
 		g := grid.NewSquare(4)
 		fs := dfs.New(dfs.Config{NumNodes: 4, BlockSize: 512})
-		man, err := PartitionObjects(g, objs).SealDFS(fs, "t", dict, binary)
+		man, err := PartitionObjects(g, objs).SealDFS(fs, "t", dict, format)
 		if err != nil {
-			t.Fatalf("binary=%v: %v", binary, err)
+			t.Fatalf("%s: %v", format, err)
 		}
 		if man.TotalRecords() != int64(len(objs)) {
-			t.Errorf("binary=%v: manifest records = %d, want %d", binary, man.TotalRecords(), len(objs))
+			t.Errorf("%s: manifest records = %d, want %d", format, man.TotalRecords(), len(objs))
 		}
 
 		// The persisted manifest decodes back to the returned one.
 		raw, err := fs.ReadAll(ManifestFileName("t"))
 		if err != nil {
-			t.Fatalf("binary=%v: manifest file: %v", binary, err)
+			t.Fatalf("%s: manifest file: %v", format, err)
 		}
 		dec, err := DecodeManifest(bytes.NewReader(raw))
 		if err != nil {
-			t.Fatalf("binary=%v: %v", binary, err)
+			t.Fatalf("%s: %v", format, err)
 		}
 		if !reflect.DeepEqual(dec, man) {
-			t.Errorf("binary=%v: decoded manifest differs from sealed one", binary)
+			t.Errorf("%s: decoded manifest differs from sealed one", format)
 		}
 
 		// Reading every cell file back yields exactly the dataset.
 		var back []Object
-		for _, name := range man.Files() {
-			if binary {
-				err = NewSeqInput(fs, name).each(func(o Object) { back = append(back, o) })
-			} else {
-				err = eachTextObject(fs, name, dict, func(o Object) { back = append(back, o) })
-			}
+		collect := func(o Object) { back = append(back, o) }
+		switch format {
+		case FormatColumnar:
+			err = eachSourceObject(NewColInput(fs, SelectAllBlocks(man), nil, 0), collect)
 			if err != nil {
-				t.Fatalf("binary=%v: read %s: %v", binary, name, err)
+				t.Fatalf("%s: read: %v", format, err)
+			}
+		case FormatBinary:
+			for _, name := range man.Files() {
+				if err = NewSeqInput(fs, name).each(collect); err != nil {
+					t.Fatalf("%s: read %s: %v", format, name, err)
+				}
+			}
+		default:
+			for _, name := range man.Files() {
+				if err = eachTextObject(fs, name, dict, collect); err != nil {
+					t.Fatalf("%s: read %s: %v", format, name, err)
+				}
 			}
 		}
 		if !reflect.DeepEqual(sortedByID(back), sortedByID(objs)) {
-			t.Errorf("binary=%v: cell files do not round-trip the dataset (%d vs %d objects)",
-				binary, len(back), len(objs))
+			t.Errorf("%s: cell files do not round-trip the dataset (%d vs %d objects)",
+				format, len(back), len(objs))
 		}
 
 		// Feature-cell keyword summaries cover the cell's keywords.
 		for _, cs := range man.Features {
 			if len(cs.Keywords) == 0 {
-				t.Fatalf("binary=%v: feature cell %d has no keyword summary", binary, cs.Cell)
+				t.Fatalf("%s: feature cell %d has no keyword summary", format, cs.Cell)
 			}
 		}
 		for _, cs := range man.Data {
 			if len(cs.Keywords) != 0 {
-				t.Fatalf("binary=%v: data cell %d has a keyword summary", binary, cs.Cell)
+				t.Fatalf("%s: data cell %d has a keyword summary", format, cs.Cell)
+			}
+		}
+		// Columnar seals carry block zone maps; other formats must not.
+		for _, cs := range append(append([]CellStats(nil), man.Data...), man.Features...) {
+			if format == FormatColumnar && len(cs.Blocks) == 0 {
+				t.Fatalf("%s: cell %d has no block zone maps", format, cs.Cell)
+			}
+			if format != FormatColumnar && len(cs.Blocks) != 0 {
+				t.Fatalf("%s: cell %d has block zone maps", format, cs.Cell)
 			}
 		}
 	}
+}
+
+// eachSourceObject drains a mapreduce source (test helper).
+func eachSourceObject(src interface {
+	Splits() ([]mapreduce.SourceSplit[Object], error)
+}, f func(Object)) error {
+	splits, err := src.Splits()
+	if err != nil {
+		return err
+	}
+	for _, s := range splits {
+		if err := s.Each(func(o Object) bool { f(o); return true }); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // each drains a SeqInput through its splits (test helper).

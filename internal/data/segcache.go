@@ -1,0 +1,116 @@
+package data
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Decoded-segment cache: an LRU over decoded column blocks, keyed on
+// (storage generation, cell file, block index). Sealed segments are
+// write-once, so a decoded block is valid for as long as its generation is
+// served; a compaction writes new files under a new generation, making the
+// old entries unreachable by construction (they age out of the LRU), the
+// same invalidation discipline the engine's query cache uses. Hot
+// clustered queries — repeats over the same few cells — skip both the
+// ranged read and the columnar decode entirely.
+
+// DefaultBlockCacheSize is the default capacity of the decoded-segment
+// cache, in column blocks (~2048 records each, roughly 40 MiB of decoded
+// columns at the default block size).
+const DefaultBlockCacheSize = 1024
+
+// BlockKey identifies one decoded block.
+type BlockKey struct {
+	// Gen is the storage generation the block's manifest seals.
+	Gen uint64
+	// File is the cell segment file; Index is the block's position in the
+	// cell's zone-map list.
+	File  string
+	Index int
+}
+
+// BlockCacheStats is the cumulative outcome of a BlockCache.
+type BlockCacheStats struct {
+	Hits, Misses int64
+	Entries      int
+}
+
+// BlockCache is a mutex-guarded LRU of decoded column blocks, shared by
+// every query of one engine. Blocks are immutable after decode, so a hit
+// hands out the cached instance itself.
+type BlockCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[BlockKey]*list.Element
+	hits    int64
+	misses  int64
+}
+
+type blockEntry struct {
+	key   BlockKey
+	block *ColumnBlock
+}
+
+// NewBlockCache creates a cache holding up to capacity decoded blocks.
+// capacity <= 0 selects DefaultBlockCacheSize.
+func NewBlockCache(capacity int) *BlockCache {
+	if capacity <= 0 {
+		capacity = DefaultBlockCacheSize
+	}
+	return &BlockCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[BlockKey]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached block for key, if present.
+func (c *BlockCache) Get(key BlockKey) (*ColumnBlock, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*blockEntry).block, true
+}
+
+// Put stores a decoded block, evicting the least recently used entry when
+// full. Concurrent decoders of the same block may both Put; the last one
+// wins, which is harmless because decoded blocks of one (gen, file, index)
+// are identical.
+func (c *BlockCache) Put(key BlockKey, b *ColumnBlock) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*blockEntry).block = b
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&blockEntry{key: key, block: b})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*blockEntry).key)
+	}
+}
+
+// Stats snapshots the cumulative hit/miss counts and current size.
+func (c *BlockCache) Stats() BlockCacheStats {
+	if c == nil {
+		return BlockCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return BlockCacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len()}
+}

@@ -9,14 +9,22 @@ import (
 	"slices"
 )
 
-// sortPairs stable-sorts pairs by the job's three-way key comparator. It
-// goes through slices.SortStableFunc, whose generic instantiation compares
-// and swaps concrete Pair values directly, rather than sort.SliceStable's
-// reflection-based element swapping; the three-way form costs one
-// comparator call per comparison instead of the two a Less-based sort
-// needs to distinguish greater from equal.
+// sortPairs sorts pairs by the job's three-way key comparator. It goes
+// through slices.SortFunc, whose generic instantiation compares and swaps
+// concrete Pair values directly, rather than sort.Slice's reflection-based
+// element swapping; the three-way form costs one comparator call per
+// comparison instead of the two a Less-based sort needs to distinguish
+// greater from equal.
+//
+// The sort is deliberately NOT stable: equal keys already arrive at a
+// reduce task in nondeterministic relative order, because a partition
+// k-way-merges chunks from concurrently running map tasks and the merge
+// breaks key ties by chunk arrival. Correctness therefore cannot depend on
+// equal-key order anywhere downstream — the reduce algorithms resolve
+// score ties canonically by object id — and a stable sort would pay the
+// symmerge pass for an ordering guarantee the system cannot observe.
 func sortPairs[K, V any](pairs []Pair[K, V], cmp func(a, b K) int) {
-	slices.SortStableFunc(pairs, func(a, b Pair[K, V]) int {
+	slices.SortFunc(pairs, func(a, b Pair[K, V]) int {
 		return cmp(a.Key, b.Key)
 	})
 }

@@ -27,6 +27,7 @@ package plan
 
 import (
 	"math"
+	"sort"
 
 	"spq/internal/data"
 	"spq/internal/geo"
@@ -44,6 +45,12 @@ const (
 	// CounterRecordsSkipped counts input records the job never read thanks
 	// to pruning.
 	CounterRecordsSkipped = "spq.plan.records.skipped"
+	// CounterBlocksScanned and CounterBlocksPruned count column blocks of
+	// SPQ2 cells (cells carrying block-level zone maps) the job read and
+	// skipped. Both are 0 on storage without block metadata, where pruning
+	// stops at cell granularity.
+	CounterBlocksScanned = "spq.plan.blocks.scanned"
+	CounterBlocksPruned  = "spq.plan.blocks.pruned"
 )
 
 // Input is what the planner knows about one query execution.
@@ -74,9 +81,16 @@ type Stats struct {
 	DataCellsPruned    int
 	FeatureCellsPruned int
 	// RecordsTotal and RecordsSelected count input records — base plus
-	// delta — before and after pruning.
+	// delta — before and after pruning. With block zone maps available,
+	// RecordsSelected counts only the records of surviving blocks.
 	RecordsTotal    int64
 	RecordsSelected int64
+	// Blocks counts the column-block zone maps the planner considered
+	// (cells without block metadata contribute none); BlocksPruned says
+	// how many it discarded — inside surviving cells and as whole pruned
+	// cells alike. Blocks - BlocksPruned blocks are actually read.
+	Blocks       int
+	BlocksPruned int
 	// DeltaCells, DeltaCellsPruned, DeltaRecords and DeltaRecordsSelected
 	// break out the delta's share of the counts above (all zero when the
 	// plan had no delta).
@@ -100,6 +114,13 @@ type Decision struct {
 	// Files is the surviving sealed cell file set, data cells first. Delta
 	// cells are not files; they are returned separately above.
 	Files []string
+	// Blocks maps each surviving sealed cell file that carries block-level
+	// zone maps to the ascending indices of its surviving blocks: the
+	// planner prunes individual column blocks of SPQ2 segments the same
+	// three ways it prunes cells, so a surviving cell is often read only
+	// partially. Cells without block metadata have no entry and are read
+	// whole.
+	Blocks map[string][]int
 	// GridN and NumReducers are the chosen execution parameters.
 	GridN       int
 	NumReducers int
@@ -120,6 +141,8 @@ func (d *Decision) Counters() map[string]int64 {
 		CounterDataCellsPruned:    int64(d.Stats.DataCellsPruned),
 		CounterFeatureCellsPruned: int64(d.Stats.FeatureCellsPruned),
 		CounterRecordsSkipped:     d.Stats.RecordsTotal - d.Stats.RecordsSelected,
+		CounterBlocksScanned:      int64(d.Stats.Blocks - d.Stats.BlocksPruned),
+		CounterBlocksPruned:       int64(d.Stats.BlocksPruned),
 	}
 }
 
@@ -129,11 +152,69 @@ func Plan(m *data.Manifest, in Input) *Decision {
 	return PlanGenerations(m, nil, nil, in)
 }
 
-// genCell is one cell under consideration, tagged with the generation it
-// belongs to (sealed base or in-memory delta).
-type genCell struct {
-	cs    data.CellStats
-	delta bool
+// unit is the planner's granule: one column block of an SPQ2 cell, or one
+// whole cell where no block zone maps exist (SPQ1, text, memory and delta
+// cells). Every unit carries its own tight bounds, record count and — for
+// feature units — keyword summary, so the three pruning steps apply to a
+// mixed block/cell population uniformly: the correctness argument is the
+// cell-level one verbatim, with "cell" read as "unit".
+type unit struct {
+	cellIdx  int // index into its category's CellStats slice
+	blockIdx int // block index within the cell, or -1 for a whole cell
+	records  int
+	bounds   geo.Rect
+	bloom    data.KeywordBloom
+	delta    bool
+}
+
+// explode turns one category's cells into pruning units: one per block
+// where zone maps exist, one per cell otherwise.
+func explode(cells []data.CellStats, delta bool) []unit {
+	out := make([]unit, 0, len(cells))
+	for i, cs := range cells {
+		if len(cs.Blocks) == 0 {
+			out = append(out, unit{cellIdx: i, blockIdx: -1, records: cs.Records,
+				bounds: cs.Bounds, bloom: cs.Keywords, delta: delta})
+			continue
+		}
+		for bi, bs := range cs.Blocks {
+			out = append(out, unit{cellIdx: i, blockIdx: bi, records: bs.Records,
+				bounds: bs.Bounds, bloom: bs.Keywords, delta: delta})
+		}
+	}
+	return out
+}
+
+// regroup folds one category's surviving units back into per-cell
+// selections: the surviving CellStats in manifest order and, for cells
+// pruned at block granularity, the ascending surviving block indices.
+// blocks may be nil when the caller does not track block selections
+// (delta cells, which never have blocks).
+func regroup(cells []data.CellStats, surv []unit, delta bool, blocks map[string][]int) (kept []data.CellStats, records int64) {
+	sel := make(map[int][]int, len(cells))
+	for _, u := range surv {
+		if u.delta != delta {
+			continue
+		}
+		if u.blockIdx < 0 {
+			sel[u.cellIdx] = nil
+		} else {
+			sel[u.cellIdx] = append(sel[u.cellIdx], u.blockIdx)
+		}
+		records += int64(u.records)
+	}
+	for i, cs := range cells {
+		bi, ok := sel[i]
+		if !ok {
+			continue
+		}
+		kept = append(kept, cs)
+		if bi != nil && blocks != nil {
+			sort.Ints(bi)
+			blocks[cs.File] = bi
+		}
+	}
+	return kept, records
 }
 
 // PlanGenerations prunes the union of the sealed base manifest and the
@@ -141,9 +222,11 @@ type genCell struct {
 // records appended after the base generation sealed, partitioned over the
 // same seal grid with statistics mirroring the manifest's (the engine
 // computes them on the fly). Pruning is performed jointly — a base data
-// cell survives if any feature cell of either generation is within reach,
+// unit survives if any feature unit of either generation is within reach,
 // and vice versa — so results over base+delta are identical to a
-// hypothetical re-seal of everything.
+// hypothetical re-seal of everything. Where the manifest carries block
+// zone maps (SPQ2 columnar storage), the granule is the column block, not
+// the cell: a surviving cell may be read only partially.
 func PlanGenerations(m *data.Manifest, deltaData, deltaFeatures []data.CellStats, in Input) *Decision {
 	d := &Decision{Stats: Stats{
 		SealGridN:    m.Grid.N,
@@ -160,64 +243,64 @@ func PlanGenerations(m *data.Manifest, deltaData, deltaFeatures []data.CellStats
 	}
 	d.Stats.RecordsTotal += d.Stats.DeltaRecords
 
-	tag := func(base, delta []data.CellStats) []genCell {
-		out := make([]genCell, 0, len(base)+len(delta))
-		for _, cs := range base {
-			out = append(out, genCell{cs: cs})
+	allD := append(explode(m.Data, false), explode(deltaData, true)...)
+	allF := append(explode(m.Features, false), explode(deltaFeatures, true)...)
+	countBlocks := func(us []unit) (n int) {
+		for _, u := range us {
+			if u.blockIdx >= 0 {
+				n++
+			}
 		}
-		for _, cs := range delta {
-			out = append(out, genCell{cs: cs, delta: true})
-		}
-		return out
+		return n
 	}
-	allF := tag(m.Features, deltaFeatures)
-	allD := tag(m.Data, deltaData)
+	d.Stats.Blocks = countBlocks(allD) + countBlocks(allF)
 
-	// 1. Keyword pruning of feature cells.
-	survF := make([]genCell, 0, len(allF))
-	for _, fc := range allF {
-		if fc.cs.Keywords.MayContainAny(in.Keywords) {
-			survF = append(survF, fc)
+	// 1. Keyword pruning of feature units.
+	survF := make([]unit, 0, len(allF))
+	for _, fu := range allF {
+		if fu.bloom.MayContainAny(in.Keywords) {
+			survF = append(survF, fu)
 		}
 	}
 
-	// 2. Distance pruning of data cells against surviving feature cells.
+	// 2. Distance pruning of data units against surviving feature units.
 	r2 := in.Radius * in.Radius
-	survD := make([]genCell, 0, len(allD))
-	for _, dc := range allD {
-		if withinAny(dc.cs.Bounds, survF, r2) {
-			survD = append(survD, dc)
+	survD := make([]unit, 0, len(allD))
+	for _, du := range allD {
+		if withinAny(du.bounds, survF, r2) {
+			survD = append(survD, du)
 		}
 	}
 
-	// 3. Distance pruning of feature cells against surviving data cells.
+	// 3. Distance pruning of feature units against surviving data units.
+	// (This cannot re-orphan a data unit: had the feature unit been within
+	// r of a data unit, that data unit would have survived step 2.)
 	finalF := survF[:0]
-	for _, fc := range survF {
-		if withinAny(fc.cs.Bounds, survD, r2) {
-			finalF = append(finalF, fc)
+	for _, fu := range survF {
+		if withinAny(fu.bounds, survD, r2) {
+			finalF = append(finalF, fu)
 		}
 	}
 
-	for _, dc := range survD {
-		d.Stats.RecordsSelected += int64(dc.cs.Records)
-		if dc.delta {
-			d.DeltaData = append(d.DeltaData, dc.cs)
-			d.Stats.DeltaRecordsSelected += int64(dc.cs.Records)
-		} else {
-			d.Data = append(d.Data, dc.cs)
-			d.Files = append(d.Files, dc.cs.File)
-		}
+	d.Blocks = make(map[string][]int)
+	var selected int64
+	d.Data, selected = regroup(m.Data, survD, false, d.Blocks)
+	d.Stats.RecordsSelected += selected
+	d.Features, selected = regroup(m.Features, finalF, false, d.Blocks)
+	d.Stats.RecordsSelected += selected
+	d.DeltaData, selected = regroup(deltaData, survD, true, nil)
+	d.Stats.RecordsSelected += selected
+	d.Stats.DeltaRecordsSelected += selected
+	d.DeltaFeatures, selected = regroup(deltaFeatures, finalF, true, nil)
+	d.Stats.RecordsSelected += selected
+	d.Stats.DeltaRecordsSelected += selected
+	for _, cs := range d.Data {
+		d.Files = append(d.Files, cs.File)
 	}
-	for _, fc := range finalF {
-		d.Stats.RecordsSelected += int64(fc.cs.Records)
-		if fc.delta {
-			d.DeltaFeatures = append(d.DeltaFeatures, fc.cs)
-			d.Stats.DeltaRecordsSelected += int64(fc.cs.Records)
-		} else {
-			d.Features = append(d.Features, fc.cs)
-			d.Files = append(d.Files, fc.cs.File)
-		}
+	for _, cs := range d.Features {
+		d.Files = append(d.Files, cs.File)
 	}
+	d.Stats.BlocksPruned = d.Stats.Blocks - countBlocks(survD) - countBlocks(finalF)
 	d.Stats.DataCellsPruned = d.Stats.DataCells - len(d.Data) - len(d.DeltaData)
 	d.Stats.FeatureCellsPruned = d.Stats.FeatureCells - len(d.Features) - len(d.DeltaFeatures)
 	d.Stats.DeltaCellsPruned = d.Stats.DeltaCells - len(d.DeltaData) - len(d.DeltaFeatures)
@@ -233,10 +316,10 @@ func PlanGenerations(m *data.Manifest, deltaData, deltaFeatures []data.CellStats
 	return d
 }
 
-// withinAny reports whether any cell in cells has MINDIST <= r from b.
-func withinAny(b geo.Rect, cells []genCell, r2 float64) bool {
-	for _, c := range cells {
-		if geo.RectMinDist2(b, c.cs.Bounds) <= r2 {
+// withinAny reports whether any unit in units has MINDIST <= r from b.
+func withinAny(b geo.Rect, units []unit, r2 float64) bool {
+	for _, u := range units {
+		if geo.RectMinDist2(b, u.bounds) <= r2 {
 			return true
 		}
 	}

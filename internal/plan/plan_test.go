@@ -245,3 +245,108 @@ func TestChooseReducers(t *testing.T) {
 		t.Errorf("no slot info: reducers = %d, want 2500", got)
 	}
 }
+
+// buildColumnarManifest seals the same two-cluster corpus as SPQ2 columnar
+// segments with tiny blocks, so cells split into many prunable units.
+func buildColumnarManifest(t *testing.T, sealN, blockRecords int) *data.Manifest {
+	t.Helper()
+	dict := text.NewDict()
+	r := rand.New(rand.NewSource(3))
+	var objs []data.Object
+	id := uint64(0)
+	add := func(cx, cy float64, vocab string) {
+		for i := 0; i < 200; i++ {
+			id++
+			loc := geo.Point{X: cx + r.Float64()*0.1 - 0.05, Y: cy + r.Float64()*0.1 - 0.05}
+			if i%2 == 0 {
+				objs = append(objs, data.Object{Kind: data.DataObject, ID: id, Loc: loc})
+			} else {
+				objs = append(objs, data.Object{
+					Kind:     data.FeatureObject,
+					ID:       id,
+					Loc:      loc,
+					Keywords: dict.InternAll([]string{fmt.Sprintf("%s%d", vocab, r.Intn(10))}),
+				})
+			}
+		}
+	}
+	add(0.2, 0.2, "a")
+	add(0.8, 0.8, "b")
+	g := grid.New(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, sealN, sealN)
+	m, err := data.PartitionObjects(g, objs).SealSegments(data.MemSegStore{}, "t", dict, blockRecords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestPlanBlockGranularity: with block zone maps present, pruning refines
+// below the cell — a selective query keeps cells but drops blocks inside
+// them, and the block counters reconcile with the record selection.
+func TestPlanBlockGranularity(t *testing.T) {
+	// A coarse seal grid (2x2) with 8-record blocks: each cluster lands in
+	// one cell of ~200 records split into ~25 blocks with tight bounds and
+	// per-block blooms.
+	m := buildColumnarManifest(t, 2, 8)
+	d := Plan(m, Input{Radius: 0.01, Keywords: []string{"a3"}, ReduceSlots: 4})
+	if d.Empty() {
+		t.Fatal("plan pruned everything for an in-vocabulary keyword")
+	}
+	if d.Stats.Blocks == 0 {
+		t.Fatal("no block zone maps considered")
+	}
+	if d.Stats.BlocksPruned == 0 {
+		t.Error("selective query pruned no blocks")
+	}
+	// Blocks of the "b" cluster must all be gone: keyword-disjoint feature
+	// blocks, unreachable data blocks.
+	for file, blocks := range d.Blocks {
+		if len(blocks) == 0 {
+			t.Errorf("surviving cell %s has an empty block selection", file)
+		}
+	}
+	// Selected records must equal the records of surviving blocks exactly.
+	var got int64
+	lookup := make(map[string]data.CellStats)
+	for _, cs := range append(append([]data.CellStats(nil), m.Data...), m.Features...) {
+		lookup[cs.File] = cs
+	}
+	for _, cs := range append(append([]data.CellStats(nil), d.Data...), d.Features...) {
+		sel, ok := d.Blocks[cs.File]
+		if !ok {
+			t.Fatalf("surviving columnar cell %s has no block selection", cs.File)
+		}
+		for _, bi := range sel {
+			got += int64(lookup[cs.File].Blocks[bi].Records)
+		}
+	}
+	if got != d.Stats.RecordsSelected {
+		t.Errorf("surviving blocks hold %d records, Stats.RecordsSelected = %d", got, d.Stats.RecordsSelected)
+	}
+	// Block pruning must be at least as sharp as cell pruning: re-plan the
+	// same corpus without block metadata and compare the records read.
+	coarse := Plan(buildManifest(t, 2), Input{Radius: 0.01, Keywords: []string{"a3"}, ReduceSlots: 4})
+	if d.Stats.RecordsSelected > coarse.Stats.RecordsSelected {
+		t.Errorf("block-level selection (%d records) coarser than cell-level (%d)",
+			d.Stats.RecordsSelected, coarse.Stats.RecordsSelected)
+	}
+	// Counters reconcile.
+	c := d.Counters()
+	if c[CounterBlocksScanned]+c[CounterBlocksPruned] != int64(d.Stats.Blocks) {
+		t.Errorf("block counters %d+%d do not sum to %d blocks",
+			c[CounterBlocksScanned], c[CounterBlocksPruned], d.Stats.Blocks)
+	}
+}
+
+// TestPlanBlockCountersZeroWithoutZoneMaps: cell-granular storage reports
+// no block activity.
+func TestPlanBlockCountersZeroWithoutZoneMaps(t *testing.T) {
+	m := buildManifest(t, 8)
+	d := Plan(m, Input{Radius: 0.05, Keywords: []string{"a1"}})
+	if d.Stats.Blocks != 0 || d.Stats.BlocksPruned != 0 {
+		t.Errorf("cell-granular manifest reported blocks: %+v", d.Stats)
+	}
+	if len(d.Blocks) != 0 {
+		t.Errorf("cell-granular manifest produced block selections: %v", d.Blocks)
+	}
+}

@@ -46,8 +46,48 @@ func (s KeywordSet) Contains(id uint32) bool {
 	return i < len(s) && s[i] == id
 }
 
-// IntersectionSize returns |s ∩ t| by merging the two sorted slices.
+// asymmetricCutoff selects the intersection strategy: when one set is
+// this many times longer than the other, galloping lookups of the short
+// set's members beat the linear merge. Queries carry a handful of
+// keywords while corpus features carry dozens (the paper's UN/CL draw
+// 10–100 per feature), so the Map phase — one intersection per feature
+// per query — sits squarely in the asymmetric regime.
+const asymmetricCutoff = 8
+
+// IntersectionSize returns |s ∩ t|: by merging the two sorted slices, or
+// by binary-searching the shorter set's members in the longer when the
+// lengths are lopsided (O(min·log max) instead of O(min+max)).
 func (s KeywordSet) IntersectionSize(t KeywordSet) int {
+	if len(s) > len(t) {
+		s, t = t, s
+	}
+	if len(t) >= len(s)*asymmetricCutoff {
+		n := 0
+		for _, id := range s {
+			// Each searched id is larger than the last; shrink the search
+			// window to the tail past the previous hit position. The search
+			// is hand-rolled: this is the per-feature scoring inner loop of
+			// the Map phase, and a sort.Search closure call per probe is
+			// measurable there.
+			lo, hi := 0, len(t)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if t[mid] < id {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo == len(t) {
+				break
+			}
+			if t[lo] == id {
+				n++
+			}
+			t = t[lo:]
+		}
+		return n
+	}
 	n, i, j := 0, 0, 0
 	for i < len(s) && j < len(t) {
 		switch {
@@ -66,8 +106,33 @@ func (s KeywordSet) IntersectionSize(t KeywordSet) int {
 
 // Intersects reports whether s and t share at least one keyword. It is the
 // Map-phase pruning test of Algorithm 1 line 9 (q.W ∩ f.W ≠ ∅) and short-
-// circuits on the first common id.
+// circuits on the first common id. Lopsided lengths take the same
+// binary-search path as IntersectionSize.
 func (s KeywordSet) Intersects(t KeywordSet) bool {
+	if len(s) > len(t) {
+		s, t = t, s
+	}
+	if len(t) >= len(s)*asymmetricCutoff {
+		for _, id := range s {
+			lo, hi := 0, len(t)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if t[mid] < id {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo == len(t) {
+				return false
+			}
+			if t[lo] == id {
+				return true
+			}
+			t = t[lo:]
+		}
+		return false
+	}
 	i, j := 0, 0
 	for i < len(s) && j < len(t) {
 		switch {

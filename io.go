@@ -9,12 +9,23 @@ import (
 	"spq/internal/data"
 )
 
+// MaxLineBytes is the longest input line LoadLines accepts, in bytes. A
+// feature line's length is dominated by its keyword list, which real
+// corpora can grow to megabytes (a heavily-tagged object serializes every
+// tag on one line); the previous hard 1 MiB scanner cap silently failed
+// the whole batch with an unhelpful "token too long". The cap exists only
+// to bound memory against pathological input — a missing newline in a
+// multi-gigabyte file — and a line exceeding it fails the load with an
+// error naming the limit.
+const MaxLineBytes = 64 << 20
+
 // LoadLines reads objects in the library's text format, one per line:
 //
 //	D <id> <x> <y>                 — data object (tab-separated)
 //	F <id> <x> <y> <kw1,kw2,...>   — feature object
 //
 // This is the same format cmd/spqgen emits and the engine's DFS stores.
+// Lines may be up to MaxLineBytes long.
 //
 // Records are validated as they stream in — finite coordinates, unique
 // ids per dataset (see AddData) — and a bad record fails the load with an
@@ -27,7 +38,10 @@ func (e *Engine) LoadLines(r io.Reader) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	// Start small and let the scanner grow up to the documented cap: most
+	// lines are tens of bytes, and pre-allocating the worst case per load
+	// call would cost 64 MiB on every tiny batch.
+	sc.Buffer(make([]byte, 0, 64<<10), MaxLineBytes)
 	var objs []data.Object
 	// Per-batch duplicate tracking, one namespace per dataset (see
 	// AddData): nothing is loaded until every line has validated.
@@ -52,6 +66,9 @@ func (e *Engine) LoadLines(r io.Reader) error {
 		objs = append(objs, o)
 	}
 	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			return fmt.Errorf("spq: line %d: longer than MaxLineBytes (%d): %w", n+1, MaxLineBytes, err)
+		}
 		return err
 	}
 	for _, o := range objs {

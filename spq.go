@@ -142,6 +142,14 @@ type PlanStats struct {
 	FeatureCells       int
 	DataCellsPruned    int
 	FeatureCellsPruned int
+	// Blocks counts the column-block zone maps the planner considered
+	// (SPQ2 columnar storage; 0 on storage without block metadata) and
+	// BlocksPruned how many it proved irrelevant — pruning inside
+	// surviving cells as well as across whole pruned cells. The
+	// "spq.plan.blocks.scanned" and "spq.plan.blocks.pruned" counters
+	// carry the same numbers.
+	Blocks       int
+	BlocksPruned int
 	// RecordsTotal and RecordsSelected count stored input records before
 	// and after pruning: the job reads only RecordsSelected of them.
 	RecordsTotal    int64
