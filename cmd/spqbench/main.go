@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"spq"
@@ -38,9 +39,11 @@ func main() {
 		quick    = flag.Bool("quick", false, "run only the endpoints of each sweep")
 		repeat   = flag.Int("repeat", 1, "run each measured cell N times and keep the fastest (use 3+ when comparing BENCH_*.json trajectories)")
 		legacy   = flag.Bool("legacy", false, "measure the pre-SPQ2 path (unplanned full scan) instead of the planned columnar serving path")
+		segment  = flag.String("segment", "", "columnar segment format for the planned path: spq3 (compressed, default) or spq2")
 		verify   = flag.Bool("verify", false, "prove result identity of every measured cell against the full-scan reference (rows gain \"verified\": true)")
 		counters = flag.Bool("counters", false, "also print features-examined counters per figure")
 		jsonOut  = flag.Bool("json", false, "emit results as a JSON array of rows (figure, series, x, millis, counters) instead of tables")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
 		conc     = flag.Int("concurrency", 0, "serving-throughput mode: run the concurrent-query workload with this many clients (skips the figures)")
 		appendN  = flag.Int("append", 0, "append-while-serving mode: run the query workload with this many clients while a writer streams records into the sealed engine (skips the figures)")
 	)
@@ -70,12 +73,25 @@ func main() {
 		Quick:         *quick,
 		Repeat:        *repeat,
 		Legacy:        *legacy,
+		Segment:       *segment,
 		Verify:        *verify,
 	})
 
 	ids := bench.FigureIDs()
 	if *fig != "all" {
 		ids = []string{*fig}
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spqbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "spqbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	start := time.Now()
 	var figures []*bench.Figure

@@ -5,12 +5,15 @@ import (
 )
 
 // TestColumnarMatchesRecordStorageProperty is the storage-format
-// correctness property: the same corpus sealed as SPQ2 columnar segments
-// (the binary default) and as legacy SPQ1 record files returns
-// byte-identical results for every algorithm, planned and unplanned. The
-// format changes how bytes reach the map phase — column blocks fetched by
-// zone-map offset versus records streamed through sync markers — and
-// nothing else.
+// correctness property: the same corpus sealed as SPQ3 compressed
+// segments (the binary default), as SPQ2 plain columnar segments, and as
+// legacy SPQ1 record files returns byte-identical results for every
+// algorithm, planned and unplanned. The format changes how bytes reach
+// the map phase — compressed or plain column blocks fetched by zone-map
+// offset versus records streamed through sync markers — and nothing
+// else. For SPQ3 this also covers the posting-list pushdown: planned
+// queries skip irrelevant feature records via the block dictionary
+// instead of testing them one by one, and the results must not move.
 func TestColumnarMatchesRecordStorageProperty(t *testing.T) {
 	build := func(seg SegmentFormat) *Engine {
 		e := NewEngine(Config{Storage: StorageDFSBinary, Segment: seg, Nodes: 4, BlockSize: 4 << 10, Seed: 9})
@@ -20,8 +23,12 @@ func TestColumnarMatchesRecordStorageProperty(t *testing.T) {
 		}
 		return e
 	}
+	spq3 := build(SegmentCompressed)
 	spq2 := build(SegmentColumnar)
 	spq1 := build(SegmentRecord)
+	if f := spq3.Manifest().Format; f != "spq3" {
+		t.Fatalf("compressed engine sealed as %q", f)
+	}
 	if f := spq2.Manifest().Format; f != "spq2" {
 		t.Fatalf("columnar engine sealed as %q", f)
 	}
@@ -47,13 +54,21 @@ func TestColumnarMatchesRecordStorageProperty(t *testing.T) {
 				if err != nil {
 					t.Fatalf("q%d %v planned=%v spq1: %v", qi, alg, planned, err)
 				}
-				got, err := spq2.Query(q, opts...)
+				got2, err := spq2.Query(q, opts...)
 				if err != nil {
 					t.Fatalf("q%d %v planned=%v spq2: %v", qi, alg, planned, err)
 				}
-				if !resultsEqual(want, got) {
+				if !resultsEqual(want, got2) {
 					t.Errorf("q%d %v planned=%v: spq2 differs\nspq1: %+v\nspq2: %+v",
-						qi, alg, planned, want, got)
+						qi, alg, planned, want, got2)
+				}
+				got3, err := spq3.Query(q, opts...)
+				if err != nil {
+					t.Fatalf("q%d %v planned=%v spq3: %v", qi, alg, planned, err)
+				}
+				if !resultsEqual(want, got3) {
+					t.Errorf("q%d %v planned=%v: spq3 differs\nspq1: %+v\nspq3: %+v",
+						qi, alg, planned, want, got3)
 				}
 			}
 		}

@@ -31,14 +31,15 @@ const (
 	// algorithms (not the storage substrate) matter.
 	StorageMemory
 	// StorageDFSBinary stores objects in a binary format instead of text
-	// lines. By default this is the SPQ2 columnar segment format: each
-	// sealed cell is written as column blocks with per-block zone maps
-	// (bounding box, record count, keyword bloom) in the manifest, so the
-	// query planner prunes inside cells and the reader decodes only
-	// surviving blocks — straight into dense, cache-shared column buffers.
-	// Config.Segment selects the legacy SPQ1 record format (length-prefixed
-	// records with sync markers) instead; SPQ1 storage stays fully
-	// readable and returns identical query results.
+	// lines. By default this is the SPQ3 compressed columnar segment
+	// format: each sealed cell is written as density-sized column blocks
+	// with per-block zone maps (bounding box, record count, keyword bloom)
+	// in the manifest, so the query planner prunes inside cells and the
+	// reader decodes only surviving blocks — straight into dense,
+	// cache-shared column buffers. Config.Segment selects the uncompressed
+	// SPQ2 columnar format or the legacy SPQ1 record format
+	// (length-prefixed records with sync markers) instead; both stay fully
+	// readable and return identical query results.
 	StorageDFSBinary
 )
 
@@ -48,15 +49,38 @@ type SegmentFormat int
 
 // The binary segment formats.
 const (
-	// SegmentColumnar is the SPQ2 columnar format: per-cell segments of
-	// column blocks (ids, xs, ys, keyword postings in struct-of-arrays
-	// layout, ~2K records per block) with block-level zone maps in the
-	// manifest. The default.
-	SegmentColumnar SegmentFormat = iota
+	// SegmentCompressed is the SPQ3 compressed columnar format: per-cell
+	// segments of column blocks (delta-varint ids, xor-delta bit-packed
+	// coordinates, dictionary-coded keyword postings) sized adaptively
+	// from cell density, with block-level zone maps in the manifest. The
+	// default.
+	SegmentCompressed SegmentFormat = iota
 	// SegmentRecord is the legacy SPQ1 record format, modeled after
 	// Hadoop's SequenceFile. Kept for compatibility; reads decode record
 	// at a time and prune only at whole-cell granularity.
 	SegmentRecord
+	// SegmentColumnar is the SPQ2 uncompressed columnar format: raw
+	// struct-of-arrays column blocks of ~2K records each. Shares the
+	// zone-map pruning and segment-cache stack with SPQ3.
+	SegmentColumnar
+)
+
+// Per-query segment I/O counters, emitted by columnar storage modes
+// (see Report.Counters). Together they quantify the storage cost of a
+// query: selected is the plan's compressed footprint, read what actually
+// hit storage (cache hits read nothing), decoded the in-memory size
+// produced from those reads.
+const (
+	// CounterSegBytesRead is the compressed frame bytes this query
+	// fetched from storage for its columnar block reads.
+	CounterSegBytesRead = "spq.seg.bytes.read"
+	// CounterSegBytesDecoded is the decoded in-memory size of the blocks
+	// produced from those reads.
+	CounterSegBytesDecoded = "spq.seg.bytes.decoded"
+	// CounterSegBytesSelected is the stored (compressed) size of every
+	// block the query selected, independent of segment-cache warmth —
+	// the deterministic quantity for comparing segment formats.
+	CounterSegBytesSelected = "spq.seg.bytes.selected"
 )
 
 // DefaultSealGridN is the default seal grid edge: Seal partitions the
@@ -91,17 +115,18 @@ type Config struct {
 	// DefaultQueryCacheSize; a negative value disables caching entirely.
 	QueryCache int
 	// Segment selects the record layout of binary sealed storage
-	// (StorageDFSBinary): the SPQ2 columnar segment format (default) or
-	// the legacy SPQ1 record format. Ignored by the other storage modes.
+	// (StorageDFSBinary): the SPQ3 compressed columnar format (default),
+	// the SPQ2 uncompressed columnar format, or the legacy SPQ1 record
+	// format. Ignored by the other storage modes.
 	Segment SegmentFormat
-	// SegmentCache bounds the engine's decoded-segment cache, in column
-	// blocks (~2K records each). Columnar reads check it before touching
-	// storage: a hot block — clustered query traffic revisiting the same
-	// cells — skips both the ranged read and the decode. Entries are keyed
-	// on (generation, cell file, block), so compactions invalidate by
-	// construction, mirroring the query cache. Zero selects a default of
-	// data.DefaultBlockCacheSize blocks; a negative value disables the
-	// cache. Only columnar storage uses it.
+	// SegmentCache bounds the engine's decoded-segment cache, in bytes of
+	// decoded columns. Columnar reads check it before touching storage: a
+	// hot block — clustered query traffic revisiting the same cells —
+	// skips both the ranged read and the decode. Entries are keyed on
+	// (generation, cell file, block), so compactions invalidate by
+	// construction, mirroring the query cache. Zero selects
+	// data.DefaultBlockCacheBytes; a negative value disables the cache.
+	// Only columnar storage uses it.
 	SegmentCache int
 	// CompactAfter bounds the in-memory delta of a sealed engine, in
 	// records: once an append batch leaves at least CompactAfter records
@@ -236,9 +261,9 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.QueryCache > 0 {
 		e.cache = newQueryCache(cfg.QueryCache)
 	}
-	if cfg.Storage == StorageDFSBinary && cfg.Segment == SegmentColumnar {
+	if cfg.Storage == StorageDFSBinary && cfg.Segment != SegmentRecord {
 		if cfg.SegmentCache >= 0 {
-			e.segCache = data.NewBlockCache(cfg.SegmentCache)
+			e.segCache = data.NewBlockCache(int64(cfg.SegmentCache))
 		}
 		e.viewCache = core.NewViewCache(0)
 	}
@@ -486,9 +511,13 @@ func (e *Engine) writeGenerationLocked(objs []data.Object, sealGridN int) error 
 	case StorageDFS, StorageDFSBinary:
 		format := data.FormatText
 		if e.cfg.Storage == StorageDFSBinary {
-			format = data.FormatColumnar
-			if e.cfg.Segment == SegmentRecord {
+			switch e.cfg.Segment {
+			case SegmentRecord:
 				format = data.FormatBinary
+			case SegmentColumnar:
+				format = data.FormatColumnar
+			default:
+				format = data.FormatCompressed
 			}
 		}
 		man, err := parts.SealDFS(e.fs, prefix, e.dict, format)
@@ -590,7 +619,7 @@ func (e *Engine) snapshotFor(sealGridN int) (*snapshot, error) {
 // files (and column blocks) are small, and one map task per unit would
 // drown the job in task overhead, so consecutive splits are grouped down
 // to a few per map slot.
-func (e *Engine) source(s *snapshot, files []string, cols []data.ColSel) mapreduce.Source[data.Object] {
+func (e *Engine) source(s *snapshot, files []string, cols []data.ColSel, io *data.SegIOStats, kws []uint32) mapreduce.Source[data.Object] {
 	target := e.cfg.MapSlots * 4
 	switch s.manifest.Format {
 	case data.FormatText:
@@ -599,9 +628,11 @@ func (e *Engine) source(s *snapshot, files []string, cols []data.ColSel) mapredu
 		}, files...), target)
 	case data.FormatBinary:
 		return mapreduce.Coalesce[data.Object](data.NewSeqInput(e.fs, files...), target)
-	case data.FormatColumnar:
-		return mapreduce.Coalesce[data.Object](
-			data.NewColInput(e.fs, cols, e.segCache, s.manifest.Generation), target)
+	case data.FormatColumnar, data.FormatCompressed:
+		in := data.NewColInput(e.fs, cols, e.segCache, s.manifest.Generation)
+		in.IO = io
+		in.Keywords = kws
+		return mapreduce.Coalesce[data.Object](in, target)
 	default:
 		return e.memorySource(s, files)
 	}
@@ -697,7 +728,7 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 	// everything by default, narrowed by the planner below. Data and
 	// feature selections stay separate so delta-free queries can route the
 	// data half through the cached per-grid view instead of the shuffle.
-	columnar := snap.manifest.Format == data.FormatColumnar && e.viewCache != nil
+	columnar := data.IsColumnar(snap.manifest.Format) && e.viewCache != nil
 	var colsData, colsFeat []data.ColSel
 	if columnar {
 		colsData = selectCells(snap.manifest.Data, nil)
@@ -772,9 +803,13 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 	// source carries both kinds in-stream, exactly as before — appended
 	// records cannot be in any sealed view.
 	var view *core.DataView
+	var segIO *data.SegIOStats
 	cols := colsFeat
+	if columnar {
+		segIO = &data.SegIOStats{}
+	}
 	if columnar && delta == nil {
-		v, err := e.dataView(snap, colsData, gridN, bounds)
+		v, err := e.dataView(snap, colsData, gridN, bounds, segIO)
 		if err != nil {
 			return nil, err
 		}
@@ -782,12 +817,14 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 	} else {
 		cols = append(append([]data.ColSel(nil), colsData...), colsFeat...)
 	}
-	src := e.source(snap, files, cols)
+	cq := core.Query{K: q.K, Radius: q.Radius, Keywords: e.dict.InternAll(q.Keywords), Mode: q.Mode}
+	// The columnar source gets the interned query keywords so SPQ3 blocks
+	// can resolve the Map-phase keyword prune through their posting
+	// dictionaries and skip irrelevant feature records wholesale.
+	src := e.source(snap, files, cols, segIO, cq.Keywords)
 	if deltaSrc != nil {
 		src = mapreduce.Concat(src, deltaSrc)
 	}
-
-	cq := core.Query{K: q.K, Radius: q.Radius, Keywords: e.dict.InternAll(q.Keywords), Mode: q.Mode}
 	rep, err := core.Run(cfg.alg, src, cq, core.Options{
 		Cluster:       e.cluster,
 		Bounds:        bounds,
@@ -800,6 +837,14 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if segIO != nil {
+		if rep.Counters == nil {
+			rep.Counters = make(map[string]int64, 3)
+		}
+		rep.Counters[CounterSegBytesRead] = segIO.BytesRead.Load()
+		rep.Counters[CounterSegBytesDecoded] = segIO.BytesDecoded.Load()
+		rep.Counters[CounterSegBytesSelected] = selBytes(colsData) + selBytes(colsFeat)
 	}
 	return e.finishQuery(key, &Report{
 		Algorithm:    rep.Algorithm,
@@ -909,12 +954,34 @@ func selectCells(cells []data.CellStats, blocks map[string][]int) []data.ColSel 
 // cache-resident) data blocks on first use. Concurrent cold queries for
 // the same view — every in-flight client right after a compaction —
 // share one build.
-func (e *Engine) dataView(s *snapshot, dataSel []data.ColSel, gridN int, bounds geo.Rect) (*core.DataView, error) {
+func (e *Engine) dataView(s *snapshot, dataSel []data.ColSel, gridN int, bounds geo.Rect, io *data.SegIOStats) (*core.DataView, error) {
 	key := core.ViewKey(s.manifest.Generation, gridN, bounds, dataSel)
 	return e.viewCache.GetOrBuild(key, func() (*core.DataView, error) {
 		g := grid.New(bounds, gridN, gridN)
-		return core.BuildDataView(g, data.NewColInput(e.fs, dataSel, e.segCache, s.manifest.Generation))
+		in := data.NewColInput(e.fs, dataSel, e.segCache, s.manifest.Generation)
+		in.IO = io
+		return core.BuildDataView(g, in)
 	})
+}
+
+// selBytes sums the stored (compressed) frame bytes of a block selection:
+// the deterministic spq.seg.bytes.selected counter. Unlike bytes.read it
+// does not depend on segment-cache warmth, so two segment formats can be
+// compared byte-for-byte even when every read is a cache hit.
+func selBytes(sels []data.ColSel) int64 {
+	var n int64
+	for _, sel := range sels {
+		if sel.Blocks == nil {
+			for _, bs := range sel.Cell.Blocks {
+				n += int64(bs.Length)
+			}
+			continue
+		}
+		for _, i := range sel.Blocks {
+			n += int64(sel.Cell.Blocks[i].Length)
+		}
+	}
+	return n
 }
 
 // SegmentCacheStats returns the cumulative hit/miss counts and current

@@ -66,6 +66,11 @@ type Config struct {
 	// reference and the ranked results must match exactly. Rows carry
 	// "verified": true in the JSON output. No-op under Legacy.
 	Verify bool
+	// Segment selects the columnar segment format datasets are sealed in:
+	// data.FormatCompressed (SPQ3, the default) or data.FormatColumnar
+	// (SPQ2). Running the same sweep under both formats compares their
+	// latency and seg_bytes_* counters on identical workloads.
+	Segment string
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +88,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReduceSlots <= 0 {
 		c.ReduceSlots = runtime.NumCPU()
+	}
+	if c.Segment == "" {
+		c.Segment = data.FormatCompressed
 	}
 	return c
 }
@@ -118,6 +126,14 @@ type Cell struct {
 	PlanRecordsSkipped int64
 	SegCacheHits       int64
 	SegCacheMisses     int64
+	// Segment I/O of the planned columnar path: SegBytesSelected is the
+	// stored size of the blocks the plan selected (deterministic);
+	// SegBytesRead/SegBytesDecoded are the cold-pass storage reads and
+	// their decoded size (the maximum across repeats — warm repeats read
+	// nothing). All zero under Config.Legacy.
+	SegBytesRead     int64
+	SegBytesDecoded  int64
+	SegBytesSelected int64
 	// Verified records that this cell's results were proven identical to
 	// the legacy full-scan reference (Config.Verify).
 	Verified bool
@@ -262,6 +278,9 @@ func (f *Figure) Rows() []Row {
 					"plan_records_skipped": c.PlanRecordsSkipped,
 					"seg_cache_hits":       c.SegCacheHits,
 					"seg_cache_misses":     c.SegCacheMisses,
+					"seg_bytes_read":       c.SegBytesRead,
+					"seg_bytes_decoded":    c.SegBytesDecoded,
+					"seg_bytes_selected":   c.SegBytesSelected,
 				},
 			})
 		}
@@ -299,10 +318,11 @@ type Harness struct {
 	// read-only for jobs, and materializing 100k+ objects per measured run
 	// would charge allocation and GC time to every figure point.
 	objCache map[*data.Dataset][]data.Object
-	// segCache memoizes the SPQ2 columnar seal of each dataset — segment
-	// store, manifest with block zone maps, decoded-segment cache — built
-	// once per dataset, exactly as an engine seals once and serves many
-	// queries. It is a tiny LRU (most recent first): figures sweep one
+	// segCache memoizes the columnar seal of each (dataset, segment
+	// format) — segment store, manifest with block zone maps, decoded-
+	// segment cache — built once, exactly as an engine seals once and
+	// serves many queries. It is a tiny LRU (most recent first): figures
+	// sweep one
 	// dataset at a time, and retaining every family's segments, decoded
 	// blocks and views for the whole 20-figure run would tax the later
 	// figures with GC scans over hundreds of megabytes they never touch.
@@ -318,15 +338,16 @@ const maxSegStores = 3
 // matching the engine's default.
 const benchSealGridN = 32
 
-// segStore is one dataset sealed as SPQ2 columnar segments, with the two
-// read-path caches an engine would hold: decoded column blocks and
-// per-grid data views.
+// segStore is one dataset sealed as columnar segments (SPQ2 or SPQ3),
+// with the two read-path caches an engine would hold: decoded column
+// blocks and per-grid data views.
 type segStore struct {
-	ds    *data.Dataset
-	store data.MemSegStore
-	man   *data.Manifest
-	cache *data.BlockCache
-	views *core.ViewCache
+	ds     *data.Dataset
+	format string
+	store  data.MemSegStore
+	man    *data.Manifest
+	cache  *data.BlockCache
+	views  *core.ViewCache
 }
 
 // New creates a harness.
@@ -340,12 +361,14 @@ func New(cfg Config) *Harness {
 	}
 }
 
-// segStore returns the dataset's cached columnar seal, sealing on first
-// use. The block cache is sized to hold every block of the dataset, the
-// steady serving state of an engine whose working set fits its cache.
+// segStore returns the dataset's cached columnar seal in the configured
+// segment format, sealing on first use. The block cache budget comfortably
+// holds every decoded block of a bench dataset — the steady serving state
+// of an engine whose working set fits its cache.
 func (h *Harness) segStore(ds *data.Dataset) (*segStore, error) {
+	format := h.cfg.Segment
 	for i, st := range h.segCache {
-		if st.ds == ds {
+		if st.ds == ds && st.format == format {
 			if i != 0 {
 				copy(h.segCache[1:i+1], h.segCache[:i])
 				h.segCache[0] = st
@@ -355,18 +378,12 @@ func (h *Harness) segStore(ds *data.Dataset) (*segStore, error) {
 	}
 	g := grid.New(ds.Bounds(), benchSealGridN, benchSealGridN)
 	store := data.MemSegStore{}
-	man, err := data.PartitionObjects(g, h.objects(ds)).SealSegments(store, "bench", ds.Dict, 0)
+	man, err := data.PartitionObjects(g, h.objects(ds)).SealSegments(store, "bench", ds.Dict, 0, format)
 	if err != nil {
 		return nil, fmt.Errorf("bench: seal %s: %w", ds.Spec.Name, err)
 	}
-	blocks := 0
-	for _, cs := range man.Data {
-		blocks += len(cs.Blocks)
-	}
-	for _, cs := range man.Features {
-		blocks += len(cs.Blocks)
-	}
-	st := &segStore{ds: ds, store: store, man: man, cache: data.NewBlockCache(blocks), views: core.NewViewCache(0)}
+	st := &segStore{ds: ds, format: format, store: store, man: man,
+		cache: data.NewBlockCache(1 << 30), views: core.NewViewCache(0)}
 	h.segCache = append([]*segStore{st}, h.segCache...)
 	if len(h.segCache) > maxSegStores {
 		h.segCache = h.segCache[:maxSegStores]
@@ -441,12 +458,33 @@ func queryKeywords(ds *data.Dataset, nk int, seed int64) text.KeywordSet {
 	return text.NewKeywordSet(ids...)
 }
 
-// Decoded-segment-cache deltas of one measured run, surfaced next to the
-// job counters in the JSON rows.
+// Decoded-segment-cache deltas and segment I/O of one measured run,
+// surfaced next to the job counters in the JSON rows.
 const (
-	counterSegHits   = "bench.seg.cache.hits"
-	counterSegMisses = "bench.seg.cache.misses"
+	counterSegHits          = "bench.seg.cache.hits"
+	counterSegMisses        = "bench.seg.cache.misses"
+	counterSegBytesRead     = "bench.seg.bytes.read"
+	counterSegBytesDecoded  = "bench.seg.bytes.decoded"
+	counterSegBytesSelected = "bench.seg.bytes.selected"
 )
+
+// selBytes sums the stored frame bytes of a block selection — the
+// deterministic seg_bytes_selected row counter.
+func selBytes(sels []data.ColSel) int64 {
+	var n int64
+	for _, sel := range sels {
+		if sel.Blocks == nil {
+			for _, bs := range sel.Cell.Blocks {
+				n += int64(bs.Length)
+			}
+			continue
+		}
+		for _, i := range sel.Blocks {
+			n += int64(sel.Cell.Blocks[i].Length)
+		}
+	}
+	return n
+}
 
 // runOne executes one algorithm on one workload configuration and collects
 // the measured cell: the planned columnar serving path by default, the
@@ -507,17 +545,21 @@ func (h *Harness) runPlanned(ds *data.Dataset, alg core.Algorithm, q core.Query,
 	for _, cs := range dec.Features {
 		featSel = append(featSel, data.ColSel{Cell: cs, Blocks: dec.Blocks[cs.File]})
 	}
+	bytesSelected := selBytes(dataSel) + selBytes(featSel)
 	cell, rep, err := h.measure(func() (*core.Report, error) {
 		before := st.cache.Stats()
+		io := &data.SegIOStats{}
 		// The surviving data blocks become (or reuse) the per-grid data
 		// view: the job shuffles feature records only, and reduce tasks
 		// score against the view's dense per-cell columns.
-		view, err := st.dataView(ds, dataSel, gridN)
+		view, err := st.dataView(ds, dataSel, gridN, io)
 		if err != nil {
 			return nil, err
 		}
-		src := mapreduce.Coalesce[data.Object](
-			data.NewColInput(st.store, featSel, st.cache, st.man.Generation), h.cfg.MapSlots*4)
+		in := data.NewColInput(st.store, featSel, st.cache, st.man.Generation)
+		in.IO = io
+		in.Keywords = q.Keywords
+		src := mapreduce.Coalesce[data.Object](in, h.cfg.MapSlots*4)
 		r, err := core.Run(alg, src, q, core.Options{
 			Cluster:       h.cluster,
 			Bounds:        ds.Bounds(),
@@ -532,6 +574,9 @@ func (h *Harness) runPlanned(ds *data.Dataset, alg core.Algorithm, q core.Query,
 		after := st.cache.Stats()
 		r.Counters[counterSegHits] = after.Hits - before.Hits
 		r.Counters[counterSegMisses] = after.Misses - before.Misses
+		r.Counters[counterSegBytesRead] = io.BytesRead.Load()
+		r.Counters[counterSegBytesDecoded] = io.BytesDecoded.Load()
+		r.Counters[counterSegBytesSelected] = bytesSelected
 		return r, nil
 	})
 	if err != nil {
@@ -555,11 +600,13 @@ func (h *Harness) runPlanned(ds *data.Dataset, alg core.Algorithm, q core.Query,
 // selection, building it from the (cache-resident) data blocks on first
 // use. Keyed by core.ViewKey, the same canonical identity the engine
 // uses, so the harness measures the cache behaviour the engine ships.
-func (st *segStore) dataView(ds *data.Dataset, dataSel []data.ColSel, gridN int) (*core.DataView, error) {
+func (st *segStore) dataView(ds *data.Dataset, dataSel []data.ColSel, gridN int, io *data.SegIOStats) (*core.DataView, error) {
 	key := core.ViewKey(st.man.Generation, gridN, ds.Bounds(), dataSel)
 	return st.views.GetOrBuild(key, func() (*core.DataView, error) {
 		g := grid.New(ds.Bounds(), gridN, gridN)
-		return core.BuildDataView(g, data.NewColInput(st.store, dataSel, st.cache, st.man.Generation))
+		in := data.NewColInput(st.store, dataSel, st.cache, st.man.Generation)
+		in.IO = io
+		return core.BuildDataView(g, in)
 	})
 }
 
@@ -609,14 +656,22 @@ func (h *Harness) measure(run func() (*core.Report, error)) (Cell, *core.Report,
 			PlanRecordsSkipped: rep.Counters[plan.CounterRecordsSkipped],
 			SegCacheHits:       rep.Counters[counterSegHits],
 			SegCacheMisses:     rep.Counters[counterSegMisses],
+			SegBytesRead:       rep.Counters[counterSegBytesRead],
+			SegBytesDecoded:    rep.Counters[counterSegBytesDecoded],
+			SegBytesSelected:   rep.Counters[counterSegBytesSelected],
 		}
 		if i == 0 || cell.Millis < best.Millis {
+			bytesRead, bytesDecoded := best.SegBytesRead, best.SegBytesDecoded
 			best = cell
 			bestRep = rep
+			best.SegBytesRead, best.SegBytesDecoded = bytesRead, bytesDecoded
 		}
 		// Last repeat's cache deltas win regardless of which repeat was
-		// fastest (see doc comment).
+		// fastest (see doc comment), while bytes read/decoded keep their
+		// maximum across repeats — the cold pass, wherever it landed.
 		best.SegCacheHits, best.SegCacheMisses = cell.SegCacheHits, cell.SegCacheMisses
+		best.SegBytesRead = max(best.SegBytesRead, cell.SegBytesRead)
+		best.SegBytesDecoded = max(best.SegBytesDecoded, cell.SegBytesDecoded)
 	}
 	return best, bestRep, nil
 }

@@ -118,11 +118,12 @@ func floorIdx(f float64, n int) int {
 	return int(f)
 }
 
-// each invokes fn for every object index in a bucket intersecting the
-// axis-aligned square of half-edge r around p (a superset of the disk of
-// radius r; exact distances are the caller's job). It returns the number
-// of objects visited.
-func (b *objGrid) each(p geo.Point, r float64, fn func(i int32)) int64 {
+// spans invokes fn with the idx range [lo, hi) of every bucket row
+// intersecting the axis-aligned square of half-edge r around p (a
+// superset of the disk of radius r; exact distances are the caller's
+// job). It returns the number of index slots covered. Buckets of one row
+// are contiguous in idx, so each row's whole column range is one span.
+func (b *objGrid) spans(p geo.Point, r float64, fn func(lo, hi int32)) int64 {
 	lox := floorIdx((p.X-r-b.minX)*b.invW, b.nx)
 	hix := floorIdx((p.X+r-b.minX)*b.invW, b.nx)
 	loy := floorIdx((p.Y-r-b.minY)*b.invH, b.ny)
@@ -135,15 +136,21 @@ func (b *objGrid) each(p geo.Point, r float64, fn func(i int32)) int64 {
 	var n int64
 	for row := loy; row <= hiy; row++ {
 		base := row * b.nx
-		// Buckets of one row are contiguous in idx, so the whole column
-		// range is a single slice scan.
-		span := b.idx[b.start[base+lox]:b.start[base+hix+1]]
-		n += int64(len(span))
-		for _, i := range span {
-			fn(i)
-		}
+		lo, hi := b.start[base+lox], b.start[base+hix+1]
+		n += int64(hi - lo)
+		fn(lo, hi)
 	}
 	return n
+}
+
+// each invokes fn for every object index in a bucket intersecting the
+// probe square (see spans) and returns the number of objects visited.
+func (b *objGrid) each(p geo.Point, r float64, fn func(i int32)) int64 {
+	return b.spans(p, r, func(lo, hi int32) {
+		for _, i := range b.idx[lo:hi] {
+			fn(i)
+		}
+	})
 }
 
 // groupObjs accumulates the data objects of one reduce group, lazily
@@ -157,7 +164,13 @@ func (b *objGrid) each(p geo.Point, r float64, fn func(i int32)) int64 {
 // written — add copies out first — and never survive into the scratch
 // pool.
 type groupObjs struct {
-	objs    []data.Object
+	objs []data.Object
+	// xs/ys are the view cell's dense coordinate columns, permuted into
+	// bucket order with the index (see BuildDataView); non-nil only on a
+	// view-seeded group, where they enable the scanSpan kernel. Growing
+	// the group leaves them stale, so add clears them and the scoring
+	// paths fall back to the per-object closures.
+	xs, ys  []float64
 	index   *objGrid
 	indexed int // len(objs) the index was last built over
 	// shared marks objs as aliasing an immutable DataView cell: growing
@@ -169,6 +182,7 @@ type groupObjs struct {
 }
 
 func (g *groupObjs) add(o data.Object) {
+	g.xs, g.ys = nil, nil
 	if g.shared {
 		g.objs = append(append(make([]data.Object, 0, len(g.objs)+8), g.objs...), o)
 		g.shared = false
@@ -177,9 +191,11 @@ func (g *groupObjs) add(o data.Object) {
 	g.objs = append(g.objs, o)
 }
 
-// setView seeds the group with a view cell's objects and prebuilt index.
+// setView seeds the group with a view cell's objects, coordinate columns
+// and prebuilt index.
 func (g *groupObjs) setView(vc *viewCell) {
 	g.objs = vc.objs
+	g.xs, g.ys = vc.xs, vc.ys
 	g.index = vc.index
 	g.indexed = len(vc.objs)
 	g.shared = true
@@ -197,7 +213,11 @@ type reduceScratch struct {
 	scores  []float64
 	covered []bool
 	best    []nnState
-	topk    *TopK
+	// hits/hitD2 are the kernel path's per-feature output: the indexes
+	// of the objects within range and their squared distances.
+	hits  []int32
+	hitD2 []float64
+	topk  *TopK
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(reduceScratch) }}
@@ -214,6 +234,7 @@ func getScratch(k int) *reduceScratch {
 		s.g.shared = false
 	}
 	s.g.objs = s.g.objs[:0]
+	s.g.xs, s.g.ys = nil, nil
 	s.g.index = nil
 	s.g.indexed = 0
 	s.scores = s.scores[:0]
@@ -278,4 +299,28 @@ func (g *groupObjs) candidates(p geo.Point, r float64, fn func(i int32)) int64 {
 		return int64(len(g.objs))
 	}
 	return g.index.each(p, r, fn)
+}
+
+// kernelHits is the vectorized counterpart of candidates for view-seeded
+// groups (g.xs/g.ys set): it resolves the candidate spans and filters
+// them by exact distance in one pass with the batch-8 kernel, appending
+// each in-range object's index and squared distance to hits/d2s. The
+// visited count it returns matches candidates exactly — both count
+// bucket-square candidates, before the distance test — so the score-
+// computation counters stay comparable across paths.
+func (g *groupObjs) kernelHits(p geo.Point, r, r2 float64, hits *[]int32, d2s *[]float64) int64 {
+	h, d := (*hits)[:0], (*d2s)[:0]
+	var n int64
+	if g.index == nil {
+		h, d = scanSpan(g.xs, g.ys, p.X, p.Y, r2, 0, h, d)
+		n = int64(len(g.objs))
+	} else {
+		// View indexes are identity-permuted (BuildDataView), so a span
+		// [lo, hi) is a contiguous run of the coordinate columns.
+		n = g.index.spans(p, r, func(lo, hi int32) {
+			h, d = scanSpan(g.xs[lo:hi], g.ys[lo:hi], p.X, p.Y, r2, lo, h, d)
+		})
+	}
+	*hits, *d2s = h, d
+	return n
 }

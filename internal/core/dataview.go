@@ -37,11 +37,15 @@ type DataView struct {
 
 // viewCell is one grid cell's data objects plus its prebuilt bucket index
 // (nil when the cell is too small for the index to pay off, mirroring
-// buildObjGrid). Both are immutable after construction and shared
-// read-only by concurrent reduce tasks.
+// buildObjGrid). When indexed, objs are permuted into bucket (CSR) order
+// so that every index bucket is a contiguous run; xs/ys are the matching
+// dense coordinate columns the scanSpan kernel reads. Everything is
+// immutable after construction and shared read-only by concurrent reduce
+// tasks.
 type viewCell struct {
-	objs  []data.Object
-	index *objGrid
+	objs   []data.Object
+	xs, ys []float64
+	index  *objGrid
 }
 
 // BuildDataView lays the source's data objects out over the query grid and
@@ -74,7 +78,30 @@ func BuildDataView(g *grid.Grid, src mapreduce.Source[data.Object]) (*DataView, 
 		}
 	}
 	for i := range v.cells {
-		v.cells[i].index = buildObjGrid(v.cells[i].objs)
+		c := &v.cells[i]
+		c.index = buildObjGrid(c.objs)
+		if c.index != nil {
+			// Permute the cell into bucket order: the index's idx array
+			// becomes the identity, so every bucket span is a contiguous
+			// run of objs — and of the coordinate columns below, which is
+			// what lets the reduce side scan a span with the batch-8
+			// kernel instead of gathering through idx. Scores are
+			// per-index state seeded fresh for each group, and the top-k
+			// is order-canonical, so the permutation cannot change
+			// results.
+			perm := make([]data.Object, len(c.objs))
+			for j, oi := range c.index.idx {
+				perm[j] = c.objs[oi]
+				c.index.idx[j] = int32(j)
+			}
+			c.objs = perm
+		}
+		c.xs = make([]float64, len(c.objs))
+		c.ys = make([]float64, len(c.objs))
+		for j := range c.objs {
+			c.xs[j] = c.objs[j].Loc.X
+			c.ys[j] = c.objs[j].Loc.Y
+		}
 	}
 	return v, nil
 }

@@ -302,7 +302,7 @@ func mapPSPQ(g *grid.Grid, q Query, opts Options) func(*mapreduce.TaskContext, d
 			emit(CellKey{Cell: g.CellOf(o.Loc), Order: 0}, o)
 			return nil
 		}
-		if !opts.DisableKeywordPrune && !o.Keywords.Intersects(q.Keywords) {
+		if !opts.DisableKeywordPrune && !q.Relevant(o) {
 			ctx.Counter(CounterFeaturesPruned, 1)
 			return nil
 		}
@@ -319,7 +319,7 @@ func mapESPQLen(g *grid.Grid, q Query, opts Options) func(*mapreduce.TaskContext
 			emit(CellKey{Cell: g.CellOf(o.Loc), Order: 0}, o)
 			return nil
 		}
-		if !opts.DisableKeywordPrune && !o.Keywords.Intersects(q.Keywords) {
+		if !opts.DisableKeywordPrune && !q.Relevant(o) {
 			ctx.Counter(CounterFeaturesPruned, 1)
 			return nil
 		}
@@ -384,6 +384,8 @@ func reduceScan(q Query, opts scanOpts, view *DataView) reduceFunc {
 		)
 		// One scoring closure per group, not per feature: fLoc/fw are
 		// rebound between features so the hot path allocates nothing.
+		// It is the fallback for groups without dense coordinate columns;
+		// view-seeded groups take the scanSpan kernel below instead.
 		scoreObj := func(i int32) {
 			p := &g.objs[i]
 			d2 := geo.Dist2(p.Loc, fLoc)
@@ -431,7 +433,17 @@ func reduceScan(q Query, opts scanOpts, view *DataView) reduceFunc {
 				continue
 			}
 			fLoc, fw = x.Loc, w
-			computed += g.candidates(fLoc, q.Radius, scoreObj)
+			if g.xs != nil {
+				computed += g.kernelHits(fLoc, q.Radius, r2, &sc.hits, &sc.hitD2)
+				for n, i := range sc.hits {
+					if c := q.contribution(fw, sc.hitD2[n]); c > sc.scores[i] {
+						sc.scores[i] = c
+						topk.Update(ResultItem{ID: g.objs[i].ID, Loc: g.objs[i].Loc, Score: c})
+					}
+				}
+			} else {
+				computed += g.candidates(fLoc, q.Radius, scoreObj)
+			}
 		}
 		ctx.Counter(CounterFeaturesExamined, examined)
 		ctx.Counter(CounterScoreComputations, computed)
@@ -497,7 +509,18 @@ func reduceESPQSco(q Query, view *DataView) reduceFunc {
 			}
 			examined++
 			fLoc, fw = x.Loc, w
-			computed += g.candidates(fLoc, q.Radius, coverObj)
+			if g.xs != nil {
+				computed += g.kernelHits(fLoc, q.Radius, r2, &sc.hits, &sc.hitD2)
+				for _, i := range sc.hits {
+					if !sc.covered[i] {
+						// Here w(x,q) = τ(p): no later feature scores higher.
+						sc.covered[i] = true
+						topk.Update(ResultItem{ID: g.objs[i].ID, Loc: g.objs[i].Loc, Score: fw})
+					}
+				}
+			} else {
+				computed += g.candidates(fLoc, q.Radius, coverObj)
+			}
 		}
 		ctx.Counter(CounterFeaturesExamined, examined)
 		ctx.Counter(CounterScoreComputations, computed)

@@ -118,7 +118,17 @@ func reduceNearest(q Query, view *DataView) reduceFunc {
 				continue
 			}
 			fLoc, fw = x.Loc, w
-			computed += g.candidates(fLoc, q.Radius, nearObj)
+			if g.xs != nil {
+				computed += g.kernelHits(fLoc, q.Radius, r2, &sc.hits, &sc.hitD2)
+				for n, i := range sc.hits {
+					d2 := sc.hitD2[n]
+					if cur := &sc.best[i]; d2 < cur.d2 || (d2 == cur.d2 && fw > cur.w) {
+						*cur = nnState{d2: d2, w: fw}
+					}
+				}
+			} else {
+				computed += g.candidates(fLoc, q.Radius, nearObj)
+			}
 		}
 		ctx.Counter(CounterScoreComputations, computed)
 		topk := sc.topk

@@ -109,6 +109,7 @@ type ColWriter struct {
 	kind         Kind
 	dict         *text.Dict
 	blockRecords int
+	spq3         bool
 	off          int64
 	headerDone   bool
 	closer       io.Closer
@@ -133,11 +134,24 @@ func NewColWriter(w io.Writer, kind Kind, dict *text.Dict, blockRecords int) *Co
 	return &ColWriter{w: w, kind: kind, dict: dict, blockRecords: blockRecords, closer: c}
 }
 
+// NewCol3Writer creates a writer emitting the compressed SPQ3 format
+// (colseg3.go) instead of SPQ2. Framing, zone maps and the reader stack
+// are shared; only the block payload encoding differs.
+func NewCol3Writer(w io.Writer, kind Kind, dict *text.Dict, blockRecords int) *ColWriter {
+	cw := NewColWriter(w, kind, dict, blockRecords)
+	cw.spq3 = true
+	return cw
+}
+
 func (c *ColWriter) writeHeader() error {
 	if c.headerDone {
 		return nil
 	}
-	if _, err := c.w.Write(colMagic[:]); err != nil {
+	magic := colMagic
+	if c.spq3 {
+		magic = col3Magic
+	}
+	if _, err := c.w.Write(magic[:]); err != nil {
 		return err
 	}
 	if _, err := c.w.Write([]byte{colKindByte(c.kind)}); err != nil {
@@ -171,7 +185,11 @@ func (c *ColWriter) flushBlock() error {
 		return err
 	}
 	c.buf.Reset()
-	encodeColBlock(&c.buf, c.kind, c.pending)
+	if c.spq3 {
+		encodeCol3Block(&c.buf, c.kind, c.pending)
+	} else {
+		encodeColBlock(&c.buf, c.kind, c.pending)
+	}
 	payload := c.buf.Bytes()
 
 	bs := BlockStats{Records: len(c.pending), Offset: c.off}
@@ -280,6 +298,16 @@ type ColumnBlock struct {
 	// i's keywords are Kws[KwOff[i]:KwOff[i+1]]. Nil for data blocks.
 	KwOff []int32
 	Kws   []uint32
+	// Dict, PostOff and PostRecs are the inverted view the SPQ3 decoder
+	// gets for free from the on-disk posting lists: Dict is the block's
+	// sorted distinct keyword ids, and keyword Dict[e] occurs on records
+	// PostRecs[PostOff[e]:PostOff[e+1]] (ascending). The columnar source
+	// intersects a query's keyword set with Dict to skip records the
+	// Map-phase keyword prune would drop, without materializing them.
+	// Nil for data blocks and for SPQ2-decoded feature blocks.
+	Dict     []uint32
+	PostOff  []int32
+	PostRecs []uint32
 }
 
 // Len returns the number of records in the block.
@@ -322,7 +350,10 @@ func (r *byteReaderSlice) ReadByte() (byte, error) {
 func (r *byteReaderSlice) remaining() int { return len(r.buf) - r.pos }
 
 // DecodeColBlock decodes one block payload (the bytes between the frame's
-// length prefix and its CRC). Every structural violation — truncation,
+// length prefix and its CRC). Blocks are self-describing: an SPQ2 payload
+// opens with its kind byte, an SPQ3 payload with the '3' version byte, so
+// one decoder serves both formats and mixed-generation storage needs no
+// out-of-band format plumbing. Every structural violation — truncation,
 // impossible counts, unsorted keyword sets, trailing garbage — returns an
 // error; malformed input can never panic or silently yield objects. This
 // is the fuzzing boundary of the format.
@@ -338,6 +369,8 @@ func DecodeColBlock(payload []byte) (*ColumnBlock, error) {
 		kind = DataObject
 	case colKindFeature:
 		kind = FeatureObject
+	case col3Version:
+		return decodeCol3Block(payload, r)
 	default:
 		return nil, errCorrupt("unknown kind byte %#x", kindByte)
 	}

@@ -1,0 +1,342 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"spq/internal/geo"
+	"spq/internal/text"
+)
+
+// writeSegment3 seals objs (single kind) as one in-memory SPQ3 segment.
+func writeSegment3(t *testing.T, objs []Object, blockRecords int, dict *text.Dict) ([]byte, []BlockStats) {
+	t.Helper()
+	var buf bytes.Buffer
+	cw := NewCol3Writer(&buf, objs[0].Kind, dict, blockRecords)
+	for _, o := range objs {
+		if err := cw.Append(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), cw.Stats()
+}
+
+func TestCol3SegmentRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	dict := text.NewDict()
+	all := randObjects(r, 700)
+	for _, kind := range []Kind{DataObject, FeatureObject} {
+		for _, blockRecords := range []int{1, 7, 256, 100000} {
+			objs := onlyKind(all, kind)
+			raw, stats := writeSegment3(t, objs, blockRecords, dict)
+
+			wantBlocks := (len(objs) + blockRecords - 1) / blockRecords
+			if len(stats) != wantBlocks {
+				t.Fatalf("%v/%d: %d blocks, want %d", kind, blockRecords, len(stats), wantBlocks)
+			}
+			var back []Object
+			for i, bs := range stats {
+				b, err := DecodeColFrame(raw[bs.Offset : bs.Offset+int64(bs.Length)])
+				if err != nil {
+					t.Fatalf("%v/%d: block %d: %v", kind, blockRecords, i, err)
+				}
+				if b.Len() != bs.Records {
+					t.Fatalf("%v/%d: block %d decoded %d records, zone map says %d",
+						kind, blockRecords, i, b.Len(), bs.Records)
+				}
+				for j := 0; j < b.Len(); j++ {
+					o := b.Object(j)
+					if !bs.Bounds.Contains(o.Loc) {
+						t.Fatalf("%v/%d: block %d object %d outside the zone-map bounds", kind, blockRecords, i, o.ID)
+					}
+					if kind == FeatureObject {
+						for _, w := range dict.Words(o.Keywords) {
+							if !bs.Keywords.MayContain(w) {
+								t.Fatalf("%v/%d: block %d bloom misses keyword %q", kind, blockRecords, i, w)
+							}
+						}
+					}
+					back = append(back, o)
+				}
+			}
+			if len(back) != len(objs) {
+				t.Fatalf("%v/%d: %d objects back, want %d", kind, blockRecords, len(back), len(objs))
+			}
+			for i := range objs {
+				if back[i].Kind != objs[i].Kind || back[i].ID != objs[i].ID || back[i].Loc != objs[i].Loc ||
+					!reflect.DeepEqual(append(text.KeywordSet(nil), back[i].Keywords...), objs[i].Keywords) {
+					t.Fatalf("%v/%d: object %d differs: %v vs %v", kind, blockRecords, i, back[i], objs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCol3SegmentSmaller pins the point of the format: on sorted,
+// spatially clustered cells the SPQ3 encoding is strictly smaller than
+// the raw SPQ2 columns.
+func TestCol3SegmentSmaller(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	dict := text.NewDict()
+	// A clustered cell: nearby coordinates, ascending ids, few distinct
+	// keywords — the layout SealDFS produces for one grid cell.
+	objs := make([]Object, 2000)
+	for i := range objs {
+		objs[i] = Object{
+			Kind: FeatureObject,
+			ID:   uint64(1<<40 + i*3),
+			Loc:  geo.Point{X: 41.2 + r.Float64()*0.01, Y: 2.1 + r.Float64()*0.01},
+			Keywords: text.NewKeywordSet(
+				uint32(r.Intn(40)), uint32(40+r.Intn(40)), uint32(80+r.Intn(40))),
+		}
+	}
+	raw2, _ := writeSegment(t, objs, 512, dict)
+	raw3, _ := writeSegment3(t, objs, 512, dict)
+	if len(raw3) >= len(raw2) {
+		t.Fatalf("SPQ3 segment (%d bytes) not smaller than SPQ2 (%d bytes)", len(raw3), len(raw2))
+	}
+}
+
+// TestCol3SegmentRejectsCorruption mirrors the SPQ2 corruption test for
+// the compressed payloads: flips, truncations and misalignment must all
+// error, never panic.
+func TestCol3SegmentRejectsCorruption(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	dict := text.NewDict()
+	objs := onlyKind(randObjects(r, 300), FeatureObject)
+	raw, stats := writeSegment3(t, objs, 64, dict)
+	bs := stats[1]
+	frame := raw[bs.Offset : bs.Offset+int64(bs.Length)]
+
+	if _, err := DecodeColFrame(frame); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
+	}
+	for n := 0; n < len(frame); n++ {
+		if _, err := DecodeColFrame(frame[:n]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", n, len(frame))
+		}
+	}
+	for i := 0; i < len(frame); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), frame...)
+			mut[i] ^= 1 << bit
+			if _, err := DecodeColFrame(mut); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d accepted", i, bit)
+			}
+		}
+	}
+	if _, err := DecodeColFrame(append(append([]byte(nil), frame...), 0xAB)); err == nil {
+		t.Fatal("frame with trailing garbage accepted")
+	}
+	if _, err := DecodeColFrame(raw[bs.Offset+3 : bs.Offset+3+int64(bs.Length)]); err == nil {
+		t.Fatal("misaligned frame accepted")
+	}
+}
+
+func TestAdaptiveBlockRecords(t *testing.T) {
+	cases := []struct{ records, want int }{
+		{0, 256}, {1, 256}, {1000, 256},
+		{4000, 512}, {16000, 1024}, {40000, 2048},
+		{250000, 4096}, {10_000_000, 4096},
+	}
+	for _, c := range cases {
+		if got := AdaptiveBlockRecords(c.records); got != c.want {
+			t.Errorf("AdaptiveBlockRecords(%d) = %d, want %d", c.records, got, c.want)
+		}
+	}
+}
+
+// TestPackXorColumn round-trips the coordinate bit-packer over its edge
+// cases: zero columns, constant columns, NaN and infinity payloads, full
+// 64-bit windows, and widths past the accumulator's 57-bit fast path.
+func TestPackXorColumn(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	wide := make([]float64, 100)
+	for i := range wide {
+		wide[i] = math.Float64frombits(r.Uint64())
+	}
+	cases := map[string][]float64{
+		"zero":     {0, 0, 0, 0},
+		"constant": {3.25, 3.25, 3.25},
+		"single":   {-12.5},
+		"negzero":  {0, math.Copysign(0, -1), 0},
+		"nan-inf":  {math.NaN(), math.Inf(1), math.Inf(-1), 0},
+		"narrow":   {100.0, 100.25, 100.5, 100.125, 100.375},
+		"full":     wide,
+	}
+	for name, vals := range cases {
+		var buf bytes.Buffer
+		bitsIn := make([]uint64, len(vals))
+		for i, v := range vals {
+			bitsIn[i] = math.Float64bits(v)
+		}
+		packXorColumn(&buf, bitsIn)
+		rd := &byteReaderSlice{buf: buf.Bytes()}
+		out := make([]float64, len(vals))
+		if err := unpackXorColumn(rd, len(vals), out); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rd.remaining() != 0 {
+			t.Fatalf("%s: %d bytes left over", name, rd.remaining())
+		}
+		for i := range vals {
+			if math.Float64bits(out[i]) != math.Float64bits(vals[i]) {
+				t.Fatalf("%s: value %d: got %x, want %x", name, i,
+					math.Float64bits(out[i]), math.Float64bits(vals[i]))
+			}
+		}
+	}
+}
+
+// TestCol3PostingMethods exercises both posting encodings in one block: a
+// keyword on every record (bitmap) next to keywords on a single record
+// (delta varints), decoded back to identical keyword sets.
+func TestCol3PostingMethods(t *testing.T) {
+	dict := text.NewDict()
+	objs := make([]Object, 64)
+	for i := range objs {
+		kws := []uint32{7} // dense: present on all 64 records
+		if i%16 == 0 {
+			kws = append(kws, uint32(100+i)) // sparse: one record each
+		}
+		objs[i] = Object{
+			Kind:     FeatureObject,
+			ID:       uint64(i),
+			Loc:      geo.Point{X: float64(i), Y: -float64(i)},
+			Keywords: text.NewKeywordSet(kws...),
+		}
+	}
+	raw, stats := writeSegment3(t, objs, 0, dict)
+	if len(stats) != 1 {
+		t.Fatalf("%d blocks, want 1", len(stats))
+	}
+	b, err := DecodeColFrame(raw[stats[0].Offset : stats[0].Offset+int64(stats[0].Length)])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range objs {
+		got := b.Object(i)
+		if !got.Keywords.Equal(want.Keywords) {
+			t.Fatalf("record %d keywords: got %v, want %v", i, got.Keywords, want.Keywords)
+		}
+	}
+}
+
+// FuzzCol3BlockRoundTrip drives the SPQ3 encoder with fuzzer-chosen
+// objects and checks encode -> frame -> decode is the identity.
+func FuzzCol3BlockRoundTrip(f *testing.F) {
+	f.Add(uint64(7), 0.25, -3.5, "alpha,beta", true)
+	f.Add(uint64(1<<63), -1e300, 1e-300, "", false)
+	f.Add(uint64(0), 0.0, 0.0, strings.Repeat("k,", 40), true)
+	f.Add(uint64(42), math.Inf(1), math.NaN(), "dense", true)
+	f.Fuzz(func(t *testing.T, id uint64, x, y float64, kws string, feature bool) {
+		dict := text.NewDict()
+		kind := DataObject
+		var set text.KeywordSet
+		if feature {
+			kind = FeatureObject
+			if kws != "" {
+				set = dict.InternAll(strings.Split(kws, ","))
+			}
+		}
+		objs := []Object{
+			{Kind: kind, ID: id, Loc: geo.Point{X: x, Y: y}, Keywords: set},
+			{Kind: kind, ID: id / 2, Loc: geo.Point{X: y, Y: x}},
+			{Kind: kind, ID: id/2 + 1, Loc: geo.Point{X: x / 2, Y: y * 2}, Keywords: set},
+		}
+		var buf bytes.Buffer
+		cw := NewCol3Writer(&buf, kind, dict, 0)
+		for _, o := range objs {
+			if err := cw.Append(o); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := cw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		stats := cw.Stats()
+		if len(stats) != 1 {
+			t.Fatalf("%d blocks, want 1", len(stats))
+		}
+		bs := stats[0]
+		b, err := DecodeColFrame(buf.Bytes()[bs.Offset : bs.Offset+int64(bs.Length)])
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if b.Len() != len(objs) {
+			t.Fatalf("decoded %d records, want %d", b.Len(), len(objs))
+		}
+		for i, want := range objs {
+			got := b.Object(i)
+			if got.Kind != want.Kind || got.ID != want.ID ||
+				!sameFloat(got.Loc.X, want.Loc.X) || !sameFloat(got.Loc.Y, want.Loc.Y) ||
+				!got.Keywords.Equal(want.Keywords) {
+				t.Fatalf("record %d: got %v, want %v", i, got, want)
+			}
+		}
+	})
+}
+
+// TestEachRelevant: pushdown iteration over a decoded SPQ3 feature block
+// must yield exactly the records whose keyword sets intersect the query
+// set — the Map-phase prune, applied through the block dictionary — in
+// ascending record order, for both the single-posting and the
+// bitmap-union paths.
+func TestEachRelevant(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	dict := text.NewDict()
+	objs := onlyKind(randObjects(r, 400), FeatureObject)
+	raw, stats := writeSegment3(t, objs, 128, dict)
+	for bi, bs := range stats {
+		b, err := DecodeColFrame(raw[bs.Offset : bs.Offset+int64(bs.Length)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Dict == nil {
+			t.Fatalf("block %d decoded without its posting view", bi)
+		}
+		queries := [][]uint32{
+			{b.Dict[0]},                           // single posting list
+			{b.Dict[0], b.Dict[len(b.Dict)/2]},    // bitmap union
+			{1 << 30},                             // out of vocabulary
+			{0, b.Dict[len(b.Dict)-1], 1<<31 - 1}, // mixed hits and misses
+		}
+		for qi, kws := range queries {
+			want := make([]Object, 0, b.Len())
+			for i := 0; i < b.Len(); i++ {
+				if o := b.Object(i); o.Keywords.Intersects(text.KeywordSet(kws)) {
+					want = append(want, o)
+				}
+			}
+			var got []Object
+			eachRelevant(b, kws, func(o Object) bool {
+				got = append(got, o)
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("block %d query %d: %d records, want %d", bi, qi, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].ID != want[i].ID || got[i].Loc != want[i].Loc ||
+					!reflect.DeepEqual(got[i].Keywords, want[i].Keywords) {
+					t.Fatalf("block %d query %d: record %d differs: %v vs %v", bi, qi, i, got[i], want[i])
+				}
+			}
+			// Early stop must be honored on every path.
+			if len(want) > 0 {
+				n := 0
+				eachRelevant(b, kws, func(Object) bool { n++; return false })
+				if n != 1 {
+					t.Fatalf("block %d query %d: early stop yielded %d records", bi, qi, n)
+				}
+			}
+		}
+	}
+}

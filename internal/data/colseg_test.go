@@ -163,11 +163,11 @@ func TestColInputCacheSharing(t *testing.T) {
 	objs := randObjects(r, 500)
 	g := grid.NewSquare(3)
 	store := MemSegStore{}
-	man, err := PartitionObjects(g, objs).SealSegments(store, "c", dict, 32)
+	man, err := PartitionObjects(g, objs).SealSegments(store, "c", dict, 32, FormatColumnar)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cache := NewBlockCache(4096)
+	cache := NewBlockCache(1 << 20)
 	drain := func(gen uint64) int {
 		in := NewColInput(store, SelectAllBlocks(man), cache, gen)
 		n := 0
@@ -199,15 +199,16 @@ func TestColInputCacheSharing(t *testing.T) {
 	}
 }
 
-// TestColInputLRUEviction bounds the cache.
+// TestColInputLRUEviction bounds the cache by decoded bytes.
 func TestColInputLRUEviction(t *testing.T) {
-	cache := NewBlockCache(2)
 	blk := &ColumnBlock{Kind: DataObject, IDs: []uint64{1}, Xs: []float64{0}, Ys: []float64{0}}
+	cache := NewBlockCache(int64(2 * blk.MemBytes())) // room for two entries
 	for i := 0; i < 5; i++ {
 		cache.Put(BlockKey{Gen: 1, File: "f", Index: i}, blk)
 	}
-	if st := cache.Stats(); st.Entries != 2 {
-		t.Fatalf("cache holds %d entries, capacity 2", st.Entries)
+	if st := cache.Stats(); st.Entries != 2 || st.Bytes != int64(2*blk.MemBytes()) {
+		t.Fatalf("cache holds %d entries / %d bytes, want 2 entries within %d bytes",
+			st.Entries, st.Bytes, 2*blk.MemBytes())
 	}
 	if _, ok := cache.Get(BlockKey{Gen: 1, File: "f", Index: 0}); ok {
 		t.Fatal("evicted entry still served")
@@ -223,19 +224,24 @@ func FuzzDecodeColFrame(f *testing.F) {
 	r := rand.New(rand.NewSource(2))
 	dict := text.NewDict()
 	for _, kind := range []Kind{DataObject, FeatureObject} {
-		objs := onlyKind(randObjects(r, 120), kind)
-		var buf bytes.Buffer
-		cw := NewColWriter(&buf, kind, dict, 16)
-		for _, o := range objs {
-			if err := cw.Append(o); err != nil {
+		for _, spq3 := range []bool{false, true} {
+			objs := onlyKind(randObjects(r, 120), kind)
+			var buf bytes.Buffer
+			cw := NewColWriter(&buf, kind, dict, 16)
+			if spq3 {
+				cw = NewCol3Writer(&buf, kind, dict, 16)
+			}
+			for _, o := range objs {
+				if err := cw.Append(o); err != nil {
+					f.Fatal(err)
+				}
+			}
+			if err := cw.Close(); err != nil {
 				f.Fatal(err)
 			}
-		}
-		if err := cw.Close(); err != nil {
-			f.Fatal(err)
-		}
-		for _, bs := range cw.Stats() {
-			f.Add(buf.Bytes()[bs.Offset : bs.Offset+int64(bs.Length)])
+			for _, bs := range cw.Stats() {
+				f.Add(buf.Bytes()[bs.Offset : bs.Offset+int64(bs.Length)])
+			}
 		}
 	}
 	f.Add([]byte{})

@@ -2,9 +2,22 @@ package data
 
 import (
 	"fmt"
+	"math/bits"
+	"sync/atomic"
 
 	"spq/internal/mapreduce"
 )
+
+// SegIOStats accumulates the storage traffic of one query's columnar
+// reads: BytesRead is what was fetched from storage (compressed frame
+// bytes; zero on a segment-cache hit), BytesDecoded the in-memory size of
+// the blocks decoded from those reads. Their ratio is the storage-level
+// compression factor; the engine surfaces both as the spq.seg.bytes.*
+// query counters. Safe for the concurrent map tasks of one job.
+type SegIOStats struct {
+	BytesRead    atomic.Int64
+	BytesDecoded atomic.Int64
+}
 
 // RangeReader is the storage access a columnar segment reader needs:
 // random-access ranged reads, nothing else. dfs.FileSystem satisfies it;
@@ -71,6 +84,19 @@ type ColInput struct {
 	// scopes the cache keys to one storage generation.
 	Cache *BlockCache
 	Gen   uint64
+	// IO, when non-nil, accumulates the bytes read and decoded by this
+	// input's splits.
+	IO *SegIOStats
+	// Keywords, when non-empty, is the query's sorted keyword-id set: a
+	// feature block decoded with its inverted posting view (SPQ3) then
+	// yields only the records carrying at least one of these ids. The
+	// skipped records are exactly the ones the Map-phase keyword prune
+	// (Algorithm 1 line 9) drops, so results are unchanged — the prune
+	// just happens before the records are materialized, via one
+	// dictionary intersection per block instead of one keyword-set
+	// intersection per record. Callers must set it only for queries that
+	// keep that prune enabled.
+	Keywords []uint32
 }
 
 // NewColInput constructs a columnar source.
@@ -133,12 +159,76 @@ func (s *colSplit) Each(yield func(Object) bool) error {
 		return fmt.Errorf("data: segment %s block %d: decoded %d records, zone map says %d",
 			s.file, s.idx, b.Len(), s.bs.Records)
 	}
+	if len(s.in.Keywords) > 0 && b.Kind == FeatureObject && b.Dict != nil {
+		eachRelevant(b, s.in.Keywords, yield)
+		return nil
+	}
 	for i := 0; i < b.Len(); i++ {
 		if !yield(b.Object(i)) {
 			return nil
 		}
 	}
 	return nil
+}
+
+// eachRelevant yields the block records whose keyword sets intersect kws,
+// in ascending record order. The query's few keywords are binary-searched
+// in the block's sorted dictionary — the same asymmetric-intersection
+// trade as text.KeywordSet — and the matching posting lists drive the
+// iteration, so records without a query keyword cost nothing.
+func eachRelevant(b *ColumnBlock, kws []uint32, yield func(Object) bool) {
+	var matchBuf [8]int
+	match := matchBuf[:0]
+	dict := b.Dict
+	off := 0
+	for _, kw := range kws {
+		// kws and dict are both ascending: search only past the last hit.
+		lo, hi := off, len(dict)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if dict[mid] < kw {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == len(dict) {
+			break
+		}
+		if dict[lo] == kw {
+			match = append(match, lo)
+		}
+		off = lo
+	}
+	switch len(match) {
+	case 0:
+		return
+	case 1:
+		e := match[0]
+		for _, rec := range b.PostRecs[b.PostOff[e]:b.PostOff[e+1]] {
+			if !yield(b.Object(int(rec))) {
+				return
+			}
+		}
+		return
+	}
+	// Union of several posting lists: mark the records in a small bitmap,
+	// then walk its set bits in order.
+	bm := make([]uint64, (b.Len()+63)/64)
+	for _, e := range match {
+		for _, rec := range b.PostRecs[b.PostOff[e]:b.PostOff[e+1]] {
+			bm[rec>>6] |= 1 << (rec & 63)
+		}
+	}
+	for wi, w := range bm {
+		for w != 0 {
+			j := bits.TrailingZeros64(w)
+			w &= w - 1
+			if !yield(b.Object(wi<<6 | j)) {
+				return
+			}
+		}
+	}
 }
 
 // fetch returns the decoded block, from the segment cache when possible.
@@ -157,6 +247,10 @@ func (s *colSplit) fetch() (*ColumnBlock, error) {
 	b, err := DecodeColFrame(frame)
 	if err != nil {
 		return nil, fmt.Errorf("data: segment %s block %d: %w", s.file, s.idx, err)
+	}
+	if s.in.IO != nil {
+		s.in.IO.BytesRead.Add(int64(len(frame)))
+		s.in.IO.BytesDecoded.Add(int64(b.MemBytes()))
 	}
 	s.in.Cache.Put(key, b)
 	return b, nil

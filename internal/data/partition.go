@@ -28,11 +28,20 @@ const ManifestVersion = 1
 
 // Storage formats recorded in the manifest.
 const (
-	FormatText     = "text" // newline-delimited EncodeLine records
-	FormatBinary   = "seq"  // SPQ1: SequenceFile-like binary records
-	FormatColumnar = "spq2" // SPQ2: columnar cell segments with block zone maps
-	FormatMemory   = "mem"  // in-memory partitions, no DFS files
+	FormatText       = "text" // newline-delimited EncodeLine records
+	FormatBinary     = "seq"  // SPQ1: SequenceFile-like binary records
+	FormatColumnar   = "spq2" // SPQ2: columnar cell segments with block zone maps
+	FormatCompressed = "spq3" // SPQ3: compressed columnar segments, adaptive blocks
+	FormatMemory     = "mem"  // in-memory partitions, no DFS files
 )
+
+// IsColumnar reports whether the format stores cells as column blocks
+// with zone maps (SPQ2 or SPQ3). Both share the block reader stack —
+// manifest zone maps, ranged reads, the decoded-segment cache — and
+// differ only in the self-describing block payload encoding.
+func IsColumnar(format string) bool {
+	return format == FormatColumnar || format == FormatCompressed
+}
 
 // Bloom filter geometry for per-cell keyword summaries. 2048 bits and 3
 // probes keep the false-positive rate under 1% for the few hundred
@@ -126,12 +135,12 @@ type CellStats struct {
 	// Keywords summarizes the keywords of the cell's features. Empty for
 	// data cells.
 	Keywords KeywordBloom `json:"keywords,omitempty"`
-	// Blocks are the per-block zone maps of an SPQ2 columnar cell segment
-	// (FormatColumnar), in file order: each block's record count, frame
-	// offset/length, tight bounding rectangle and keyword summary. The
-	// planner prunes individual blocks against them, and readers fetch
-	// surviving blocks by ranged read. Empty for SPQ1 and text cells,
-	// which are only addressable whole.
+	// Blocks are the per-block zone maps of a columnar cell segment
+	// (FormatColumnar or FormatCompressed), in file order: each block's
+	// record count, frame offset/length, tight bounding rectangle and
+	// keyword summary. The planner prunes individual blocks against them,
+	// and readers fetch surviving blocks by ranged read. Empty for SPQ1
+	// and text cells, which are only addressable whole.
 	Blocks []BlockStats `json:"blocks,omitempty"`
 }
 
@@ -221,7 +230,7 @@ func DecodeManifest(r io.Reader) (*Manifest, error) {
 // failing these checks could make a reader fetch garbage offsets, so it is
 // rejected whole.
 func checkBlocks(cs CellStats, format string, feature bool) error {
-	if format != FormatColumnar {
+	if !IsColumnar(format) {
 		if len(cs.Blocks) != 0 {
 			return fmt.Errorf("data: manifest %s cell %d has block zone maps but format %q", kindName(feature), cs.Cell, format)
 		}
@@ -346,19 +355,23 @@ func sealExt(format string) string {
 		return "seq"
 	case FormatColumnar:
 		return "spq2"
+	case FormatCompressed:
+		return "spq3"
 	default:
 		return "txt"
 	}
 }
 
 // SealDFS writes every cell partition as its own DFS file in the given
-// format (FormatText, FormatBinary or FormatColumnar) and persists the
-// manifest as <prefix>.manifest.json. The returned manifest carries the
-// per-cell statistics the planner prunes on; columnar seals additionally
-// carry every block's zone map (CellStats.Blocks).
+// format (FormatText, FormatBinary, FormatColumnar or FormatCompressed)
+// and persists the manifest as <prefix>.manifest.json. The returned
+// manifest carries the per-cell statistics the planner prunes on;
+// columnar seals additionally carry every block's zone map
+// (CellStats.Blocks). SPQ3 seals size each cell's blocks adaptively from
+// its record density (AdaptiveBlockRecords).
 func (p *Partitions) SealDFS(fs *dfs.FileSystem, prefix string, dict *text.Dict, format string) (*Manifest, error) {
 	switch format {
-	case FormatText, FormatBinary, FormatColumnar:
+	case FormatText, FormatBinary, FormatColumnar, FormatCompressed:
 	default:
 		return nil, fmt.Errorf("data: seal format %q", format)
 	}
@@ -387,8 +400,13 @@ func (p *Partitions) SealDFS(fs *dfs.FileSystem, prefix string, dict *text.Dict,
 			if err := sw.Close(); err != nil {
 				return CellStats{}, err
 			}
-		case FormatColumnar:
-			cw := NewColWriter(w, part.Objects[0].Kind, dict, 0)
+		case FormatColumnar, FormatCompressed:
+			var cw *ColWriter
+			if format == FormatCompressed {
+				cw = NewCol3Writer(w, part.Objects[0].Kind, dict, AdaptiveBlockRecords(len(part.Objects)))
+			} else {
+				cw = NewColWriter(w, part.Objects[0].Kind, dict, 0)
+			}
 			for _, o := range part.Objects {
 				if err := cw.Append(o); err != nil {
 					return CellStats{}, err
@@ -456,22 +474,35 @@ func (p *Partitions) SealMemory(prefix string, dict *text.Dict) (*Manifest, []Ob
 	return m, ordered
 }
 
-// SealSegments writes every cell partition as an SPQ2 columnar segment
-// into an in-memory store and returns the manifest describing it: the
-// columnar analogue of SealMemory, used by harnesses and tests that want
-// the full block-pruned read path without a simulated DFS underneath.
-// blockRecords <= 0 selects ColBlockRecords.
-func (p *Partitions) SealSegments(store MemSegStore, prefix string, dict *text.Dict, blockRecords int) (*Manifest, error) {
+// SealSegments writes every cell partition as a columnar segment (SPQ2
+// or SPQ3, per format) into an in-memory store and returns the manifest
+// describing it: the columnar analogue of SealMemory, used by harnesses
+// and tests that want the full block-pruned read path without a simulated
+// DFS underneath. blockRecords <= 0 selects the format's default:
+// ColBlockRecords for SPQ2, density-adaptive sizing for SPQ3.
+func (p *Partitions) SealSegments(store MemSegStore, prefix string, dict *text.Dict, blockRecords int, format string) (*Manifest, error) {
+	if !IsColumnar(format) {
+		return nil, fmt.Errorf("data: segment seal format %q", format)
+	}
 	m := &Manifest{
 		Version:    ManifestVersion,
-		Format:     FormatColumnar,
+		Format:     format,
 		Generation: p.Generation,
 		Grid:       GridSpec{Bounds: p.Grid.Bounds(), N: dims(p.Grid)},
 	}
 	write := func(part CellPart, kind string, withKeywords bool) (CellStats, error) {
-		name := cellFileName(prefix, kind, part.Cell, "spq2")
+		name := cellFileName(prefix, kind, part.Cell, sealExt(format))
 		var buf bytes.Buffer
-		cw := NewColWriter(&buf, part.Objects[0].Kind, dict, blockRecords)
+		var cw *ColWriter
+		if format == FormatCompressed {
+			br := blockRecords
+			if br <= 0 {
+				br = AdaptiveBlockRecords(len(part.Objects))
+			}
+			cw = NewCol3Writer(&buf, part.Objects[0].Kind, dict, br)
+		} else {
+			cw = NewColWriter(&buf, part.Objects[0].Kind, dict, blockRecords)
+		}
 		for _, o := range part.Objects {
 			if err := cw.Append(o); err != nil {
 				return CellStats{}, err

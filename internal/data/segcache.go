@@ -13,11 +13,16 @@ import (
 // same invalidation discipline the engine's query cache uses. Hot
 // clustered queries — repeats over the same few cells — skip both the
 // ranged read and the columnar decode entirely.
+//
+// The cache budget is decoded bytes, not entry count: SPQ3's adaptive
+// block sizes put anywhere from 256 to 4096 records in one block, so an
+// entry-counted LRU could hold 16x more memory than intended depending on
+// which cells happen to be hot. Each entry is charged ColumnBlock.MemBytes.
 
-// DefaultBlockCacheSize is the default capacity of the decoded-segment
-// cache, in column blocks (~2048 records each, roughly 40 MiB of decoded
-// columns at the default block size).
-const DefaultBlockCacheSize = 1024
+// DefaultBlockCacheBytes is the default budget of the decoded-segment
+// cache: 48 MiB of decoded columns, the same order of memory the previous
+// 1024-entry default held at the fixed SPQ2 block size.
+const DefaultBlockCacheBytes = 48 << 20
 
 // BlockKey identifies one decoded block.
 type BlockKey struct {
@@ -33,6 +38,9 @@ type BlockKey struct {
 type BlockCacheStats struct {
 	Hits, Misses int64
 	Entries      int
+	// Bytes is the decoded size currently held, as charged against the
+	// cache's byte budget.
+	Bytes int64
 }
 
 // BlockCache is a mutex-guarded LRU of decoded column blocks, shared by
@@ -40,7 +48,8 @@ type BlockCacheStats struct {
 // hands out the cached instance itself.
 type BlockCache struct {
 	mu      sync.Mutex
-	cap     int
+	cap     int64      // byte budget
+	bytes   int64      // decoded bytes currently held
 	ll      *list.List // front = most recently used
 	entries map[BlockKey]*list.Element
 	hits    int64
@@ -50,18 +59,19 @@ type BlockCache struct {
 type blockEntry struct {
 	key   BlockKey
 	block *ColumnBlock
+	bytes int64
 }
 
-// NewBlockCache creates a cache holding up to capacity decoded blocks.
-// capacity <= 0 selects DefaultBlockCacheSize.
-func NewBlockCache(capacity int) *BlockCache {
+// NewBlockCache creates a cache holding up to capacity bytes of decoded
+// blocks. capacity <= 0 selects DefaultBlockCacheBytes.
+func NewBlockCache(capacity int64) *BlockCache {
 	if capacity <= 0 {
-		capacity = DefaultBlockCacheSize
+		capacity = DefaultBlockCacheBytes
 	}
 	return &BlockCache{
 		cap:     capacity,
 		ll:      list.New(),
-		entries: make(map[BlockKey]*list.Element, capacity),
+		entries: make(map[BlockKey]*list.Element),
 	}
 }
 
@@ -82,26 +92,35 @@ func (c *BlockCache) Get(key BlockKey) (*ColumnBlock, bool) {
 	return el.Value.(*blockEntry).block, true
 }
 
-// Put stores a decoded block, evicting the least recently used entry when
-// full. Concurrent decoders of the same block may both Put; the last one
-// wins, which is harmless because decoded blocks of one (gen, file, index)
-// are identical.
+// Put stores a decoded block, evicting least recently used entries until
+// the decoded bytes fit the budget. A block larger than the whole budget
+// is still admitted (alone) — refusing it would make its cell un-cacheable
+// and thrash the decode path. Concurrent decoders of the same block may
+// both Put; the last one wins, which is harmless because decoded blocks of
+// one (gen, file, index) are identical.
 func (c *BlockCache) Put(key BlockKey, b *ColumnBlock) {
 	if c == nil {
 		return
 	}
+	size := int64(b.MemBytes())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*blockEntry).block = b
+		ent := el.Value.(*blockEntry)
+		c.bytes += size - ent.bytes
+		ent.block = b
+		ent.bytes = size
 		c.ll.MoveToFront(el)
-		return
+	} else {
+		c.entries[key] = c.ll.PushFront(&blockEntry{key: key, block: b, bytes: size})
+		c.bytes += size
 	}
-	c.entries[key] = c.ll.PushFront(&blockEntry{key: key, block: b})
-	if c.ll.Len() > c.cap {
+	for c.bytes > c.cap && c.ll.Len() > 1 {
 		oldest := c.ll.Back()
+		ent := oldest.Value.(*blockEntry)
 		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*blockEntry).key)
+		delete(c.entries, ent.key)
+		c.bytes -= ent.bytes
 	}
 }
 
@@ -112,5 +131,5 @@ func (c *BlockCache) Stats() BlockCacheStats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return BlockCacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len()}
+	return BlockCacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Bytes: c.bytes}
 }
