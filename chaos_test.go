@@ -1,0 +1,313 @@
+package spq
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chaosSeeds returns the fault-plan seeds the chaos property tests sweep.
+// CI widens the sweep through SPQ_CHAOS_SEEDS (comma-separated); every
+// seed replays deterministically, so a failing seed is a complete repro.
+func chaosSeeds(t *testing.T) []int64 {
+	t.Helper()
+	env := os.Getenv("SPQ_CHAOS_SEEDS")
+	if env == "" {
+		if testing.Short() {
+			return []int64{1}
+		}
+		return []int64{1, 2}
+	}
+	var seeds []int64
+	for _, f := range strings.Split(env, ",") {
+		s, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			t.Fatalf("SPQ_CHAOS_SEEDS: %v", err)
+		}
+		seeds = append(seeds, s)
+	}
+	return seeds
+}
+
+// chaosEngine builds a sealed DFS-backed engine over the clustered
+// synthetic dataset.
+func chaosEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e := NewEngine(cfg)
+	if err := e.LoadSynthetic("clustered", 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// diffResults returns a description of the first difference between two
+// result lists (ids and scores, in order), or "" when identical.
+func diffResults(got, want []Result) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("%d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || math.Abs(got[i].Score-want[i].Score) > 1e-12 {
+			return fmt.Sprintf("result[%d] = %d/%g, want %d/%g",
+				i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+		}
+	}
+	return ""
+}
+
+// sameResults requires identical ids and scores in identical order.
+func sameResults(t *testing.T, ctx string, got, want []Result) {
+	t.Helper()
+	if d := diffResults(got, want); d != "" {
+		t.Fatalf("%s: %s", ctx, d)
+	}
+}
+
+// The chaos identity property: under any seeded fault schedule that leaves
+// at least one healthy replica per block (transient read errors, one
+// corrupted replica of every Nth block, nodes crashing and reviving
+// mid-run), every algorithm on every DFS-backed storage format returns
+// byte-identical results to a fault-free engine over the same data.
+func TestChaosResultIdentityUnderFaults(t *testing.T) {
+	formats := []struct {
+		name string
+		set  func(*Config)
+	}{
+		{"text", func(c *Config) { c.Storage = StorageDFS }},
+		{"spq1", func(c *Config) { c.Storage = StorageDFSBinary; c.Segment = SegmentRecord }},
+		{"spq2", func(c *Config) { c.Storage = StorageDFSBinary; c.Segment = SegmentColumnar }},
+		{"spq3", func(c *Config) { c.Storage = StorageDFSBinary; c.Segment = SegmentCompressed }},
+	}
+	seeds := chaosSeeds(t)
+	for _, f := range formats {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			base := Config{
+				Nodes: 6, BlockSize: 2 << 10, Seed: 5,
+				QueryCache: -1, MaxAttempts: 5, RetryBackoff: -1,
+			}
+			f.set(&base)
+			clean := chaosEngine(t, base)
+			q := Query{K: 10, Radius: 0.08, Keywords: clean.FrequentKeywords(2)}
+			want := make(map[Algorithm][]Result)
+			for _, alg := range Algorithms() {
+				res, err := clean.Query(q, WithAlgorithm(alg), WithGrid(8))
+				if err != nil {
+					t.Fatalf("clean %v: %v", alg, err)
+				}
+				want[alg] = res
+			}
+			for _, seed := range seeds {
+				cfg := base
+				cfg.Faults = &FaultPlan{
+					Seed:              seed,
+					TransientReadProb: 0.1,
+					CorruptEveryN:     4,
+					// One node down at a time: with replication 3 every
+					// block keeps at least one healthy replica.
+					Crashes: []CrashEvent{
+						{AtRead: 5, Node: 1},
+						{AtRead: 40, Node: 1, Revive: true},
+						{AtRead: 80, Node: 2},
+						{AtRead: 160, Node: 2, Revive: true},
+					},
+				}
+				faulty := chaosEngine(t, cfg)
+				for _, alg := range Algorithms() {
+					rep, err := faulty.QueryReport(q, WithAlgorithm(alg), WithGrid(8))
+					if err != nil {
+						t.Fatalf("seed %d %v: %v", seed, alg, err)
+					}
+					sameResults(t, f.name+" under faults", rep.Results, want[alg])
+				}
+				if fs := faulty.FaultStats(); fs.CorruptionsInjected == 0 {
+					t.Errorf("seed %d: fault plan injected no corruption", seed)
+				}
+			}
+		})
+	}
+}
+
+// A task may fail transiently on every attempt but its last and the query
+// must still complete with exact results, with the retries and the
+// injected faults visible on the report.
+func TestChaosTaskRetriesThenCompletes(t *testing.T) {
+	base := Config{
+		Storage: StorageDFS, Nodes: 4, BlockSize: 4 << 10, Seed: 7,
+		QueryCache: -1, MapSlots: 1, ReduceSlots: 1,
+		MaxAttempts: 3, RetryBackoff: -1,
+	}
+	clean := chaosEngine(t, base)
+	q := Query{K: 5, Radius: 0.1, Keywords: clean.FrequentKeywords(2)}
+	want, err := clean.Query(q, WithGrid(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	// Budget of 6 failed replica reads: with replication 3 the first map
+	// task's first block read fails whole (3 replicas), its retry fails
+	// again (3 more), and the third attempt reads a healed cluster. The
+	// task burns MaxAttempts-1 failures and must still complete.
+	cfg.Faults = &FaultPlan{FailFirstReads: 6}
+	faulty := chaosEngine(t, cfg)
+	rep, err := faulty.QueryReport(q, WithGrid(6))
+	if err != nil {
+		t.Fatalf("query with exhausted-minus-one retry budget failed: %v", err)
+	}
+	sameResults(t, "after retries", rep.Results, want)
+	if got := rep.Counters[CounterRetryMap]; got != 2 {
+		t.Errorf("%s = %d, want 2", CounterRetryMap, got)
+	}
+	if got := rep.Counters[CounterFaultTransient]; got != 6 {
+		t.Errorf("%s = %d, want 6", CounterFaultTransient, got)
+	}
+}
+
+// Self-healing drill: after a node dies, Repair re-replicates its blocks
+// onto the survivors, so a later loss of every original replica holder
+// still serves exact results from the repaired copies. Genuine total loss
+// fails with the typed sentinels — never a silently wrong top-k.
+func TestChaosRepairSurvivesNodeLoss(t *testing.T) {
+	e := chaosEngine(t, Config{
+		Storage: StorageDFS, Nodes: 4, BlockSize: 2 << 10, Seed: 3,
+		QueryCache: -1, RetryBackoff: -1,
+	})
+	q := Query{K: 5, Radius: 0.1, Keywords: e.FrequentKeywords(2)}
+	want, err := e.Query(q, WithGrid(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One node down: reads fail over, results unchanged.
+	if err := e.KillNode(0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.QueryReport(q, WithGrid(6))
+	if err != nil {
+		t.Fatalf("query with one dead node: %v", err)
+	}
+	sameResults(t, "one node dead", rep.Results, want)
+	if rep.Counters[CounterFaultFailover] == 0 {
+		t.Error("no failover reads counted with a dead node")
+	}
+
+	// Repair re-replicates node 0's blocks across the three survivors, so
+	// every block now has a live replica on each of nodes 1, 2 and 3.
+	st := e.Repair()
+	if st.ReplicasAdded == 0 {
+		t.Fatalf("repair added no replicas after node loss: %+v", st)
+	}
+	if err := e.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.KillNode(2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(q, WithGrid(6))
+	if err != nil {
+		t.Fatalf("query with only the repaired node alive: %v", err)
+	}
+	sameResults(t, "post-repair single survivor", res, want)
+
+	// Total loss: typed error, no results.
+	if err := e.KillNode(3); err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.Query(q, WithGrid(6))
+	if err == nil {
+		t.Fatalf("query with no live nodes returned %d results", len(res))
+	}
+	if !errors.Is(err, ErrDataUnavailable) {
+		t.Errorf("total loss error is not ErrDataUnavailable: %v", err)
+	}
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Errorf("total loss error is not ErrRetriesExhausted: %v", err)
+	}
+
+	// One revival is enough: the repaired node holds every block.
+	if err := e.ReviveNode(3); err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.Query(q, WithGrid(6))
+	if err != nil {
+		t.Fatalf("query after revival: %v", err)
+	}
+	sameResults(t, "after revival", res, want)
+}
+
+// Nodes dying and reviving under live concurrent queries (plus concurrent
+// repair passes) must never corrupt a result: with at most one node down
+// at a time every query succeeds and returns exactly the reference top-k.
+// Run under -race in CI.
+func TestChaosKillReviveDuringConcurrentQueries(t *testing.T) {
+	e := chaosEngine(t, Config{
+		Storage: StorageDFS, Nodes: 6, BlockSize: 2 << 10, Seed: 11,
+		QueryCache: -1, MaxAttempts: 5, RetryBackoff: -1,
+	})
+	q := Query{K: 5, Radius: 0.1, Keywords: e.FrequentKeywords(2)}
+	want, err := e.Query(q, WithGrid(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var chaos sync.WaitGroup
+	chaos.Add(1)
+	go func() {
+		defer chaos.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n := i % e.NumNodes()
+			if err := e.KillNode(n); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(500 * time.Microsecond)
+			if i%3 == 0 {
+				e.Repair()
+			}
+			if err := e.ReviveNode(n); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	const workers, perWorker = 4, 5
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				alg := Algorithms()[(w+i)%len(Algorithms())]
+				res, err := e.Query(q, WithAlgorithm(alg), WithGrid(6))
+				if err != nil {
+					t.Errorf("worker %d query %d (%v): %v", w, i, alg, err)
+					return
+				}
+				if d := diffResults(res, want); d != "" {
+					t.Errorf("worker %d query %d (%v): %s", w, i, alg, d)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	chaos.Wait()
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+
+	"spq"
+	"spq/internal/bench"
+)
+
+// runChaos proves the fault-tolerance story end to end on one engine:
+//
+//  1. a fault-free reference engine answers the query mix serially;
+//  2. a chaos engine over the same data — seeded transient read errors,
+//     one corrupted replica of every 4th block, nodes crashing and
+//     reviving on a read-count schedule — must answer the same mix with
+//     byte-identical results, query by query;
+//  3. a node is killed for good; Repair re-replicates its blocks and the
+//     mix is replayed once more against the shrunken cluster.
+//
+// Every decision replays from -chaos-seed, so a reported divergence is a
+// complete reproduction recipe.
+func runChaos(seed int64, quick bool) error {
+	size, queries := 20000, 120
+	if quick {
+		size, queries = 4000, 24
+	}
+	slots := runtime.NumCPU()
+	base := spq.Config{
+		Storage:   spq.StorageDFS,
+		Nodes:     8,
+		BlockSize: 16 << 10,
+		MapSlots:  slots, ReduceSlots: slots,
+		QueryCache:  -1, // every query must touch storage
+		MaxAttempts: 5,
+		Seed:        42,
+	}
+	build := func(cfg spq.Config) (*spq.Engine, error) {
+		e := spq.NewEngine(cfg)
+		if err := e.LoadSynthetic("clustered", size); err != nil {
+			return nil, err
+		}
+		if err := e.Seal(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+
+	ref, err := build(base)
+	if err != nil {
+		return err
+	}
+	kws := ref.FrequentKeywords(64)
+	query := func(i int) spq.Query {
+		return spq.Query{K: 10, Radius: 0.02, Keywords: bench.RotatingKeywords(kws, i)}
+	}
+	runOn := func(e *spq.Engine) bench.QueryFunc {
+		return func(i int) (string, error) {
+			res, err := e.Query(query(i%queries), spq.WithAutoPlan())
+			return fmt.Sprint(res), err
+		}
+	}
+
+	fmt.Printf("# chaos — clustered %d objects, %d distinct queries, seed %d, %d slots\n",
+		size, queries, seed, slots)
+	refPoint, refFPs, err := bench.RunConcurrent(queries, 1, runOn(ref))
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.FormatConcurrencyPoint("fault-free reference", refPoint, refPoint))
+
+	cfg := base
+	cfg.Faults = &spq.FaultPlan{
+		Seed:              seed,
+		TransientReadProb: 0.05,
+		CorruptEveryN:     4,
+		// One node down at a time, so every block keeps a healthy replica.
+		Crashes: []spq.CrashEvent{
+			{AtRead: 50, Node: 1},
+			{AtRead: 400, Node: 1, Revive: true},
+			{AtRead: 800, Node: 5},
+			{AtRead: 1600, Node: 5, Revive: true},
+		},
+	}
+	chaosEng, err := build(cfg)
+	if err != nil {
+		return err
+	}
+	faulted, faultedFPs, err := bench.RunConcurrent(queries, 4, runOn(chaosEng))
+	if err != nil {
+		return fmt.Errorf("query under injected faults: %w", err)
+	}
+	fmt.Println(bench.FormatConcurrencyPoint("under injected faults", faulted, refPoint))
+	if i := bench.DiffFingerprints(refFPs, faultedFPs); i >= 0 {
+		return fmt.Errorf("query %d differs between the chaos engine and the fault-free reference", i)
+	}
+	fs := chaosEng.FaultStats()
+	fmt.Printf("faults: %d transient read errors, %d corruptions injected / %d detected, %d replicas quarantined, %d failover reads\n",
+		fs.TransientReadErrors, fs.CorruptionsInjected, fs.CorruptionsDetected,
+		fs.ReplicasQuarantined, fs.FailoverReads)
+
+	// Permanent node loss, then self-healing.
+	if err := chaosEng.KillNode(2); err != nil {
+		return err
+	}
+	st := chaosEng.Repair()
+	fmt.Printf("repair after killing node 2: %d blocks re-replicated, %d replicas added, %d dropped, %d unrecoverable\n",
+		st.BlocksRepaired, st.ReplicasAdded, st.ReplicasDropped, st.Unrecoverable)
+	if st.Unrecoverable > 0 {
+		return fmt.Errorf("repair left %d unrecoverable blocks with %d live nodes", st.Unrecoverable, chaosEng.NumNodes()-1)
+	}
+	healed, healedFPs, err := bench.RunConcurrent(queries, 4, runOn(chaosEng))
+	if err != nil {
+		return fmt.Errorf("query after node loss and repair: %w", err)
+	}
+	fmt.Println(bench.FormatConcurrencyPoint("after node loss + repair", healed, refPoint))
+	if i := bench.DiffFingerprints(refFPs, healedFPs); i >= 0 {
+		return fmt.Errorf("query %d differs after node loss and repair", i)
+	}
+	fmt.Println("results: chaos engine identical to fault-free reference, query by query")
+	return nil
+}

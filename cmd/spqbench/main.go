@@ -13,6 +13,9 @@
 //	spqbench -concurrency 8           # serving throughput: N concurrent
 //	                                  # clients vs the serial baseline,
 //	                                  # plus the cached repeated workload
+//	spqbench -chaos -chaos-seed 7     # replay the workload under seeded
+//	                                  # fault injection and node loss,
+//	                                  # proving result identity
 package main
 
 import (
@@ -46,9 +49,18 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
 		conc     = flag.Int("concurrency", 0, "serving-throughput mode: run the concurrent-query workload with this many clients (skips the figures)")
 		appendN  = flag.Int("append", 0, "append-while-serving mode: run the query workload with this many clients while a writer streams records into the sealed engine (skips the figures)")
+		chaos    = flag.Bool("chaos", false, "chaos mode: replay the query workload under seeded DFS fault injection and node loss, proving result identity against a fault-free reference (skips the figures)")
+		chaosSd  = flag.Int64("chaos-seed", 1, "fault-plan seed for -chaos; every run replays deterministically from it")
 	)
 	flag.Parse()
 
+	if *chaos {
+		if err := runChaos(*chaosSd, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "spqbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *appendN > 0 {
 		if err := runAppend(*appendN, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "spqbench: %v\n", err)

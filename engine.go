@@ -1,10 +1,12 @@
 package spq
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"spq/internal/core"
 	"spq/internal/data"
@@ -135,9 +137,26 @@ type Config struct {
 	// DefaultCompactAfter; a negative value disables automatic compaction
 	// (Compact can still be called explicitly).
 	CompactAfter int
+	// MaxAttempts bounds how many times each map/reduce task is executed
+	// before its job fails: a task may fail up to MaxAttempts-1 times (on
+	// injected faults, unreadable replicas, ...) and still complete. Zero
+	// selects DefaultMaxAttempts; negative disables retries (one attempt).
+	MaxAttempts int
+	// RetryBackoff is the base delay of the capped exponential backoff
+	// between task attempts (doubled per failure, capped at 100ms). Zero
+	// selects a small default; negative disables backoff entirely.
+	RetryBackoff time.Duration
+	// Faults optionally injects deterministic, seeded faults into the DFS:
+	// transient read errors, replica corruption and node crash schedules.
+	// Nil (the default) runs a healthy cluster. See FaultPlan.
+	Faults *FaultPlan
 	// Seed drives DFS block placement.
 	Seed int64
 }
+
+// DefaultMaxAttempts is the per-task execution budget used when
+// Config.MaxAttempts is zero: one initial attempt plus up to two retries.
+const DefaultMaxAttempts = 3
 
 func (c Config) withDefaults() Config {
 	if c.Nodes <= 0 {
@@ -157,6 +176,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CompactAfter == 0 {
 		c.CompactAfter = DefaultCompactAfter
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = DefaultMaxAttempts
+	} else if c.MaxAttempts < 0 {
+		c.MaxAttempts = 1
 	}
 	return c
 }
@@ -248,6 +272,7 @@ func NewEngine(cfg Config) *Engine {
 		BlockSize:   cfg.BlockSize,
 		Replication: cfg.Replication,
 		Seed:        cfg.Seed,
+		Faults:      cfg.Faults,
 	})
 	e := &Engine{
 		cfg:     cfg,
@@ -684,6 +709,11 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 		return nil, fmt.Errorf("spq: seal grid size %d, must be positive", cfg.sealGridN)
 	}
 
+	// Baseline DFS fault/repair activity: the delta accumulated while this
+	// query runs (failovers, quarantines, read repairs, ...) is surfaced on
+	// the report as spq.fault.* / spq.dfs.repair.* counters.
+	fault0 := e.fs.FaultStats()
+
 	snap, err := e.snapshotFor(cfg.sealGridN)
 	if err != nil {
 		return nil, err
@@ -781,6 +811,7 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
+			rep.Counters = addFaultCounters(rep.Counters, e.fs.FaultStats().Sub(fault0))
 			return e.finishQuery(key, rep), nil
 		}
 		if view != nil && len(dec.DeltaData)+len(dec.DeltaFeatures) > 0 {
@@ -834,6 +865,8 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 		ExtraCounters: extraCounters,
 		Priority:      priority,
 		DataView:      view,
+		MaxAttempts:   e.cfg.MaxAttempts,
+		RetryBackoff:  e.cfg.RetryBackoff,
 	})
 	if err != nil {
 		return nil, err
@@ -846,6 +879,7 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 		rep.Counters[CounterSegBytesDecoded] = segIO.BytesDecoded.Load()
 		rep.Counters[CounterSegBytesSelected] = selBytes(colsData) + selBytes(colsFeat)
 	}
+	rep.Counters = addFaultCounters(rep.Counters, e.fs.FaultStats().Sub(fault0))
 	return e.finishQuery(key, &Report{
 		Algorithm:    rep.Algorithm,
 		Results:      toResults(rep.Results),
@@ -956,12 +990,27 @@ func selectCells(cells []data.CellStats, blocks map[string][]int) []data.ColSel 
 // share one build.
 func (e *Engine) dataView(s *snapshot, dataSel []data.ColSel, gridN int, bounds geo.Rect, io *data.SegIOStats) (*core.DataView, error) {
 	key := core.ViewKey(s.manifest.Generation, gridN, bounds, dataSel)
-	return e.viewCache.GetOrBuild(key, func() (*core.DataView, error) {
+	build := func() (*core.DataView, error) {
 		g := grid.New(bounds, gridN, gridN)
 		in := data.NewColInput(e.fs, dataSel, e.segCache, s.manifest.Generation)
 		in.IO = io
 		return core.BuildDataView(g, in)
-	})
+	}
+	// View builds run outside the MapReduce task retry loop, so they get
+	// their own attempt budget against transient injected read errors.
+	// Failed builds are never cached, so each attempt re-reads the blocks.
+	var v *core.DataView
+	var err error
+	for attempt := 1; ; attempt++ {
+		v, err = e.viewCache.GetOrBuild(key, build)
+		if err == nil || attempt >= e.cfg.MaxAttempts {
+			return v, err
+		}
+		var re *dfs.ReplicaError
+		if !errors.As(err, &re) || !re.IsTransient() {
+			return v, err
+		}
+	}
 }
 
 // selBytes sums the stored (compressed) frame bytes of a block selection:

@@ -1,0 +1,131 @@
+package spq
+
+import (
+	"fmt"
+
+	"spq/internal/dfs"
+	"spq/internal/mapreduce"
+)
+
+// FaultPlan configures deterministic, seeded fault injection on the
+// engine's simulated DFS (Config.Faults): transient replica-read errors
+// with a fixed probability, persistent bit-flip corruption of chosen
+// replicas at write time, and node crash/revive schedules keyed on the
+// global block-read count. Every decision is a pure function of the plan's
+// seed and the read sequence, so a failure run replays exactly from its
+// seed. See the internal/dfs documentation of the fields.
+type FaultPlan = dfs.FaultPlan
+
+// CrashEvent schedules one DataNode crash or revival inside a FaultPlan.
+type CrashEvent = dfs.CrashEvent
+
+// FaultStats is a snapshot of the DFS's cumulative fault, failover and
+// repair activity (see Engine.FaultStats).
+type FaultStats = dfs.FaultStats
+
+// RepairStats summarizes one Engine.Repair pass.
+type RepairStats = dfs.RepairStats
+
+// Typed failure sentinels. Query errors wrap these, so callers can
+// distinguish genuine data loss from an exhausted retry budget with
+// errors.Is; a query never silently returns a wrong or partial top-k.
+var (
+	// ErrDataUnavailable marks reads that found no usable replica of some
+	// block: every copy is on a dead node, missing, or quarantined after a
+	// checksum mismatch. The error text names the file and the per-cause
+	// replica counts.
+	ErrDataUnavailable = dfs.ErrNoLiveReplica
+	// ErrRetriesExhausted marks task failures that persisted through the
+	// full Config.MaxAttempts retry budget.
+	ErrRetriesExhausted = mapreduce.ErrTooManyFailures
+)
+
+// Fault, retry and repair counters (Report.Counters). The spq.fault.* and
+// spq.dfs.repair.* values are per-query deltas of the DFS-wide activity
+// that happened while the query ran; they are only present when non-zero.
+// The spq.retry.* counters are emitted by the MapReduce layer and count
+// this query's own task re-executions and backoff time.
+const (
+	// CounterFaultTransient counts injected transient replica-read errors.
+	CounterFaultTransient = "spq.fault.read.transient"
+	// CounterFaultCorrupt counts checksum mismatches detected on read.
+	CounterFaultCorrupt = "spq.fault.read.corrupt"
+	// CounterFaultQuarantined counts replicas fenced off after a mismatch.
+	CounterFaultQuarantined = "spq.fault.replica.quarantined"
+	// CounterFaultFailover counts block reads that succeeded only after
+	// skipping at least one unusable replica.
+	CounterFaultFailover = "spq.fault.read.failover"
+	// CounterRepairBlocks counts blocks re-replicated by Repair or read
+	// repair; the .added/.dropped pair counts replica copies created and
+	// bad copies deleted.
+	CounterRepairBlocks          = "spq.dfs.repair.blocks"
+	CounterRepairReplicasAdded   = "spq.dfs.repair.replicas.added"
+	CounterRepairReplicasDropped = "spq.dfs.repair.replicas.dropped"
+	// CounterRetryMap / CounterRetryReduce count task re-executions per
+	// phase; CounterRetryBackoffMicros is the total time the phases slept
+	// in capped exponential backoff between attempts.
+	CounterRetryMap           = "spq.retry.map"
+	CounterRetryReduce        = "spq.retry.reduce"
+	CounterRetryBackoffMicros = "spq.retry.backoff_us"
+)
+
+// NumNodes returns the number of simulated DFS DataNodes.
+func (e *Engine) NumNodes() int { return e.fs.NumNodes() }
+
+// KillNode marks DataNode i dead: its block replicas become unreadable
+// until ReviveNode. Reads fail over to surviving replicas; Repair
+// re-replicates from them. Chaos tests use this to exercise the failure
+// paths deterministically.
+func (e *Engine) KillNode(i int) error {
+	if i < 0 || i >= e.fs.NumNodes() {
+		return fmt.Errorf("spq: kill node %d: cluster has %d nodes", i, e.fs.NumNodes())
+	}
+	e.fs.KillNode(i)
+	return nil
+}
+
+// ReviveNode marks DataNode i alive again; replicas it held become
+// readable (and checksum-verified) once more.
+func (e *Engine) ReviveNode(i int) error {
+	if i < 0 || i >= e.fs.NumNodes() {
+		return fmt.Errorf("spq: revive node %d: cluster has %d nodes", i, e.fs.NumNodes())
+	}
+	e.fs.ReviveNode(i)
+	return nil
+}
+
+// Repair runs a DFS repair pass: every block's live replicas are
+// checksum-verified, corrupt copies are quarantined and deleted, and
+// under-replicated blocks (after node deaths or quarantines) are
+// re-replicated from a healthy copy until the replication factor is
+// restored on live nodes. Call it after KillNode/ReviveNode churn; reads
+// additionally run an inline read repair whenever they detect corruption.
+func (e *Engine) Repair() RepairStats { return e.fs.Repair() }
+
+// FaultStats snapshots the cumulative fault, failover and repair activity
+// of the engine's DFS since creation. Subtract two snapshots (FaultStats.Sub)
+// for a window delta; per-query deltas are also surfaced as spq.fault.* /
+// spq.dfs.repair.* counters on each Report.
+func (e *Engine) FaultStats() FaultStats { return e.fs.FaultStats() }
+
+// addFaultCounters merges the non-zero fields of a FaultStats delta into a
+// report counter map, allocating it when needed.
+func addFaultCounters(m map[string]int64, d FaultStats) map[string]int64 {
+	add := func(name string, v int64) {
+		if v == 0 {
+			return
+		}
+		if m == nil {
+			m = make(map[string]int64, 4)
+		}
+		m[name] += v
+	}
+	add(CounterFaultTransient, d.TransientReadErrors)
+	add(CounterFaultCorrupt, d.CorruptionsDetected)
+	add(CounterFaultQuarantined, d.ReplicasQuarantined)
+	add(CounterFaultFailover, d.FailoverReads)
+	add(CounterRepairBlocks, d.RepairedBlocks)
+	add(CounterRepairReplicasAdded, d.RepairReplicasAdded)
+	add(CounterRepairReplicasDropped, d.RepairReplicasDropped)
+	return m
+}

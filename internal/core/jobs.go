@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"spq/internal/data"
 	"spq/internal/geo"
@@ -72,9 +73,12 @@ type Options struct {
 	// SpillEvery, when positive, bounds per-map-task buffered records and
 	// activates external sorting (see mapreduce.Job.SpillEvery).
 	SpillEvery int
-	// MaxAttempts and FaultInjector are forwarded to the job for the
-	// failure tests.
+	// MaxAttempts, RetryBackoff and FaultInjector are forwarded to the job
+	// (see the mapreduce.Job fields of the same names): the per-task retry
+	// budget, the base of the capped exponential backoff between attempts,
+	// and the failure-test hook.
 	MaxAttempts   int
+	RetryBackoff  time.Duration
 	FaultInjector func(kind mapreduce.TaskKind, taskID, attempt int) error
 	// Priority admits the job's tasks through the cluster slot pools'
 	// priority lane (see mapreduce.Job.Priority). The engine sets it for
@@ -196,6 +200,7 @@ func Run(alg Algorithm, src mapreduce.Source[data.Object], q Query, opts Options
 		ValueCodec:    data.ObjectCodec(),
 		SpillEvery:    opts.SpillEvery,
 		MaxAttempts:   opts.MaxAttempts,
+		RetryBackoff:  opts.RetryBackoff,
 		FaultInjector: opts.FaultInjector,
 		Priority:      opts.Priority,
 	}

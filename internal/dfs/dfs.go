@@ -18,10 +18,16 @@ package dfs
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
+
+// castagnoli is the CRC32C polynomial table used for per-replica block
+// checksums, matching HDFS's default block checksum algorithm.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // DefaultBlockSize is the block size used when Config.BlockSize is zero.
 // The real HDFS default in the paper's cluster is 128 MiB; the simulation
@@ -54,6 +60,9 @@ type Config struct {
 	// Seed feeds the placement policy's randomness. The same seed yields
 	// the same placement for the same write sequence.
 	Seed int64
+	// Faults, when non-nil, installs a deterministic fault-injection
+	// schedule (see FaultPlan). Nil means no injected faults.
+	Faults *FaultPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -79,7 +88,8 @@ type BlockID int64
 type blockMeta struct {
 	id       BlockID
 	length   int
-	replicas []int // node indices
+	sum      uint32 // CRC32C of the payload, verified on every replica read
+	replicas []int  // node indices
 }
 
 // fileMeta is the NameNode's record of one file.
@@ -89,49 +99,104 @@ type fileMeta struct {
 	length int64
 }
 
+// replicaState classifies the outcome of asking one DataNode for a block.
+type replicaState int
+
+const (
+	replicaOK          replicaState = iota
+	replicaDead                     // node is marked dead
+	replicaMissing                  // node is alive but has no copy
+	replicaQuarantined              // copy failed a checksum and was fenced off
+)
+
 // dataNode stores block payloads for one simulated server.
 type dataNode struct {
 	mu     sync.RWMutex
 	name   string
 	alive  bool
 	blocks map[BlockID][]byte
+	bad    map[BlockID]bool // quarantined (checksum-failed) replicas
 }
 
-func (d *dataNode) get(id BlockID) ([]byte, bool) {
+func (d *dataNode) get(id BlockID) ([]byte, replicaState) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if !d.alive {
-		return nil, false
+		return nil, replicaDead
+	}
+	if d.bad[id] {
+		return nil, replicaQuarantined
 	}
 	b, ok := d.blocks[id]
-	return b, ok
+	if !ok {
+		return nil, replicaMissing
+	}
+	return b, replicaOK
 }
 
 func (d *dataNode) put(id BlockID, payload []byte) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.blocks[id] = payload
+	delete(d.bad, id)
+}
+
+// quarantine fences off a checksum-failed replica so later reads skip it.
+// It reports whether the mark is new.
+func (d *dataNode) quarantine(id BlockID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.bad == nil {
+		d.bad = make(map[BlockID]bool)
+	}
+	if d.bad[id] {
+		return false
+	}
+	d.bad[id] = true
+	return true
+}
+
+// drop removes a replica (payload and any quarantine mark).
+func (d *dataNode) drop(id BlockID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.blocks, id)
+	delete(d.bad, id)
 }
 
 // FileSystem is the combination of a NameNode and its DataNodes. It is safe
 // for concurrent use.
 type FileSystem struct {
-	cfg   Config
-	nodes []*dataNode
+	cfg    Config
+	nodes  []*dataNode
+	faults *FaultPlan
 
 	mu      sync.RWMutex
 	files   map[string]*fileMeta
 	nextBlk BlockID
 	rng     *rand.Rand
+
+	// reads is the global block-read counter driving the fault plan's
+	// deterministic schedules (transient errors, crash events).
+	reads atomic.Int64
+	// crashCursor indexes the first unapplied entry of faults.Crashes;
+	// guarded by crashMu so each event fires exactly once.
+	crashCursor atomic.Int64
+	crashMu     sync.Mutex
+	// failBudget counts replica read attempts against FailFirstReads.
+	failBudget atomic.Int64
+
+	stats faultCounters
 }
 
 // New creates a file system with the given configuration.
 func New(cfg Config) *FileSystem {
 	cfg = cfg.withDefaults()
 	fs := &FileSystem{
-		cfg:   cfg,
-		files: make(map[string]*fileMeta),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:    cfg,
+		faults: cfg.Faults.normalized(),
+		files:  make(map[string]*fileMeta),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}
 	for i := 0; i < cfg.NumNodes; i++ {
 		fs.nodes = append(fs.nodes, &dataNode{
@@ -222,10 +287,7 @@ func (fs *FileSystem) Delete(name string) error {
 	}
 	for _, b := range f.blocks {
 		for _, ni := range b.replicas {
-			node := fs.nodes[ni]
-			node.mu.Lock()
-			delete(node.blocks, b.id)
-			node.mu.Unlock()
+			fs.nodes[ni].drop(b.id)
 		}
 	}
 	return nil
@@ -272,8 +334,8 @@ func (fs *FileSystem) ReadAll(name string) ([]byte, error) {
 		return nil, ErrNotFound
 	}
 	out := make([]byte, 0, f.length)
-	for _, b := range f.blocks {
-		payload, err := fs.readBlock(b)
+	for i, b := range f.blocks {
+		payload, err := fs.readBlock(name, i, b)
 		if err != nil {
 			return nil, err
 		}
@@ -282,14 +344,79 @@ func (fs *FileSystem) ReadAll(name string) ([]byte, error) {
 	return out, nil
 }
 
-// readBlock fetches a block payload from the first live replica.
-func (fs *FileSystem) readBlock(b blockMeta) ([]byte, error) {
+// ReplicaError reports a block read that found no usable replica, broken
+// down by cause so chaos-test failures are diagnosable. It unwraps to
+// ErrNoLiveReplica.
+type ReplicaError struct {
+	File      string
+	Block     int     // block index within the file
+	ID        BlockID // cluster-wide block id
+	Dead      int     // replicas on dead DataNodes
+	Missing   int     // replicas absent from their (live) DataNode
+	Corrupted int     // replicas quarantined after a checksum mismatch
+	Transient int     // replicas that failed with an injected transient error
+}
+
+func (e *ReplicaError) Error() string {
+	return fmt.Sprintf(
+		"dfs: no usable replica for block %d of %q (block id %d): %d on dead nodes, %d missing, %d quarantined corrupt, %d transient read error(s)",
+		e.Block, e.File, e.ID, e.Dead, e.Missing, e.Corrupted, e.Transient)
+}
+
+func (e *ReplicaError) Unwrap() error { return ErrNoLiveReplica }
+
+// IsTransient reports whether at least one replica failed only with an
+// injected transient error, so a retry of the same read may succeed without
+// any repair — even if other replicas are dead or gone for good.
+func (e *ReplicaError) IsTransient() bool {
+	return e.Transient > 0
+}
+
+// readBlock fetches a block payload, failing over across replicas. Every
+// candidate payload is checksum-verified; a corrupt copy is quarantined and
+// the read moves on to the next replica. When corruption was detected and a
+// healthy copy found, the block is re-replicated inline (read repair).
+func (fs *FileSystem) readBlock(file string, idx int, b blockMeta) ([]byte, error) {
+	readIdx := fs.reads.Add(1)
+	fs.applyCrashSchedule(readIdx)
+	perr := &ReplicaError{File: file, Block: idx, ID: b.id}
 	for _, ni := range b.replicas {
-		if payload, ok := fs.nodes[ni].get(b.id); ok {
-			return payload, nil
+		payload, st := fs.nodes[ni].get(b.id)
+		switch st {
+		case replicaDead:
+			perr.Dead++
+			continue
+		case replicaMissing:
+			perr.Missing++
+			continue
+		case replicaQuarantined:
+			perr.Corrupted++
+			continue
 		}
+		if fs.transientReadError(readIdx, ni) {
+			perr.Transient++
+			fs.stats.transientErrors.Add(1)
+			continue
+		}
+		if crc32.Checksum(payload, castagnoli) != b.sum {
+			perr.Corrupted++
+			fs.stats.corruptionsDetected.Add(1)
+			if fs.nodes[ni].quarantine(b.id) {
+				fs.stats.replicasQuarantined.Add(1)
+			}
+			continue
+		}
+		if perr.Dead+perr.Missing+perr.Corrupted+perr.Transient > 0 {
+			fs.stats.failoverReads.Add(1)
+		}
+		if perr.Corrupted > 0 {
+			// Read repair: a replica was just quarantined, so the block is
+			// under-replicated; restore the factor from this healthy copy.
+			fs.repairBlock(file, idx, payload, nil)
+		}
+		return payload, nil
 	}
-	return nil, fmt.Errorf("%w: block %d", ErrNoLiveReplica, b.id)
+	return nil, perr
 }
 
 // BlockLocations returns, for each block of the file in order, the names of
@@ -333,20 +460,36 @@ type Writer struct {
 	closed bool
 }
 
-// Write appends p to the file, flushing full blocks as they are cut.
+// Write appends p to the file, flushing full blocks as they are cut. Per
+// the io.Writer contract it returns the number of bytes of p accepted:
+// bytes held in the writer's buffer count as accepted (a later Write or
+// Close retries the flush), so on a flush failure the count covers
+// everything consumed so far rather than claiming zero.
 func (w *Writer) Write(p []byte) (int, error) {
 	if w.closed {
 		return 0, errors.New("dfs: write on closed writer")
 	}
-	w.buf = append(w.buf, p...)
 	bs := w.fs.cfg.BlockSize
-	for len(w.buf) >= bs {
-		if err := w.flushBlock(w.buf[:bs]); err != nil {
-			return 0, err
+	written := 0
+	for len(p) > 0 {
+		if len(w.buf) == bs {
+			if err := w.flushBlock(w.buf); err != nil {
+				return written, err
+			}
+			w.buf = w.buf[:0]
 		}
-		w.buf = w.buf[bs:]
+		n := min(bs-len(w.buf), len(p))
+		w.buf = append(w.buf, p[:n]...)
+		written += n
+		p = p[n:]
 	}
-	return len(p), nil
+	if len(w.buf) == bs {
+		if err := w.flushBlock(w.buf); err != nil {
+			return written, err
+		}
+		w.buf = w.buf[:0]
+	}
+	return written, nil
 }
 
 func (w *Writer) flushBlock(payload []byte) error {
@@ -360,16 +503,29 @@ func (w *Writer) flushBlock(payload []byte) error {
 	w.fs.mu.Unlock()
 
 	stored := append([]byte(nil), payload...)
-	for _, ni := range replicas {
-		w.fs.nodes[ni].put(id, stored)
+	sum := crc32.Checksum(stored, castagnoli)
+	corruptAt := w.fs.faults.corruptReplica(id, len(replicas))
+	for i, ni := range replicas {
+		p := stored
+		if i == corruptAt {
+			// Persistent bit-flip on this replica's private copy; the
+			// damage survives until a read quarantines it and repair
+			// re-replicates from a healthy sibling.
+			p = append([]byte(nil), stored...)
+			p[len(p)/2] ^= 0x40
+			w.fs.stats.corruptionsInjected.Add(1)
+		}
+		w.fs.nodes[ni].put(id, p)
 	}
-	w.meta.blocks = append(w.meta.blocks, blockMeta{id: id, length: len(payload), replicas: replicas})
+	w.meta.blocks = append(w.meta.blocks, blockMeta{id: id, length: len(payload), sum: sum, replicas: replicas})
 	w.meta.length += int64(len(payload))
 	return nil
 }
 
 // Close flushes the final partial block and publishes the file. It reports
-// ErrExists if another writer published the same name first.
+// ErrExists if another writer published the same name first; in that case
+// (and when the final flush fails) the blocks this writer already placed on
+// DataNodes are deleted, so a lost publish race cannot leak orphans.
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
@@ -377,15 +533,29 @@ func (w *Writer) Close() error {
 	w.closed = true
 	if len(w.buf) > 0 {
 		if err := w.flushBlock(w.buf); err != nil {
+			w.discard()
 			return err
 		}
 		w.buf = nil
 	}
 	w.fs.mu.Lock()
-	defer w.fs.mu.Unlock()
 	if _, exists := w.fs.files[w.meta.name]; exists {
+		w.fs.mu.Unlock()
+		w.discard()
 		return fmt.Errorf("%w: %s", ErrExists, w.meta.name)
 	}
 	w.fs.files[w.meta.name] = w.meta
+	w.fs.mu.Unlock()
 	return nil
+}
+
+// discard drops every block this writer flushed from all replicas.
+func (w *Writer) discard() {
+	for _, b := range w.meta.blocks {
+		for _, ni := range b.replicas {
+			w.fs.nodes[ni].drop(b.id)
+		}
+	}
+	w.meta.blocks = nil
+	w.meta.length = 0
 }

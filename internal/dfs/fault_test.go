@@ -1,0 +1,382 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"strings"
+	"testing"
+)
+
+// corruptReplicaCopy bit-flips node ni's copy of block id through a private
+// clone, so sibling replicas sharing the original slice stay intact.
+func corruptReplicaCopy(fs *FileSystem, ni int, id BlockID) {
+	node := fs.nodes[ni]
+	node.mu.Lock()
+	defer node.mu.Unlock()
+	p := append([]byte(nil), node.blocks[id]...)
+	if len(p) > 0 {
+		p[len(p)/2] ^= 0x01
+	}
+	node.blocks[id] = p
+}
+
+// blockReplicas returns the metadata replica list of block idx of the file.
+func blockReplicas(t *testing.T, fs *FileSystem, name string, idx int) blockMeta {
+	t.Helper()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok || idx >= len(f.blocks) {
+		t.Fatalf("no block %d of %q", idx, name)
+	}
+	return f.blocks[idx]
+}
+
+// healthyReplicas counts replicas of b that are on live nodes, present,
+// unquarantined, and checksum-clean.
+func healthyReplicas(fs *FileSystem, b blockMeta) int {
+	n := 0
+	for _, ni := range b.replicas {
+		if payload, st := fs.nodes[ni].get(b.id); st == replicaOK && crc32.Checksum(payload, castagnoli) == b.sum {
+			n++
+		}
+	}
+	return n
+}
+
+func TestChecksumFailoverAndReadRepair(t *testing.T) {
+	fs := newFS(t, Config{NumNodes: 6, BlockSize: 8, Replication: 3, Seed: 7})
+	data := []byte("twelve bytes and then some more")
+	if err := fs.Create("f", data); err != nil {
+		t.Fatal(err)
+	}
+	b0 := blockReplicas(t, fs, "f", 0)
+	corruptReplicaCopy(fs, b0.replicas[0], b0.id)
+
+	got, err := fs.ReadAll("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("ReadAll after corruption = %q, want %q", got, data)
+	}
+	st := fs.FaultStats()
+	if st.CorruptionsDetected == 0 || st.ReplicasQuarantined == 0 || st.FailoverReads == 0 {
+		t.Errorf("stats = %+v, want corruption detected + quarantine + failover", st)
+	}
+	if st.RepairedBlocks == 0 || st.RepairReplicasAdded == 0 {
+		t.Errorf("stats = %+v, want read repair to have re-replicated", st)
+	}
+	// Read repair must restore the replication factor with healthy copies.
+	b0 = blockReplicas(t, fs, "f", 0)
+	if n := healthyReplicas(fs, b0); n != 3 {
+		t.Errorf("healthy replicas after read repair = %d, want 3", n)
+	}
+}
+
+func TestRepairRestoresReplicationAfterNodeLoss(t *testing.T) {
+	fs := newFS(t, Config{NumNodes: 6, BlockSize: 8, Replication: 3, Seed: 3})
+	data := bytes.Repeat([]byte("0123456789abcdef"), 4)
+	if err := fs.Create("f", data); err != nil {
+		t.Fatal(err)
+	}
+	orig := blockReplicas(t, fs, "f", 0)
+	fs.KillNode(orig.replicas[0])
+
+	st := fs.Repair()
+	if st.BlocksScanned == 0 || st.ReplicasAdded == 0 {
+		t.Fatalf("Repair = %+v, want blocks scanned and replicas added", st)
+	}
+	// Every block must again have 3 healthy live replicas.
+	for idx := 0; ; idx++ {
+		fs.mu.RLock()
+		nblocks := len(fs.files["f"].blocks)
+		fs.mu.RUnlock()
+		if idx >= nblocks {
+			break
+		}
+		b := blockReplicas(t, fs, "f", idx)
+		if n := healthyReplicas(fs, b); n != 3 {
+			t.Errorf("block %d healthy replicas after repair = %d, want 3", idx, n)
+		}
+	}
+	// Kill the remaining original holders of block 0: the repaired copy
+	// alone must serve reads.
+	for _, ni := range orig.replicas[1:] {
+		fs.KillNode(ni)
+	}
+	got, err := fs.ReadAll("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("ReadAll after killing original replicas = %q, want %q", got, data)
+	}
+}
+
+func TestRepairReportsUnrecoverable(t *testing.T) {
+	fs := newFS(t, Config{NumNodes: 4, BlockSize: 64, Replication: 2, Seed: 5})
+	if err := fs.Create("f", []byte("doomed block")); err != nil {
+		t.Fatal(err)
+	}
+	b := blockReplicas(t, fs, "f", 0)
+	for _, ni := range b.replicas {
+		corruptReplicaCopy(fs, ni, b.id)
+	}
+	if _, err := fs.ReadAll("f"); !errors.Is(err, ErrNoLiveReplica) {
+		t.Fatalf("ReadAll with all replicas corrupt = %v, want ErrNoLiveReplica", err)
+	}
+	st := fs.Repair()
+	if st.Unrecoverable == 0 {
+		t.Errorf("Repair = %+v, want unrecoverable block reported", st)
+	}
+}
+
+func TestReplicaErrorDiagnostics(t *testing.T) {
+	fs := newFS(t, Config{NumNodes: 3, BlockSize: 64, Replication: 3, Seed: 1})
+	if err := fs.Create("diag.txt", []byte("some data")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fs.NumNodes(); i++ {
+		fs.KillNode(i)
+	}
+	_, err := fs.ReadAll("diag.txt")
+	if !errors.Is(err, ErrNoLiveReplica) {
+		t.Fatalf("err = %v, want ErrNoLiveReplica", err)
+	}
+	var re *ReplicaError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %T, want *ReplicaError", err)
+	}
+	if re.File != "diag.txt" || re.Dead != 3 || re.Missing != 0 || re.Corrupted != 0 {
+		t.Errorf("ReplicaError = %+v, want File=diag.txt Dead=3", re)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "diag.txt") || !strings.Contains(msg, "3 on dead nodes") {
+		t.Errorf("error message %q lacks file name or cause breakdown", msg)
+	}
+	if re.IsTransient() {
+		t.Error("dead-node failure reported as transient")
+	}
+}
+
+func TestWriterWriteReturnsAcceptedCount(t *testing.T) {
+	fs := newFS(t, Config{NumNodes: 2, BlockSize: 16, Replication: 2, Seed: 1})
+	w, err := fs.Writer("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("x"), 40)
+	if n, err := w.Write(data[:24]); n != 24 || err != nil {
+		t.Fatalf("Write = %d, %v, want 24, nil", n, err)
+	}
+	fs.KillNode(0)
+	fs.KillNode(1)
+	// 8 bytes fit the buffer before the next block flush fails: the
+	// accepted count must say so instead of claiming zero.
+	n, err := w.Write(data[24:])
+	if !errors.Is(err, ErrNoLiveNodes) {
+		t.Fatalf("Write with all nodes dead: err = %v, want ErrNoLiveNodes", err)
+	}
+	if n != 8 {
+		t.Fatalf("Write with all nodes dead accepted %d bytes, want 8", n)
+	}
+	fs.ReviveNode(0)
+	fs.ReviveNode(1)
+	if m, err := w.Write(data[24+n:]); m != len(data)-24-n || err != nil {
+		t.Fatalf("resumed Write = %d, %v", m, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAll("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("resumed write produced %q, want %q (no loss, no duplication)", got, data)
+	}
+}
+
+func TestCloseDropsBlocksOnLostPublishRace(t *testing.T) {
+	fs := newFS(t, Config{NumNodes: 4, BlockSize: 8, Replication: 2, Seed: 9})
+	w1, err := fs.Writer("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := fs.Writer("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w1.Write(bytes.Repeat([]byte("a"), 30)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.Write(bytes.Repeat([]byte("b"), 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); !errors.Is(err, ErrExists) {
+		t.Fatalf("loser Close = %v, want ErrExists", err)
+	}
+	// Only the winner's blocks may remain on DataNodes.
+	want := make(map[BlockID]bool)
+	fs.mu.RLock()
+	for _, b := range fs.files["f"].blocks {
+		want[b.id] = true
+	}
+	fs.mu.RUnlock()
+	for i, node := range fs.nodes {
+		node.mu.RLock()
+		for id := range node.blocks {
+			if !want[id] {
+				t.Errorf("node %d still stores orphaned block %d", i, id)
+			}
+		}
+		node.mu.RUnlock()
+	}
+	got, err := fs.ReadAll("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte("a"), 30)) {
+		t.Errorf("winner's content clobbered: %q", got)
+	}
+}
+
+func TestFaultPlanTransientFailover(t *testing.T) {
+	// With a moderate transient probability and 3 replicas, reads must
+	// keep returning correct data by failing over, and the stats must
+	// show injected faults were actually exercised.
+	fs := newFS(t, Config{NumNodes: 6, BlockSize: 8, Replication: 3, Seed: 2,
+		Faults: &FaultPlan{Seed: 42, TransientReadProb: 0.3}})
+	data := bytes.Repeat([]byte("payload!"), 32)
+	if err := fs.Create("f", data); err != nil {
+		t.Fatal(err)
+	}
+	sawError := false
+	for i := 0; i < 20; i++ {
+		got, err := fs.ReadAll("f")
+		if err != nil {
+			// All three replicas can draw a failure (p^3 per block); that
+			// must surface as a transient ReplicaError, never bad data.
+			var re *ReplicaError
+			if !errors.As(err, &re) || !re.IsTransient() {
+				t.Fatalf("read %d: err = %v, want transient ReplicaError", i, err)
+			}
+			sawError = true
+			continue
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("read %d returned wrong data under transient faults", i)
+		}
+	}
+	st := fs.FaultStats()
+	if st.TransientReadErrors == 0 || st.FailoverReads == 0 {
+		t.Errorf("stats = %+v, want transient errors and failovers", st)
+	}
+	_ = sawError // total failure is seed-dependent; correctness is what matters
+}
+
+func TestFaultPlanDeterministicReplay(t *testing.T) {
+	run := func() ([]string, FaultStats) {
+		fs := newFS(t, Config{NumNodes: 5, BlockSize: 8, Replication: 2, Seed: 11,
+			Faults: &FaultPlan{
+				Seed:              99,
+				TransientReadProb: 0.25,
+				CorruptEveryN:     3,
+				Crashes: []CrashEvent{
+					{AtRead: 4, Node: 1},
+					{AtRead: 9, Node: 1, Revive: true},
+				},
+			}})
+		data := bytes.Repeat([]byte("determinism"), 16)
+		if err := fs.Create("f", data); err != nil {
+			t.Fatal(err)
+		}
+		var outcomes []string
+		for i := 0; i < 12; i++ {
+			got, err := fs.ReadAll("f")
+			if err != nil {
+				outcomes = append(outcomes, "err:"+err.Error())
+			} else if bytes.Equal(got, data) {
+				outcomes = append(outcomes, "ok")
+			} else {
+				outcomes = append(outcomes, "WRONG DATA")
+			}
+		}
+		return outcomes, fs.FaultStats()
+	}
+	o1, s1 := run()
+	o2, s2 := run()
+	for i := range o1 {
+		if o1[i] == "WRONG DATA" {
+			t.Fatalf("read %d returned wrong data under faults", i)
+		}
+		if o1[i] != o2[i] {
+			t.Errorf("read %d diverged between replays: %q vs %q", i, o1[i], o2[i])
+		}
+	}
+	if s1 != s2 {
+		t.Errorf("fault stats diverged between replays:\n%+v\n%+v", s1, s2)
+	}
+	if s1.Total() == 0 {
+		t.Error("fault plan injected nothing; test is vacuous")
+	}
+}
+
+func TestCrashScheduleFires(t *testing.T) {
+	fs := newFS(t, Config{NumNodes: 4, BlockSize: 8, Replication: 3, Seed: 1,
+		Faults: &FaultPlan{Crashes: []CrashEvent{
+			{AtRead: 2, Node: 0},
+			{AtRead: 5, Node: 0, Revive: true},
+		}}})
+	if err := fs.Create("f", bytes.Repeat([]byte("abcdefgh"), 8)); err != nil {
+		t.Fatal(err)
+	}
+	alive := func() bool {
+		fs.nodes[0].mu.RLock()
+		defer fs.nodes[0].mu.RUnlock()
+		return fs.nodes[0].alive
+	}
+	readN := func(n int) {
+		for i := 0; i < n; i++ {
+			if _, err := fs.ReadRange("f", 0, 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	readN(2)
+	if alive() {
+		t.Error("node 0 alive after crash event at read 2")
+	}
+	readN(3)
+	if !alive() {
+		t.Error("node 0 dead after revive event at read 5")
+	}
+}
+
+func TestFailFirstReadsHealsAfterBudget(t *testing.T) {
+	fs := newFS(t, Config{NumNodes: 4, BlockSize: 64, Replication: 3, Seed: 1,
+		Faults: &FaultPlan{FailFirstReads: 3}})
+	data := []byte("heal me")
+	if err := fs.Create("f", data); err != nil {
+		t.Fatal(err)
+	}
+	_, err := fs.ReadAll("f")
+	var re *ReplicaError
+	if !errors.As(err, &re) || !re.IsTransient() || re.Transient != 3 {
+		t.Fatalf("first read = %v, want transient ReplicaError with 3 transient failures", err)
+	}
+	got, err := fs.ReadAll("f")
+	if err != nil {
+		t.Fatalf("read after budget exhausted = %v, want success", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("healed read = %q, want %q", got, data)
+	}
+	if st := fs.FaultStats(); st.TransientReadErrors != 3 {
+		t.Errorf("TransientReadErrors = %d, want 3", st.TransientReadErrors)
+	}
+}

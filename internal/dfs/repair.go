@@ -1,0 +1,204 @@
+package dfs
+
+import (
+	"hash/crc32"
+	"sort"
+)
+
+// RepairStats summarizes one Repair pass.
+type RepairStats struct {
+	// BlocksScanned is the number of blocks examined.
+	BlocksScanned int
+	// BlocksRepaired is the number of blocks whose replica set changed
+	// (copies added from a healthy source and/or bad copies dropped).
+	BlocksRepaired int
+	// ReplicasAdded is the number of new replica copies written.
+	ReplicasAdded int
+	// ReplicasDropped is the number of quarantined or vanished replicas
+	// removed from block metadata (quarantined payloads are deleted).
+	ReplicasDropped int
+	// Unrecoverable is the number of blocks with no healthy replica on any
+	// live node: their data is lost unless a dead node holding a copy
+	// revives. Such blocks are left untouched.
+	Unrecoverable int
+}
+
+// Repair scans every block of every file and restores the replication
+// factor: live replicas are checksum-verified (corrupt copies are
+// quarantined on the spot), quarantined copies are deleted, and
+// under-replicated blocks are re-replicated from a healthy copy onto live
+// nodes that do not already hold one. Replicas on dead nodes are kept in
+// the metadata — the node may revive with its copy intact.
+//
+// Repair is safe to run while readers and writers are active: file
+// metadata is updated copy-on-write under the NameNode lock, so concurrent
+// readers holding the old metadata keep reading healthy replicas that are
+// never moved.
+func (fs *FileSystem) Repair() RepairStats {
+	var st RepairStats
+	for _, name := range fs.List() {
+		fs.mu.RLock()
+		f := fs.files[name]
+		fs.mu.RUnlock()
+		if f == nil {
+			continue // deleted since List
+		}
+		for idx := range f.blocks {
+			st.BlocksScanned++
+			fs.repairBlock(name, idx, nil, &st)
+		}
+	}
+	return st
+}
+
+// repairBlock restores the replication factor of one block. knownGood,
+// when non-nil, is a payload that already passed its checksum (the
+// read-repair path supplies it); otherwise a healthy copy is located by
+// scanning replicas. st, when non-nil, accumulates scan statistics.
+func (fs *FileSystem) repairBlock(file string, idx int, knownGood []byte, st *RepairStats) {
+	fs.mu.RLock()
+	f, ok := fs.files[file]
+	var b blockMeta
+	if ok && idx < len(f.blocks) {
+		b = f.blocks[idx]
+	} else {
+		ok = false
+	}
+	fs.mu.RUnlock()
+	if !ok {
+		return
+	}
+
+	// Classify the current replicas. Corrupt copies found here are
+	// quarantined exactly as on the read path.
+	good := knownGood
+	var healthy, quarantined, dead []int
+	for _, ni := range b.replicas {
+		payload, state := fs.nodes[ni].get(b.id)
+		switch state {
+		case replicaDead:
+			dead = append(dead, ni)
+		case replicaQuarantined:
+			quarantined = append(quarantined, ni)
+		case replicaMissing:
+			// Vanished from a live node: drop it from the metadata below.
+		case replicaOK:
+			if crc32.Checksum(payload, castagnoli) != b.sum {
+				fs.stats.corruptionsDetected.Add(1)
+				if fs.nodes[ni].quarantine(b.id) {
+					fs.stats.replicasQuarantined.Add(1)
+				}
+				quarantined = append(quarantined, ni)
+				continue
+			}
+			healthy = append(healthy, ni)
+			if good == nil {
+				good = payload
+			}
+		}
+	}
+
+	if good == nil {
+		// No healthy copy reachable; leave everything (including
+		// quarantined copies) in place for post-mortems and hope a dead
+		// node revives with an intact replica.
+		if st != nil {
+			st.Unrecoverable++
+		}
+		fs.stats.unrecoverableBlocks.Add(1)
+		return
+	}
+
+	// Delete quarantined copies: their payload is known bad and a healthy
+	// source exists.
+	for _, ni := range quarantined {
+		fs.nodes[ni].drop(b.id)
+	}
+
+	// Re-replicate onto live nodes that hold no healthy copy, lowest
+	// index first (deterministic, and independent of the placement RNG so
+	// repair does not perturb later block placements).
+	want := fs.cfg.Replication
+	holders := make(map[int]bool, len(healthy))
+	for _, ni := range healthy {
+		holders[ni] = true
+	}
+	added := 0
+	for ni := range fs.nodes {
+		if len(healthy) >= want {
+			break
+		}
+		if holders[ni] {
+			continue
+		}
+		node := fs.nodes[ni]
+		node.mu.Lock()
+		if node.alive {
+			node.blocks[b.id] = good
+			delete(node.bad, b.id)
+			healthy = append(healthy, ni)
+			holders[ni] = true
+			added++
+		}
+		node.mu.Unlock()
+	}
+
+	newReplicas := append(append([]int(nil), healthy...), dead...)
+	sort.Ints(newReplicas)
+	dropped := len(b.replicas) - len(newReplicas) + added
+	if added == 0 && dropped == 0 && equalInts(newReplicas, b.replicas) {
+		return
+	}
+
+	// Publish the new replica set copy-on-write: clone the file's block
+	// list, swap the entry, and install a fresh fileMeta. Readers that
+	// grabbed the old meta keep iterating a consistent snapshot.
+	fs.mu.Lock()
+	cur, ok := fs.files[file]
+	if !ok || idx >= len(cur.blocks) || cur.blocks[idx].id != b.id {
+		// The file was deleted or replaced mid-repair; undo our copies.
+		fs.mu.Unlock()
+		for _, ni := range newReplicas {
+			if !contains(b.replicas, ni) {
+				fs.nodes[ni].drop(b.id)
+			}
+		}
+		return
+	}
+	blocks := append([]blockMeta(nil), cur.blocks...)
+	bm := blocks[idx]
+	bm.replicas = newReplicas
+	blocks[idx] = bm
+	fs.files[file] = &fileMeta{name: cur.name, blocks: blocks, length: cur.length}
+	fs.mu.Unlock()
+
+	fs.stats.repairedBlocks.Add(1)
+	fs.stats.repairReplicasAdded.Add(int64(added))
+	fs.stats.repairReplicasDrop.Add(int64(dropped))
+	if st != nil {
+		st.BlocksRepaired++
+		st.ReplicasAdded += added
+		st.ReplicasDropped += dropped
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

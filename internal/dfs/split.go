@@ -60,13 +60,13 @@ func (fs *FileSystem) ReadRange(name string, off int64, n int) ([]byte, error) {
 	}
 	out := make([]byte, 0, n)
 	var blockStart int64
-	for _, b := range f.blocks {
+	for i, b := range f.blocks {
 		blockEnd := blockStart + int64(b.length)
 		if blockEnd <= off {
 			blockStart = blockEnd
 			continue
 		}
-		payload, err := fs.readBlock(b)
+		payload, err := fs.readBlock(name, i, b)
 		if err != nil {
 			return nil, err
 		}

@@ -23,6 +23,16 @@ const (
 	CounterTaskRetries    = "tasks.retries"
 )
 
+// Retry counters (spq.retry.*): how often task attempts were re-executed
+// and how long the phases slept in capped exponential backoff between
+// attempts. CounterTaskRetries above counts every failed attempt (legacy
+// name); the spq.retry.* pair splits re-executions by phase.
+const (
+	CounterRetryMap           = "spq.retry.map"
+	CounterRetryReduce        = "spq.retry.reduce"
+	CounterRetryBackoffMicros = "spq.retry.backoff_us"
+)
+
 // Admission-control counters (see admission.go). They describe how this
 // job's tasks fared against the cluster-shared slot pools: how many task
 // admissions happened, how many had to queue behind other jobs, the total

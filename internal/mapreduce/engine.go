@@ -189,16 +189,22 @@ func assignMapTasks[I any](c *Cluster, splits []SourceSplit[I]) (perSlot [][]int
 }
 
 // runTasks executes fn for every task id in perSlot, one goroutine per
-// slot, stopping at the first error. Each task is admitted through the
-// cluster-shared pool before it runs: with a single job the pool has one
-// token per goroutine and admission is immediate, while concurrent jobs
-// interleave their tasks fairly. Admission outcomes are recorded in the
-// job counters (spq.sched.*).
-func runTasks(perSlot [][]int, pool *slotPool, priority bool, counters *Counters, fn func(slot, task int) error) error {
+// slot; a slot stops scheduling new tasks once any slot has failed. Each
+// task is admitted through the cluster-shared pool before it runs: with a
+// single job the pool has one token per goroutine and admission is
+// immediate, while concurrent jobs interleave their tasks fairly.
+// Admission outcomes are recorded in the job counters (spq.sched.*).
+//
+// Every task failure is collected (not just the first): concurrently
+// running tasks finish their attempts even after another slot fails, and
+// their failures all land in the returned slice so the caller can report
+// one aggregated error.
+func runTasks(perSlot [][]int, pool *slotPool, priority bool, counters *Counters, fn func(slot, task int) *TaskError) []*TaskError {
 	var (
-		wg       sync.WaitGroup
-		firstErr atomic.Value
-		failed   atomic.Bool
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errs   []*TaskError
+		failed atomic.Bool
 	)
 	for slot := range perSlot {
 		if len(perSlot[slot]) == 0 {
@@ -225,19 +231,17 @@ func runTasks(perSlot [][]int, pool *slotPool, priority bool, counters *Counters
 				err := fn(slot, task)
 				pool.release()
 				if err != nil {
-					if failed.CompareAndSwap(false, true) {
-						firstErr.Store(err)
-					}
+					failed.Store(true)
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
 					return
 				}
 			}
 		}(slot)
 	}
 	wg.Wait()
-	if err, ok := firstErr.Load().(error); ok {
-		return err
-	}
-	return nil
+	return errs
 }
 
 // roundRobin spreads n tasks over k slots.
@@ -290,7 +294,7 @@ func runMapPhase[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], splits []Sour
 	states := make([]slotState, len(perSlot))
 	pool, _ := c.slotPools()
 
-	return runTasks(perSlot, pool, job.Priority, counters, func(slot, task int) error {
+	errs := runTasks(perSlot, pool, job.Priority, counters, func(slot, task int) *TaskError {
 		lc, ctx := states[slot].get(c, MapTask, slot)
 		for attempt := 1; ; attempt++ {
 			lc.reset()
@@ -300,12 +304,29 @@ func runMapPhase[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], splits []Sour
 				return nil
 			}
 			counters.Add(CounterTaskRetries, 1)
-			if attempt >= attempts {
-				return fmt.Errorf("%w: job %q map task %d after %d attempts: %v",
-					ErrTooManyFailures, job.Name, task, attempt, err)
+			if isPermanent(err) {
+				return &TaskError{Job: job.Name, Kind: MapTask, Task: task, Attempts: attempt, Budget: attempts, Err: err}
 			}
+			if attempt >= attempts {
+				return &TaskError{Job: job.Name, Kind: MapTask, Task: task, Attempts: attempt, Budget: attempts, Exhausted: true, Err: err}
+			}
+			counters.Add(CounterRetryMap, 1)
+			backoff(job.RetryBackoff, attempt, counters)
 		}
 	})
+	if len(errs) > 0 {
+		return newJobError(job.Name, MapTask, errs)
+	}
+	return nil
+}
+
+// backoff sleeps the capped exponential delay before retry number
+// failed+1 and meters the time slept.
+func backoff(base time.Duration, failed int, counters *Counters) {
+	if d := retryDelay(base, failed); d > 0 {
+		counters.Add(CounterRetryBackoffMicros, d.Microseconds())
+		time.Sleep(d)
+	}
 }
 
 // runMapAttempt runs one attempt of one map task. All side effects (counter
@@ -377,7 +398,8 @@ func runMapAttempt[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], split Sourc
 		p := job.Partition(k, r)
 		if p < 0 || p >= r {
 			if emitErr == nil {
-				emitErr = fmt.Errorf("mapreduce: job %q: Partition returned %d for %d reducers", job.Name, p, r)
+				// A broken partitioner fails identically on every attempt.
+				emitErr = Permanent(fmt.Errorf("mapreduce: job %q: Partition returned %d for %d reducers", job.Name, p, r))
 			}
 			return
 		}
@@ -475,7 +497,7 @@ func runReducePhase[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], parts []*p
 	perSlot := roundRobin(r, c.reduceSlots())
 	states := make([]slotState, len(perSlot))
 	_, pool := c.slotPools()
-	err := runTasks(perSlot, pool, job.Priority, counters, func(slot, task int) error {
+	errs := runTasks(perSlot, pool, job.Priority, counters, func(slot, task int) *TaskError {
 		lc, ctx := states[slot].get(c, ReduceTask, slot)
 		for attempt := 1; ; attempt++ {
 			lc.reset()
@@ -486,14 +508,18 @@ func runReducePhase[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], parts []*p
 				return nil
 			}
 			counters.Add(CounterTaskRetries, 1)
-			if attempt >= attempts {
-				return fmt.Errorf("%w: job %q reduce task %d after %d attempts: %v",
-					ErrTooManyFailures, job.Name, task, attempt, err)
+			if isPermanent(err) {
+				return &TaskError{Job: job.Name, Kind: ReduceTask, Task: task, Attempts: attempt, Budget: attempts, Err: err}
 			}
+			if attempt >= attempts {
+				return &TaskError{Job: job.Name, Kind: ReduceTask, Task: task, Attempts: attempt, Budget: attempts, Exhausted: true, Err: err}
+			}
+			counters.Add(CounterRetryReduce, 1)
+			backoff(job.RetryBackoff, attempt, counters)
 		}
 	})
-	if err != nil {
-		return nil, err
+	if len(errs) > 0 {
+		return nil, newJobError(job.Name, ReduceTask, errs)
 	}
 	var out []O
 	for _, o := range outputs {

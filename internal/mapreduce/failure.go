@@ -1,0 +1,133 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TaskError is the final, typed failure of one task: the error of its last
+// attempt plus how the task got there. When the retry budget was exhausted
+// it unwraps to both ErrTooManyFailures and the underlying cause, so
+// errors.Is works against either.
+type TaskError struct {
+	Job       string
+	Kind      TaskKind
+	Task      int
+	Attempts  int  // attempts actually executed
+	Budget    int  // the job's retry budget (MaxAttempts)
+	Exhausted bool // true when the retry budget ran out; false for a permanent fast-fail
+	Err       error
+}
+
+func (e *TaskError) Error() string {
+	if e.Exhausted {
+		return fmt.Sprintf("%s task %d failed after %d/%d attempts: %v", e.Kind, e.Task, e.Attempts, e.Budget, e.Err)
+	}
+	return fmt.Sprintf("%s task %d failed permanently on attempt %d/%d (not retryable): %v", e.Kind, e.Task, e.Attempts, e.Budget, e.Err)
+}
+
+func (e *TaskError) Unwrap() []error {
+	if e.Exhausted {
+		return []error{ErrTooManyFailures, e.Err}
+	}
+	return []error{e.Err}
+}
+
+// JobError aggregates every task failure of one job run into a single
+// typed error. Unwrap exposes each task error (and, transitively,
+// ErrTooManyFailures and the root causes), so callers can errors.Is / As
+// against any of them.
+type JobError struct {
+	Job   string
+	Phase TaskKind
+	Tasks []*TaskError
+}
+
+func (e *JobError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mapreduce: job %q %s phase failed (%d task(s)): ", e.Job, e.Phase, len(e.Tasks))
+	for i, te := range e.Tasks {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(te.Error())
+	}
+	return b.String()
+}
+
+func (e *JobError) Unwrap() []error {
+	errs := make([]error, len(e.Tasks))
+	for i, te := range e.Tasks {
+		errs[i] = te
+	}
+	return errs
+}
+
+// newJobError sorts task failures deterministically (by task id) and wraps
+// them; task order is otherwise scheduling-dependent.
+func newJobError(job string, phase TaskKind, tasks []*TaskError) *JobError {
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].Task < tasks[j].Task })
+	return &JobError{Job: job, Phase: phase, Tasks: tasks}
+}
+
+// permanentError marks an error as deterministic: retrying the attempt
+// would fail identically (malformed input, a partitioner bug), so the task
+// fails fast instead of burning its retry budget.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent marks err as not retryable: a task attempt failing with it is
+// not re-executed regardless of MaxAttempts. Use it for deterministic
+// failures where a retry would fail identically.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// isPermanent reports whether err (or anything it wraps) was marked with
+// Permanent.
+func isPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// Retry backoff bounds: the first retry waits the job's base (default
+// defaultRetryBackoff), doubling per subsequent retry, capped at
+// maxRetryBackoff. The simulation's tasks run in microseconds, so the
+// defaults are small; they exist to exercise the same capped-exponential
+// shape a real cluster uses, not to model real datanode timeouts.
+const (
+	defaultRetryBackoff = time.Millisecond
+	maxRetryBackoff     = 100 * time.Millisecond
+)
+
+// retryDelay returns the backoff before retry number `failed`+1 (i.e.
+// after `failed` failed attempts) for a job-configured base. A negative
+// base disables backoff entirely.
+func retryDelay(base time.Duration, failed int) time.Duration {
+	if base < 0 {
+		return 0
+	}
+	if base == 0 {
+		base = defaultRetryBackoff
+	}
+	shift := failed - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 20 {
+		shift = 20
+	}
+	d := base << shift
+	if d > maxRetryBackoff || d < 0 {
+		d = maxRetryBackoff
+	}
+	return d
+}

@@ -23,6 +23,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Pair is one intermediate key/value record.
@@ -110,7 +111,16 @@ type Job[I, K, V, O any] struct {
 	SpillEvery int
 
 	// MaxAttempts is the per-task retry budget (default 1, i.e. no retry).
+	// Attempts whose error is marked Permanent fail fast without consuming
+	// the remaining budget. A job whose tasks exhaust their budgets fails
+	// with one aggregated *JobError wrapping ErrTooManyFailures.
 	MaxAttempts int
+
+	// RetryBackoff is the base delay of the capped exponential backoff
+	// between task attempts: the first retry waits RetryBackoff, doubling
+	// per subsequent retry up to an internal cap. Zero means a small
+	// default; negative disables backoff.
+	RetryBackoff time.Duration
 
 	// Priority admits this job's tasks through the cluster slot pools'
 	// priority lane, ahead of queued tasks of regular jobs. Reserved for

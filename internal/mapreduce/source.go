@@ -33,8 +33,8 @@ type TextInput[I any] struct {
 	FS    *dfs.FileSystem
 	Files []string
 	// Parse converts one line into a record. Returning an error aborts the
-	// task (and triggers retry, which will deterministically fail again —
-	// malformed input is a job bug, not a transient fault).
+	// task as Permanent — malformed input is a job bug, not a transient
+	// fault, so the attempt is not retried.
 	Parse func(line []byte) (I, error)
 }
 
@@ -74,7 +74,7 @@ func (s *textSplit[I]) Each(yield func(I) bool) error {
 	err := s.fs.SplitLines(s.split, func(line []byte) bool {
 		rec, err := s.parse(line)
 		if err != nil {
-			parseErr = fmt.Errorf("mapreduce: %v: %w", s.split, err)
+			parseErr = Permanent(fmt.Errorf("mapreduce: %v: %w", s.split, err))
 			return false
 		}
 		return yield(rec)
