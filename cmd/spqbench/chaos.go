@@ -118,5 +118,51 @@ func runChaos(seed int64, quick bool) error {
 		return fmt.Errorf("query %d differs after node loss and repair", i)
 	}
 	fmt.Println("results: chaos engine identical to fault-free reference, query by query")
+
+	// Phase 4 — worker-kill drill: the same workload on real worker
+	// processes, with the fault plan severing two of the three workers
+	// mid-workload. The master re-executes their lost tasks on survivors;
+	// results must stay byte-identical and the re-executions metered.
+	addrs, stopWorkers, err := spawnWorkers(3, 2)
+	if err != nil {
+		return err
+	}
+	defer stopWorkers()
+	dcfg := base
+	dcfg.Workers = addrs
+	dcfg.Faults = &spq.FaultPlan{
+		Seed: seed,
+		WorkerKills: []spq.WorkerKillEvent{
+			{Worker: "worker-1", AfterTasks: 2 + int(seed%5)},
+			{Worker: "worker-2", AfterTasks: 9 + int(seed%7)},
+		},
+	}
+	dist, err := build(dcfg)
+	if err != nil {
+		return err
+	}
+	defer dist.Close()
+	var counters execCounters
+	killed, killedFPs, err := bench.RunConcurrent(queries, 4, func(i int) (string, error) {
+		rep, err := dist.QueryReport(query(i%queries), spq.WithAutoPlan())
+		if err != nil {
+			return "", err
+		}
+		counters.add(rep.Counters)
+		return fmt.Sprint(rep.Results), nil
+	})
+	if err != nil {
+		return fmt.Errorf("query under worker kills: %w", err)
+	}
+	fmt.Println(bench.FormatConcurrencyPoint("under worker kills", killed, refPoint))
+	if i := bench.DiffFingerprints(refFPs, killedFPs); i >= 0 {
+		return fmt.Errorf("query %d differs after losing workers mid-workload", i)
+	}
+	lost, reexec := counters.get(spq.CounterExecWorkersLost), counters.get(spq.CounterExecReexec)
+	if lost == 0 || reexec == 0 {
+		return fmt.Errorf("kill plan fired no losses or re-executions (lost=%d reexec=%d)", lost, reexec)
+	}
+	fmt.Printf("exec: %d workers lost, %d task re-executions on survivors\n", lost, reexec)
+	fmt.Println("results: distributed engine identical under worker loss, query by query")
 	return nil
 }

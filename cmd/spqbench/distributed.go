@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"spq"
+	"spq/internal/bench"
+	"spq/internal/mapreduce"
+)
+
+// Distributed mode (-workers N): the same query workload answered twice —
+// once by an in-process engine, once by an engine whose MapReduce tasks
+// run on N real spawned worker processes over net/rpc — with a
+// query-by-query fingerprint proof that the two are byte-identical.
+
+// runWorkerMode is the hidden child-process mode behind -workers: serve
+// tasks until the parent kills us. The first stdout line carries the
+// listen address for the parent to scrape.
+func runWorkerMode(slots int) error {
+	if slots <= 0 {
+		slots = runtime.NumCPU()
+	}
+	w, err := mapreduce.StartWorker("127.0.0.1:0", slots)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("listening %s\n", w.Addr())
+	select {}
+}
+
+// spawnWorkers re-execs this binary n times in worker mode and scrapes
+// each child's listen address. stop kills and reaps every child.
+func spawnWorkers(n, slots int) (addrs []string, stop func(), err error) {
+	var cmds []*exec.Cmd
+	stop = func() {
+		for _, c := range cmds {
+			c.Process.Kill()
+			c.Wait()
+		}
+	}
+	defer func() {
+		if err != nil {
+			stop()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(os.Args[0], "-run-worker", fmt.Sprintf("-worker-slots=%d", slots))
+		cmd.Stderr = os.Stderr
+		out, perr := cmd.StdoutPipe()
+		if perr != nil {
+			return nil, stop, perr
+		}
+		if serr := cmd.Start(); serr != nil {
+			return nil, stop, serr
+		}
+		cmds = append(cmds, cmd)
+		line, rerr := bufio.NewReader(out).ReadString('\n')
+		if rerr != nil {
+			return nil, stop, fmt.Errorf("worker %d produced no address: %w", i+1, rerr)
+		}
+		addr := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "listening "))
+		if addr == "" {
+			return nil, stop, fmt.Errorf("worker %d printed %q, want \"listening <addr>\"", i+1, line)
+		}
+		addrs = append(addrs, addr)
+	}
+	return addrs, stop, nil
+}
+
+// countingQueryFunc wraps QueryReport as a bench.QueryFunc while
+// accumulating the spq.exec.* counters across the workload.
+type execCounters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func (c *execCounters) add(counters map[string]int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, v := range counters {
+		if strings.HasPrefix(k, "spq.exec.") {
+			if c.m == nil {
+				c.m = make(map[string]int64)
+			}
+			c.m[k] += v
+		}
+	}
+}
+
+func (c *execCounters) get(k string) int64 { return c.m[k] }
+
+func (c *execCounters) printTasks(w *strings.Builder) {
+	keys := make([]string, 0, len(c.m))
+	for k := range c.m {
+		if strings.HasPrefix(k, spq.CounterExecTasksPrefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, " %s=%d", strings.TrimPrefix(k, spq.CounterExecTasksPrefix), c.m[k])
+	}
+}
+
+func runDistributed(workers int, quick bool) error {
+	size, queries := 60000, 240
+	if quick {
+		size, queries = 8000, 48
+	}
+	slots := runtime.NumCPU()
+	base := spq.Config{
+		Storage:   spq.StorageDFSBinary,
+		Nodes:     4,
+		BlockSize: 64 << 10,
+		MapSlots:  slots, ReduceSlots: slots,
+		QueryCache: -1, // every query must run a job, not hit the cache
+	}
+	build := func(cfg spq.Config) (*spq.Engine, error) {
+		e := spq.NewEngine(cfg)
+		if err := e.LoadSynthetic("clustered", size); err != nil {
+			return nil, err
+		}
+		if err := e.Seal(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+
+	ref, err := build(base)
+	if err != nil {
+		return err
+	}
+	kws := ref.FrequentKeywords(64)
+	if len(kws) < 16 {
+		return fmt.Errorf("distributed workload: only %d keywords", len(kws))
+	}
+	query := func(i int) spq.Query {
+		return spq.Query{K: 10, Radius: 0.02, Keywords: bench.RotatingKeywords(kws, i)}
+	}
+
+	fmt.Printf("# distributed — clustered %d objects, %d distinct queries, %d worker processes\n",
+		size, queries, workers)
+	refPoint, refFPs, err := bench.RunConcurrent(queries, 1, func(i int) (string, error) {
+		res, err := ref.Query(query(i%queries), spq.WithAutoPlan())
+		return fmt.Sprint(res), err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.FormatConcurrencyPoint("in-process", refPoint, refPoint))
+
+	perWorker := slots / workers
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	addrs, stopWorkers, err := spawnWorkers(workers, perWorker)
+	if err != nil {
+		return err
+	}
+	defer stopWorkers()
+
+	cfg := base
+	cfg.Workers = addrs
+	dist, err := build(cfg)
+	if err != nil {
+		return err
+	}
+	defer dist.Close()
+
+	var counters execCounters
+	distPoint, distFPs, err := bench.RunConcurrent(queries, 4, func(i int) (string, error) {
+		rep, err := dist.QueryReport(query(i%queries), spq.WithAutoPlan())
+		if err != nil {
+			return "", err
+		}
+		counters.add(rep.Counters)
+		return fmt.Sprint(rep.Results), nil
+	})
+	if err != nil {
+		return fmt.Errorf("distributed query: %w", err)
+	}
+	fmt.Println(bench.FormatConcurrencyPoint(fmt.Sprintf("%d worker processes", workers), distPoint, refPoint))
+
+	if i := bench.DiffFingerprints(refFPs, distFPs); i >= 0 {
+		return fmt.Errorf("query %d differs between the distributed engine and the in-process reference", i)
+	}
+	var tasks strings.Builder
+	counters.printTasks(&tasks)
+	fmt.Printf("exec: tasks%s, %.1f MB over RPC, %d local fallbacks\n",
+		tasks.String(),
+		float64(counters.get(spq.CounterExecRPCBytes))/(1<<20),
+		counters.get(spq.CounterExecFallbackLocal))
+	fmt.Println("results: distributed engine identical to in-process, query by query")
+	return nil
+}

@@ -51,9 +51,28 @@ func main() {
 		appendN  = flag.Int("append", 0, "append-while-serving mode: run the query workload with this many clients while a writer streams records into the sealed engine (skips the figures)")
 		chaos    = flag.Bool("chaos", false, "chaos mode: replay the query workload under seeded DFS fault injection and node loss, proving result identity against a fault-free reference (skips the figures)")
 		chaosSd  = flag.Int64("chaos-seed", 1, "fault-plan seed for -chaos; every run replays deterministically from it")
+		workers  = flag.Int("workers", 0, "distributed mode: run the query workload on this many spawned worker processes over net/rpc, proving result identity against the in-process engine (skips the figures)")
+
+		// Internal flags of the worker child processes behind -workers.
+		runWorker   = flag.Bool("run-worker", false, "internal: serve as a spawned worker process")
+		workerSlots = flag.Int("worker-slots", 0, "internal: task slots for -run-worker")
 	)
 	flag.Parse()
 
+	if *runWorker {
+		if err := runWorkerMode(*workerSlots); err != nil {
+			fmt.Fprintf(os.Stderr, "spqbench worker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *workers > 0 {
+		if err := runDistributed(*workers, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "spqbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *chaos {
 		if err := runChaos(*chaosSd, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "spqbench: %v\n", err)

@@ -1,0 +1,265 @@
+package spq
+
+import (
+	"fmt"
+	"testing"
+
+	"spq/internal/mapreduce"
+)
+
+// The distributed tests run the engine against real worker RPC servers on
+// loopback TCP: every job is shipped as a task-descriptor stream exactly
+// as it would be to worker processes on other machines.
+
+// distWorkers starts n loopback worker nodes and returns their addresses.
+func distWorkers(t *testing.T, n, slots int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		w, err := mapreduce.StartWorker("127.0.0.1:0", slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Stop)
+		addrs[i] = w.Addr()
+	}
+	return addrs
+}
+
+// distEngine builds a sealed engine over the clustered synthetic dataset.
+func distEngine(t *testing.T, cfg Config, size int) *Engine {
+	t.Helper()
+	e := NewEngine(cfg)
+	if err := e.LoadSynthetic("clustered", size); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Workers) > 0 {
+		t.Cleanup(func() { e.Close() })
+	}
+	return e
+}
+
+// distQueries builds a small mix of distinct queries over the reference
+// engine's most frequent keywords.
+func distQueries(kws []string, n int) []Query {
+	qs := make([]Query, n)
+	for i := range qs {
+		qs[i] = Query{
+			K:        8,
+			Radius:   0.03,
+			Keywords: []string{kws[i%len(kws)], kws[(i+3)%len(kws)]},
+		}
+	}
+	return qs
+}
+
+// Conformance: for every storage format, every algorithm, and 1/2/4
+// workers, a distributed engine must return results byte-identical to the
+// in-process reference — and must actually ship the jobs rather than fall
+// back to local execution.
+func TestDistributedConformance(t *testing.T) {
+	storages := []struct {
+		name string
+		cfg  Config
+	}{
+		{"text", Config{Storage: StorageDFS}},
+		{"binary", Config{Storage: StorageDFSBinary, Segment: SegmentRecord}},
+		{"columnar", Config{Storage: StorageDFSBinary}},
+	}
+	algs := []struct {
+		name string
+		alg  Algorithm
+	}{{"pspq", PSPQ}, {"espq-len", ESPQLen}, {"espq-sco", ESPQSco}}
+	workerCounts := []int{1, 2, 4}
+	if testing.Short() {
+		workerCounts = []int{2}
+	}
+	const size = 1200
+
+	for _, st := range storages {
+		t.Run(st.name, func(t *testing.T) {
+			base := st.cfg
+			base.Nodes = 4
+			base.BlockSize = 8 << 10
+			base.MapSlots, base.ReduceSlots = 4, 2
+			ref := distEngine(t, base, size)
+			kws := ref.FrequentKeywords(16)
+			if len(kws) < 4 {
+				t.Fatalf("only %d frequent keywords", len(kws))
+			}
+			queries := distQueries(kws, 6)
+
+			var want [][]Result
+			for _, a := range algs {
+				for qi, q := range queries {
+					res, err := ref.Query(q, WithAlgorithm(a.alg))
+					if err != nil {
+						t.Fatalf("reference %s q%d: %v", a.name, qi, err)
+					}
+					want = append(want, res)
+				}
+			}
+
+			for _, wc := range workerCounts {
+				t.Run(fmt.Sprintf("workers-%d", wc), func(t *testing.T) {
+					cfg := base
+					cfg.Workers = distWorkers(t, wc, 2)
+					eng := distEngine(t, cfg, size)
+					if !eng.Distributed() || len(eng.Workers()) != wc {
+						t.Fatalf("Distributed()=%v Workers()=%v, want %d workers",
+							eng.Distributed(), eng.Workers(), wc)
+					}
+					i := 0
+					for _, a := range algs {
+						for qi, q := range queries {
+							rep, err := eng.QueryReport(q, WithAlgorithm(a.alg), WithoutCache())
+							if err != nil {
+								t.Fatalf("%s q%d: %v", a.name, qi, err)
+							}
+							if d := diffResults(rep.Results, want[i]); d != "" {
+								t.Errorf("%s q%d with %d workers: %s", a.name, qi, wc, d)
+							}
+							if rep.Counters[CounterExecFallbackLocal] != 0 {
+								t.Errorf("%s q%d fell back to local execution", a.name, qi)
+							}
+							tasks := int64(0)
+							for _, w := range eng.Workers() {
+								tasks += rep.Counters[CounterExecTasksPrefix+w]
+							}
+							if tasks == 0 {
+								t.Errorf("%s q%d: no per-worker task counters", a.name, qi)
+							}
+							i++
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// A planned (WithAutoPlan) columnar query must ship its pruned block
+// selection and still match the in-process planner exactly.
+func TestDistributedAutoPlan(t *testing.T) {
+	base := Config{Storage: StorageDFSBinary, Nodes: 4, BlockSize: 8 << 10, MapSlots: 4, ReduceSlots: 2}
+	ref := distEngine(t, base, 1500)
+	kws := ref.FrequentKeywords(8)
+	cfg := base
+	cfg.Workers = distWorkers(t, 2, 2)
+	eng := distEngine(t, cfg, 1500)
+
+	for qi, q := range distQueries(kws, 4) {
+		want, err := ref.Query(q, WithAutoPlan())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := eng.QueryReport(q, WithAutoPlan(), WithoutCache())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := diffResults(rep.Results, want); d != "" {
+			t.Errorf("planned q%d: %s", qi, d)
+		}
+		if rep.Counters[CounterExecFallbackLocal] != 0 && rep.Plan != nil {
+			t.Errorf("planned q%d fell back to local execution", qi)
+		}
+	}
+}
+
+// A distributed engine whose sources cannot serialize (in-memory storage)
+// must transparently run jobs in-process, metered as local fallbacks, with
+// identical results.
+func TestDistributedMemoryFallback(t *testing.T) {
+	base := Config{Storage: StorageMemory, MapSlots: 4, ReduceSlots: 2}
+	ref := distEngine(t, base, 800)
+	kws := ref.FrequentKeywords(8)
+	cfg := base
+	cfg.Workers = distWorkers(t, 2, 2)
+	eng := distEngine(t, cfg, 800)
+
+	q := distQueries(kws, 1)[0]
+	want, err := ref.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.QueryReport(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diffResults(rep.Results, want); d != "" {
+		t.Errorf("memory-storage distributed query: %s", d)
+	}
+	if rep.Counters[CounterExecFallbackLocal] == 0 {
+		t.Error("memory-source job not metered as a local fallback")
+	}
+}
+
+// Unreachable workers must surface as a query error, not a hang or a
+// silent local run.
+func TestDistributedAttachError(t *testing.T) {
+	eng := NewEngine(Config{Storage: StorageDFS, Workers: []string{"127.0.0.1:1"}})
+	if err := eng.LoadSynthetic("uniform", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Query(Query{K: 1, Radius: 0.1, Keywords: []string{"k"}}); err == nil {
+		t.Fatal("query succeeded with unreachable workers")
+	}
+}
+
+// Worker-kill chaos: losing workers mid-workload (seeded fault plan) must
+// not change any result — lost tasks are re-executed on survivors and the
+// losses and re-executions are metered.
+func TestDistributedWorkerKill(t *testing.T) {
+	for _, seed := range chaosSeeds(t) {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			base := Config{
+				Storage: StorageDFSBinary, Nodes: 4, BlockSize: 8 << 10,
+				MapSlots: 4, ReduceSlots: 2,
+				QueryCache:  -1,
+				MaxAttempts: 5,
+			}
+			ref := distEngine(t, base, 1200)
+			kws := ref.FrequentKeywords(16)
+			queries := distQueries(kws, 6)
+
+			cfg := base
+			cfg.Workers = distWorkers(t, 3, 2)
+			// The seed shifts when each worker dies; every schedule must
+			// yield identical results.
+			cfg.Faults = &FaultPlan{
+				Seed: seed,
+				WorkerKills: []WorkerKillEvent{
+					{Worker: "worker-1", AfterTasks: 1 + int(seed%4)},
+					{Worker: "worker-2", AfterTasks: 4 + int(seed%7)},
+				},
+			}
+			eng := distEngine(t, cfg, 1200)
+
+			var reexec, lost int64
+			for qi, q := range queries {
+				want, err := ref.Query(q, WithoutCache())
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := eng.QueryReport(q, WithoutCache())
+				if err != nil {
+					t.Fatalf("q%d under worker kills: %v", qi, err)
+				}
+				if d := diffResults(rep.Results, want); d != "" {
+					t.Errorf("q%d under worker kills: %s", qi, d)
+				}
+				reexec += rep.Counters[CounterExecReexec]
+				lost += rep.Counters[CounterExecWorkersLost]
+			}
+			if lost == 0 {
+				t.Error("no worker losses metered despite a kill plan")
+			}
+			if reexec == 0 {
+				t.Error("no re-executions metered despite losing workers mid-workload")
+			}
+		})
+	}
+}

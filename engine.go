@@ -152,6 +152,17 @@ type Config struct {
 	Faults *FaultPlan
 	// Seed drives DFS block placement.
 	Seed int64
+	// Workers lists the listen addresses of worker processes (cmd/spqworker,
+	// or in-process mapreduce.StartWorker servers). When non-empty the
+	// engine starts an RPC master, attaches the workers and runs every
+	// remotable query job on them: the master ships self-describing task
+	// descriptors, workers read inputs and write shuffle intermediates
+	// through the master's DFS, and lost workers have their tasks
+	// re-executed on surviving ones. Jobs that cannot ship — in-memory
+	// storage, delta-merged sources — transparently fall back to local
+	// execution (spq.exec.fallback.local). Empty (the default) runs
+	// everything in-process. Engines with workers should be Closed.
+	Workers []string
 }
 
 // DefaultMaxAttempts is the per-task execution budget used when
@@ -232,6 +243,12 @@ type Engine struct {
 	// storage mode is columnar.
 	viewCache *core.ViewCache
 
+	// exec is the RPC executor when Config.Workers is set; execErr holds a
+	// worker attach failure, surfaced by the first query rather than lost
+	// (NewEngine does not return errors).
+	exec    *mapreduce.RPCExecutor
+	execErr error
+
 	// snap is the published read-path snapshot; nil until the first seal.
 	// Queries load it lock-free; e.mu is only taken to seal.
 	snap atomic.Pointer[snapshot]
@@ -292,7 +309,55 @@ func NewEngine(cfg Config) *Engine {
 		}
 		e.viewCache = core.NewViewCache(0)
 	}
+	if len(cfg.Workers) > 0 {
+		dictWords := func(n int) []string {
+			if sz := e.dict.Size(); n > sz {
+				n = sz
+			}
+			out := make([]string, n)
+			for i := range out {
+				out[i] = e.dict.Word(uint32(i))
+			}
+			return out
+		}
+		exec, err := mapreduce.NewRPCExecutor(fs, dictWords, cfg.Workers)
+		if err != nil {
+			e.execErr = fmt.Errorf("spq: attach workers: %w", err)
+		} else {
+			e.exec = exec
+			e.cluster.Executor = exec
+			if cfg.Faults != nil {
+				exec.SetWorkerKills(cfg.Faults.WorkerKills)
+			}
+		}
+	}
 	return e
+}
+
+// Distributed reports whether the engine dispatches query jobs to worker
+// processes (Config.Workers attached successfully).
+func (e *Engine) Distributed() bool { return e.exec != nil }
+
+// Workers returns the names of the attached worker processes, in
+// attachment order; nil for an in-process engine. Per-worker task counts
+// appear in query reports under spq.exec.tasks.<name>.
+func (e *Engine) Workers() []string {
+	if e.exec == nil {
+		return nil
+	}
+	return e.exec.Workers()
+}
+
+// Close releases the engine's distributed-execution resources: the RPC
+// master stops and worker connections drop. Worker processes themselves
+// keep running (their lifecycle belongs to whoever started them). Close
+// is a no-op for in-process engines; the engine must not be queried
+// afterwards.
+func (e *Engine) Close() error {
+	if e.exec == nil {
+		return nil
+	}
+	return e.exec.Close()
 }
 
 // AddData loads data objects (the objects ranked and returned by queries).
@@ -698,6 +763,9 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 	if err := validateQuery(q); err != nil {
 		return nil, err
 	}
+	if e.execErr != nil {
+		return nil, e.execErr
+	}
 	cfg := queryConfig{alg: core.ESPQSco}
 	for _, opt := range opts {
 		opt(&cfg)
@@ -832,14 +900,16 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 	// blocks become (or reuse) the dense per-grid layout, and the job
 	// shuffles feature records only. With a delta visible the combined
 	// source carries both kinds in-stream, exactly as before — appended
-	// records cannot be in any sealed view.
+	// records cannot be in any sealed view. Distributed engines skip the
+	// view as well: it is an in-process structure a worker cannot receive,
+	// and shipping the job matters more than the shuffle savings.
 	var view *core.DataView
 	var segIO *data.SegIOStats
 	cols := colsFeat
 	if columnar {
 		segIO = &data.SegIOStats{}
 	}
-	if columnar && delta == nil {
+	if columnar && delta == nil && e.exec == nil {
 		v, err := e.dataView(snap, colsData, gridN, bounds, segIO)
 		if err != nil {
 			return nil, err
@@ -856,6 +926,10 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 	if deltaSrc != nil {
 		src = mapreduce.Concat(src, deltaSrc)
 	}
+	var wire *core.WireInfo
+	if e.exec != nil {
+		wire = &core.WireInfo{DictLen: e.dict.Size(), Gen: snap.manifest.Generation}
+	}
 	rep, err := core.Run(cfg.alg, src, cq, core.Options{
 		Cluster:       e.cluster,
 		Bounds:        bounds,
@@ -865,6 +939,7 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 		ExtraCounters: extraCounters,
 		Priority:      priority,
 		DataView:      view,
+		Wire:          wire,
 		MaxAttempts:   e.cfg.MaxAttempts,
 		RetryBackoff:  e.cfg.RetryBackoff,
 	})

@@ -89,6 +89,15 @@ type Options struct {
 	// skipped) next to the job counters when it feeds Run a pre-pruned
 	// file set with a planner-chosen grid.
 	ExtraCounters map[string]int64
+	// Wire, when set, describes the sealed storage the source reads and
+	// offers the job for distributed execution: Run attaches a serialized
+	// query spec (see querySpec) that worker processes reconstruct the job
+	// from, provided nothing in-process-only is configured — a DataView,
+	// a FaultInjector or a load-balanced partition closure keep the job
+	// local regardless. Whether the job actually ships is then the
+	// mapreduce layer's decision (it also requires every split to
+	// serialize a reference).
+	Wire *WireInfo
 	// DataView, when set, supplies the data objects out of band: the
 	// source must then yield feature objects only, and each reduce group
 	// is seeded with its cell's data objects from the view — shared dense
@@ -177,6 +186,7 @@ func Run(alg Algorithm, src mapreduce.Source[data.Object], q Query, opts Options
 	}
 
 	partition := CellKeyPartition
+	balanced := false
 	if opts.LoadBalance && opts.numReducers() < g.NumCells() {
 		sample := opts.SamplePerSplit
 		if sample == 0 {
@@ -188,11 +198,51 @@ func Run(alg Algorithm, src mapreduce.Source[data.Object], q Query, opts Options
 		}
 		assign := BalanceCells(weights, opts.numReducers())
 		partition = func(k CellKey, numReducers int) int { return int(assign[k.Cell]) }
+		balanced = true
 	}
 
+	job, err := buildJob(alg, g, q, opts, partition)
+	if err != nil {
+		return nil, err
+	}
+	job.Source = src
+	if opts.Wire != nil && opts.DataView == nil && opts.FaultInjector == nil && !balanced {
+		spec, werr := encodeQuerySpec(alg, q, opts)
+		if werr != nil {
+			return nil, werr
+		}
+		job.Wire = &mapreduce.WireJob{Kind: WireKind, Spec: spec}
+	}
+
+	res, err := mapreduce.Run(opts.Cluster, job)
+	if err != nil {
+		return nil, err
+	}
+	perCell := make([]ResultItem, len(res.Output))
+	for i, o := range res.Output {
+		perCell[i] = o.Item
+	}
+	for name, v := range opts.ExtraCounters {
+		res.Counters[name] += v
+	}
+	return &Report{
+		Algorithm: alg,
+		Results:   MergeTopK(q.K, perCell),
+		Counters:  res.Counters,
+		Stats:     res.Stats,
+	}, nil
+}
+
+// buildJob constructs the typed MapReduce job of one algorithm: the
+// codecs, comparators, Map and Reduce functions, and the retry knobs. It
+// is shared verbatim between the orchestrating process (Run) and a worker
+// reconstructing the job from its wire spec (see remote.go), so task
+// semantics cannot drift between the two. The Source is set by the
+// caller; workers run tasks from split references and never enumerate
+// splits themselves.
+func buildJob(alg Algorithm, g *grid.Grid, q Query, opts Options, partition func(CellKey, int) int) (*mapreduce.Job[data.Object, CellKey, data.Object, cellResult], error) {
 	job := &mapreduce.Job[data.Object, CellKey, data.Object, cellResult]{
 		Name:          fmt.Sprintf("%s-k%d-r%g", alg, q.K, q.Radius),
-		Source:        src,
 		NumReducers:   opts.numReducers(),
 		Partition:     partition,
 		GroupEqual:    CellKeyGroup,
@@ -237,24 +287,7 @@ func Run(alg Algorithm, src mapreduce.Source[data.Object], q Query, opts Options
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %d", int(alg))
 	}
-
-	res, err := mapreduce.Run(opts.Cluster, job)
-	if err != nil {
-		return nil, err
-	}
-	perCell := make([]ResultItem, len(res.Output))
-	for i, o := range res.Output {
-		perCell[i] = o.Item
-	}
-	for name, v := range opts.ExtraCounters {
-		res.Counters[name] += v
-	}
-	return &Report{
-		Algorithm: alg,
-		Results:   MergeTopK(q.K, perCell),
-		Counters:  res.Counters,
-		Stats:     res.Stats,
-	}, nil
+	return job, nil
 }
 
 // Counter names specific to the SPQ jobs.

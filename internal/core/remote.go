@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"spq/internal/data"
+	"spq/internal/geo"
+	"spq/internal/grid"
+	"spq/internal/mapreduce"
+	"spq/internal/text"
+)
+
+// WireKind is the job-kind identifier SPQ query jobs register under; any
+// worker process linking this package can execute their tasks.
+const WireKind = "spq.query"
+
+// WireInfo is what the engine must tell Run about the sealed storage for
+// the job to be reconstructible on a worker. Split references are
+// self-describing (their Kind discriminates text/seq/col), so only the
+// facts a worker cannot read from the references themselves travel here.
+type WireInfo struct {
+	// DictLen is the size of the master's keyword dictionary at query
+	// time. Workers parsing text-format records pull exactly this prefix
+	// (in id order) before their first parse, so every interned id agrees
+	// with the ids in the query spec and in binary file bytes.
+	DictLen int
+	// Gen is the storage generation of the snapshot the query reads; it
+	// scopes worker-side decoded-block caching exactly like the engine's
+	// segment cache keys.
+	Gen uint64
+}
+
+// querySpec is the serialized form of one SPQ query job: everything a
+// worker needs to rebuild the job through buildJob. Keyword ids are
+// master-dictionary ids — the same id space the sealed files carry.
+type querySpec struct {
+	Alg                 int
+	K                   int
+	Radius              float64
+	Mode                int
+	Keywords            []uint32
+	Bounds              geo.Rect
+	GridN               int
+	NumReducers         int
+	DisableKeywordPrune bool
+	DictLen             int
+	Gen                 uint64
+}
+
+// encodeQuerySpec serializes the job parameters for the wire.
+func encodeQuerySpec(alg Algorithm, q Query, opts Options) ([]byte, error) {
+	s := querySpec{
+		Alg:                 int(alg),
+		K:                   q.K,
+		Radius:              q.Radius,
+		Mode:                int(q.Mode),
+		Keywords:            q.Keywords,
+		Bounds:              opts.Bounds,
+		GridN:               opts.GridN,
+		NumReducers:         opts.NumReducers,
+		DisableKeywordPrune: opts.DisableKeywordPrune,
+		DictLen:             opts.Wire.DictLen,
+		Gen:                 opts.Wire.Gen,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("core: encode query spec: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func init() {
+	mapreduce.RegisterJobKind(WireKind, buildWireJob)
+}
+
+// buildWireJob reconstructs an SPQ query job on a worker process. The job
+// goes through the same buildJob as the orchestrator's, over the same
+// grid geometry (the spec carries the orchestrator's padded bounds), so a
+// task attempt computes exactly what it would have in-process.
+func buildWireJob(spec []byte, env *mapreduce.WorkerEnv) (mapreduce.RemoteJob, error) {
+	var s querySpec
+	if err := gob.NewDecoder(bytes.NewReader(spec)).Decode(&s); err != nil {
+		return nil, mapreduce.Permanent(fmt.Errorf("core: decode query spec: %w", err))
+	}
+	q := Query{K: s.K, Radius: s.Radius, Keywords: text.KeywordSet(s.Keywords), Mode: ScoringMode(s.Mode)}
+	opts := Options{
+		Bounds:              s.Bounds,
+		GridN:               s.GridN,
+		NumReducers:         s.NumReducers,
+		DisableKeywordPrune: s.DisableKeywordPrune,
+	}
+	g := grid.New(s.Bounds, opts.gridN(), opts.gridN())
+	job, err := buildJob(Algorithm(s.Alg), g, q, opts, CellKeyPartition)
+	if err != nil {
+		return nil, mapreduce.Permanent(err)
+	}
+
+	// Job-scoped worker state: decoded column blocks are cached across the
+	// job's tasks (released with the job), and the master dictionary
+	// prefix is pulled once, before the first text parse.
+	blocks := data.NewBlockCache(0)
+	var colKeywords []uint32
+	if !s.DisableKeywordPrune {
+		// Mirror the engine: the sorted query keywords let SPQ3 feature
+		// blocks resolve the Map-phase prune through their posting
+		// dictionaries. Disabled-prune ablations must see every record.
+		colKeywords = s.Keywords
+	}
+	var dictMu sync.Mutex
+	var dict *text.Dict
+	ensureDict := func(io *mapreduce.TaskIO) (*text.Dict, error) {
+		dictMu.Lock()
+		defer dictMu.Unlock()
+		if dict != nil {
+			return dict, nil
+		}
+		words, err := io.DictWords(s.DictLen)
+		if err != nil {
+			return nil, err
+		}
+		d := text.NewDict()
+		for _, w := range words {
+			d.Intern(w)
+		}
+		dict = d
+		return dict, nil
+	}
+
+	open := func(io *mapreduce.TaskIO, ref *mapreduce.SplitRef) (mapreduce.SourceSplit[data.Object], error) {
+		switch ref.Kind {
+		case "text":
+			d, derr := ensureDict(io)
+			if derr != nil {
+				return nil, derr
+			}
+			fs, ferr := io.File(ref.File)
+			if ferr != nil {
+				return nil, ferr
+			}
+			return mapreduce.OpenTextSplit(fs, ref, func(line []byte) (data.Object, error) {
+				return data.ParseLine(line, d)
+			}), nil
+		case "seq":
+			fs, ferr := io.File(ref.File)
+			if ferr != nil {
+				return nil, ferr
+			}
+			return data.OpenSeqRef(fs, ref)
+		case "col":
+			in := &data.ColInput{R: io, Cache: blocks, Gen: s.Gen, Keywords: colKeywords}
+			return in.OpenRef(ref)
+		default:
+			return nil, mapreduce.Permanent(fmt.Errorf("core: unknown split kind %q", ref.Kind))
+		}
+	}
+	return mapreduce.BindRemote(job, open), nil
+}

@@ -1,6 +1,7 @@
 package data
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 	"sync/atomic"
@@ -145,6 +146,37 @@ func (s *colSplit) Size() int64 { return int64(s.bs.Length) }
 
 // Records implements mapreduce.CountedSplit.
 func (s *colSplit) Records() int { return s.bs.Records }
+
+// SplitRef implements mapreduce.RefSplit: a columnar split is one block
+// frame, described by its byte range plus the block index and record
+// count (Extra). The zone map stays master-side — the worker only decodes
+// the frame, it never re-plans.
+func (s *colSplit) SplitRef() (*mapreduce.SplitRef, error) {
+	extra := binary.AppendUvarint(nil, uint64(s.idx))
+	extra = binary.AppendUvarint(extra, uint64(s.bs.Records))
+	return &mapreduce.SplitRef{Kind: "col", File: s.file, Offset: s.bs.Offset, Length: int64(s.bs.Length), Extra: extra}, nil
+}
+
+// OpenRef re-opens a "col" split reference against this input (typically
+// a worker-side ColInput whose RangeReader fetches through the task's I/O
+// context). The split decodes the exact frame range the master planned.
+func (c *ColInput) OpenRef(ref *mapreduce.SplitRef) (mapreduce.SourceSplit[Object], error) {
+	buf := ref.Extra
+	idx, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, fmt.Errorf("data: col split ref %q: bad block index", ref.File)
+	}
+	records, n2 := binary.Uvarint(buf[n:])
+	if n2 <= 0 {
+		return nil, fmt.Errorf("data: col split ref %q: bad record count", ref.File)
+	}
+	return &colSplit{
+		in:   c,
+		file: ref.File,
+		idx:  int(idx),
+		bs:   BlockStats{Records: int(records), Offset: ref.Offset, Length: int(ref.Length)},
+	}, nil
+}
 
 // Each implements mapreduce.SourceSplit: fetch (or reuse) the decoded
 // block and view its records as Objects. The Object values live on the

@@ -206,6 +206,30 @@ func (s *seqSplit) Hosts() []string { return s.split.Hosts }
 // Size implements mapreduce.SizedSplit.
 func (s *seqSplit) Size() int64 { return int64(s.split.Length) }
 
+// SplitRef implements mapreduce.RefSplit: a seq split is fully described
+// by its file byte range — the sync marker is derived from the file name
+// and the file length is re-read at open time.
+func (s *seqSplit) SplitRef() (*mapreduce.SplitRef, error) {
+	return &mapreduce.SplitRef{Kind: "seq", File: s.split.File, Offset: s.split.Offset, Length: int64(s.split.Length)}, nil
+}
+
+// OpenSeqRef re-opens a "seq" split reference against fs (typically a
+// worker's local mirror of the master file). Marker scanning and record
+// ownership follow the same conventions as the original split, so the
+// reference yields exactly the same records.
+func OpenSeqRef(fs *dfs.FileSystem, ref *mapreduce.SplitRef) (mapreduce.SourceSplit[Object], error) {
+	length, err := fs.Len(ref.File)
+	if err != nil {
+		return nil, err
+	}
+	return &seqSplit{
+		fs:      fs,
+		split:   dfs.Split{File: ref.File, Offset: ref.Offset, Length: int(ref.Length)},
+		fileLen: length,
+		marker:  newSyncMarker(ref.File),
+	}, nil
+}
+
 // Each implements mapreduce.SourceSplit.
 func (s *seqSplit) Each(yield func(Object) bool) error {
 	start := s.split.Offset

@@ -38,6 +38,20 @@ type FaultPlan struct {
 	// counter reaches each event's AtRead. Events are applied in AtRead
 	// order, each exactly once.
 	Crashes []CrashEvent
+
+	// WorkerKills schedules execution-worker crashes. The DFS itself
+	// ignores these events; the distributed execution layer interprets
+	// them, killing the named worker process once its task dispatch count
+	// reaches AfterTasks (see mapreduce.RPCExecutor). They live on the
+	// fault plan so a chaos run's storage and execution faults replay from
+	// one seeded schedule.
+	WorkerKills []WorkerKillEvent
+}
+
+// WorkerKillEvent is one scheduled execution-worker crash.
+type WorkerKillEvent struct {
+	Worker     string // worker name as registered with the master
+	AfterTasks int    // fires when the worker's task dispatch count reaches this
 }
 
 // CrashEvent is one scheduled node crash or revival.

@@ -44,6 +44,19 @@ const (
 	CounterSchedMaxQueueDepth = "spq.sched.queue.depth.max"
 )
 
+// Executor counters (spq.exec.*): where a job's tasks ran. Per-worker
+// task counts use the CounterExecTasksPrefix + worker name; re-executions
+// count attempts re-dispatched after a worker was lost mid-job; RPC bytes
+// meter the payloads a remote task moved across the master boundary
+// (input fetches, shuffle writes and reads, dictionary pulls).
+const (
+	CounterExecTasksPrefix   = "spq.exec.tasks."
+	CounterExecReexec        = "spq.exec.reexec"
+	CounterExecRPCBytes      = "spq.exec.rpc.bytes"
+	CounterExecWorkersLost   = "spq.exec.workers.lost"
+	CounterExecFallbackLocal = "spq.exec.fallback.local"
+)
+
 // Counters is a concurrency-safe registry of named int64 counters,
 // mirroring Hadoop job counters.
 type Counters struct {
@@ -124,6 +137,24 @@ func (c *Counters) Merge(src *Counters) {
 			c.m[name] = q
 		}
 		atomic.AddInt64(q, atomic.LoadInt64(p))
+	}
+}
+
+// AddMap merges serialized counter deltas — a remote TaskResult's
+// Counters snapshot — into the registry. A nil map is a no-op.
+func (c *Counters) AddMap(m map[string]int64) {
+	if len(m) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, v := range m {
+		q, ok := c.m[name]
+		if !ok {
+			q = new(int64)
+			c.m[name] = q
+		}
+		atomic.AddInt64(q, v)
 	}
 }
 

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -28,8 +29,18 @@ type Cluster struct {
 	MapSlots    int
 	ReduceSlots int
 
+	// Executor, when set, runs the cluster's tasks somewhere other than
+	// the calling process (see RPCExecutor). Nil selects the in-process
+	// LocalExecutor. Jobs the executor cannot ship — no wire form, or
+	// splits without serializable references — fall back to the local
+	// executor transparently (metered as spq.exec.fallback.local).
+	Executor Executor
+
 	poolsOnce           sync.Once
 	mapPool, reducePool *slotPool
+
+	localOnce sync.Once
+	local     *LocalExecutor
 }
 
 // NewCluster returns a cluster with slots spread across the nodes of fs.
@@ -57,6 +68,20 @@ func (c *Cluster) slotNode(slot int) string {
 		return fmt.Sprintf("slot-%d", slot)
 	}
 	return c.FS.NodeName(slot % c.FS.NumNodes())
+}
+
+// localExecutor returns the cluster's in-process executor (created once).
+func (c *Cluster) localExecutor() *LocalExecutor {
+	c.localOnce.Do(func() { c.local = NewLocalExecutor(c) })
+	return c.local
+}
+
+// executor returns the executor jobs dispatch through.
+func (c *Cluster) executor() Executor {
+	if c.Executor != nil {
+		return c.Executor
+	}
+	return c.localExecutor()
 }
 
 // Stats summarizes one job execution.
@@ -90,8 +115,21 @@ type partitionData[K, V any] struct {
 	runs   []*spillRun
 }
 
+// jobSeq numbers job executions within this process; the id scopes the
+// job's shuffle files in the DFS so two executions never collide.
+var jobSeq atomic.Int64
+
 // Run executes the job on the cluster and returns its result. It is the
 // entry point of the framework.
+//
+// Run is orchestration only: it enumerates the input splits exactly once,
+// assigns tasks to executor lanes, dispatches self-describing task
+// descriptors, gathers results and drives the per-task retry loop — but
+// has no knowledge of where an attempt executes. The executor decides
+// that: in-process on the cluster's slot pools (the default), or on
+// remote worker processes over RPC when the cluster carries an Executor
+// and the job is remotable (it has a WireJob and every split serializes
+// a SplitRef).
 func Run[I, K, V, O any](c *Cluster, job *Job[I, K, V, O]) (*Result[O], error) {
 	if err := job.validate(); err != nil {
 		return nil, err
@@ -105,34 +143,137 @@ func Run[I, K, V, O any](c *Cluster, job *Job[I, K, V, O]) (*Result[O], error) {
 		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
 	}
 
-	parts := make([]*partitionData[K, V], r)
-	for i := range parts {
-		parts[i] = &partitionData[K, V]{}
+	b := &Binding{
+		job:      job.Name,
+		jobID:    fmt.Sprintf("j%06d", jobSeq.Add(1)),
+		priority: job.Priority,
+		counters: counters,
+		shuffle:  make([][]ShuffleRef, r),
 	}
-	// Every spill run is removed when the job finishes, success or not.
-	defer func() {
-		for _, p := range parts {
-			for _, run := range p.runs {
-				os.Remove(run.path)
+
+	// Executor selection: a remote-capable executor takes the job only
+	// when it can be shipped whole — a registered wire form plus a
+	// serializable reference for every split. Everything else (in-memory
+	// sources, fault-injector hooks, custom partitioners) stays local.
+	exec := c.executor()
+	remote := false
+	if _, isLocal := exec.(*LocalExecutor); !isLocal {
+		if job.Wire != nil && job.FaultInjector == nil {
+			if refs, ok := collectSplitRefs(splits); ok {
+				b.wireKind, b.wireSpec, b.splitRefs = job.Wire.Kind, job.Wire.Spec, refs
+				remote = true
 			}
 		}
-	}()
+		if !remote {
+			counters.Add(CounterExecFallbackLocal, 1)
+			exec = c.localExecutor()
+		} else if cl, ok := exec.(shuffleCleaner); ok {
+			// Shuffle intermediates of remote tasks live in the DFS; they
+			// are removed when the job finishes, success or not.
+			defer cl.CleanupShuffle(b)
+		}
+	}
+
+	// Local execution state: shared shuffle partitions plus the typed
+	// attempt closures the LocalExecutor calls back through.
+	var parts []*partitionData[K, V]
+	outputs := make([][]O, r)
+	if !remote {
+		parts = make([]*partitionData[K, V], r)
+		for i := range parts {
+			parts[i] = &partitionData[K, V]{}
+		}
+		// Every spill run is removed when the job finishes, success or not.
+		defer func() {
+			for _, p := range parts {
+				for _, run := range p.runs {
+					os.Remove(run.path)
+				}
+			}
+		}()
+		mapStates := make([]slotState, exec.Lanes(MapTask))
+		b.localMap = func(lane, task, attempt int, host string) error {
+			lc, ctx := mapStates[lane].get(MapTask, host)
+			lc.reset()
+			ctx.rebind(task, attempt)
+			return runMapAttempt(job, splits[task], parts, counters, lc, ctx, task, attempt, r)
+		}
+		reduceStates := make([]slotState, exec.Lanes(ReduceTask))
+		b.localReduce = func(lane, task, attempt int, host string) error {
+			lc, ctx := reduceStates[lane].get(ReduceTask, host)
+			lc.reset()
+			ctx.rebind(task, attempt)
+			out, rerr := runReduceAttempt(job, parts[task], counters, lc, ctx, task, attempt)
+			if rerr != nil {
+				return rerr
+			}
+			outputs[task] = out
+			return nil
+		}
+	}
+
+	attempts := maxAttempts(job)
+	mkDesc := func(kind TaskKind, task, attempt, lane int) *TaskDesc {
+		d := &TaskDesc{
+			Job: job.Name, JobID: b.jobID, Kind: kind,
+			Task: task, Attempt: attempt, Lane: lane,
+			NumMaps: len(splits), NumReducers: r, Priority: job.Priority,
+		}
+		if remote {
+			d.JobKind, d.JobSpec = b.wireKind, b.wireSpec
+			if kind == MapTask {
+				d.Split = b.splitRefs[task]
+			} else {
+				d.Shuffle = b.shuffleFor(task)
+			}
+		}
+		return d
+	}
 
 	mapStart := time.Now()
-	if err := runMapPhase(c, job, splits, parts, counters); err != nil {
-		return nil, err
+	perLane, local := assignMapTasks(exec, splits)
+	counters.Add(CounterDataLocalMaps, int64(local))
+	errs := runPhase(exec, b, MapTask, perLane, attempts, job.RetryBackoff, CounterRetryMap,
+		func(task, attempt, lane int) *TaskDesc { return mkDesc(MapTask, task, attempt, lane) },
+		exec.RunMapTask,
+		func(task int, res *TaskResult) error {
+			counters.AddMap(res.Counters)
+			b.addShuffle(res.Shuffle)
+			return nil
+		})
+	if len(errs) > 0 {
+		return nil, newJobError(job.Name, MapTask, errs)
 	}
 	mapDur := time.Since(mapStart)
 
 	reduceStart := time.Now()
-	output, err := runReducePhase(c, job, parts, counters)
-	if err != nil {
-		return nil, err
+	perLane = roundRobin(r, exec.Lanes(ReduceTask))
+	errs = runPhase(exec, b, ReduceTask, perLane, attempts, job.RetryBackoff, CounterRetryReduce,
+		func(task, attempt, lane int) *TaskDesc { return mkDesc(ReduceTask, task, attempt, lane) },
+		exec.RunReduceTask,
+		func(task int, res *TaskResult) error {
+			counters.AddMap(res.Counters)
+			if !remote {
+				return nil
+			}
+			out, derr := decodeOutput[O](res.Output)
+			if derr != nil {
+				return fmt.Errorf("mapreduce: job %q: reduce task %d output: %w", job.Name, task, derr)
+			}
+			outputs[task] = out
+			return nil
+		})
+	if len(errs) > 0 {
+		return nil, newJobError(job.Name, ReduceTask, errs)
 	}
 	reduceDur := time.Since(reduceStart)
 
+	var out []O
+	for _, o := range outputs {
+		out = append(out, o...)
+	}
 	return &Result[O]{
-		Output:   output,
+		Output:   out,
 		Counters: counters.Snapshot(),
 		Stats: Stats{
 			Job:            job.Name,
@@ -145,18 +286,37 @@ func Run[I, K, V, O any](c *Cluster, job *Job[I, K, V, O]) (*Result[O], error) {
 	}, nil
 }
 
-// assignMapTasks distributes splits over slots, preferring slots whose node
-// hosts a replica of the split (data-local scheduling). It returns the
-// per-slot task lists and the number of data-local assignments.
-func assignMapTasks[I any](c *Cluster, splits []SourceSplit[I]) (perSlot [][]int, local int) {
-	slots := c.mapSlots()
-	perSlot = make([][]int, slots)
-	load := make([]int, slots)
+// collectSplitRefs serializes a reference for every split; ok is false
+// when any split cannot be referenced (the job then runs locally).
+func collectSplitRefs[I any](splits []SourceSplit[I]) ([]*SplitRef, bool) {
+	refs := make([]*SplitRef, len(splits))
+	for i, s := range splits {
+		rs, ok := s.(RefSplit)
+		if !ok {
+			return nil, false
+		}
+		ref, err := rs.SplitRef()
+		if err != nil || ref == nil {
+			return nil, false
+		}
+		refs[i] = ref
+	}
+	return refs, true
+}
 
-	nodeSlots := make(map[string][]int)
-	for s := 0; s < slots; s++ {
-		n := c.slotNode(s)
-		nodeSlots[n] = append(nodeSlots[n], s)
+// assignMapTasks distributes splits over the executor's lanes, preferring
+// lanes whose host holds a replica of the split (data-local scheduling).
+// It returns the per-lane task lists and the number of data-local
+// assignments.
+func assignMapTasks[I any](exec Executor, splits []SourceSplit[I]) (perLane [][]int, local int) {
+	lanes := exec.Lanes(MapTask)
+	perLane = make([][]int, lanes)
+	load := make([]int, lanes)
+
+	nodeLanes := make(map[string][]int)
+	for s := 0; s < lanes; s++ {
+		n := exec.LaneHost(MapTask, s)
+		nodeLanes[n] = append(nodeLanes[n], s)
 	}
 	pick := func(candidates []int) int {
 		best := -1
@@ -167,81 +327,108 @@ func assignMapTasks[I any](c *Cluster, splits []SourceSplit[I]) (perSlot [][]int
 		}
 		return best
 	}
-	all := make([]int, slots)
+	all := make([]int, lanes)
 	for i := range all {
 		all[i] = i
 	}
 	for i, sp := range splits {
 		var cands []int
 		for _, h := range sp.Hosts() {
-			cands = append(cands, nodeSlots[h]...)
+			cands = append(cands, nodeLanes[h]...)
 		}
-		slot := pick(cands)
-		if slot >= 0 {
+		lane := pick(cands)
+		if lane >= 0 {
 			local++
 		} else {
-			slot = pick(all)
+			lane = pick(all)
 		}
-		perSlot[slot] = append(perSlot[slot], i)
-		load[slot]++
+		perLane[lane] = append(perLane[lane], i)
+		load[lane]++
 	}
-	return perSlot, local
+	return perLane, local
 }
 
-// runTasks executes fn for every task id in perSlot, one goroutine per
-// slot; a slot stops scheduling new tasks once any slot has failed. Each
-// task is admitted through the cluster-shared pool before it runs: with a
-// single job the pool has one token per goroutine and admission is
-// immediate, while concurrent jobs interleave their tasks fairly.
-// Admission outcomes are recorded in the job counters (spq.sched.*).
+// runPhase executes every task of one phase through the executor, one
+// dispatch goroutine per lane; a lane stops dispatching new tasks once
+// any task has failed terminally.
 //
 // Every task failure is collected (not just the first): concurrently
-// running tasks finish their attempts even after another slot fails, and
+// running tasks finish their attempts even after another lane fails, and
 // their failures all land in the returned slice so the caller can report
 // one aggregated error.
-func runTasks(perSlot [][]int, pool *slotPool, priority bool, counters *Counters, fn func(slot, task int) *TaskError) []*TaskError {
+func runPhase(exec Executor, b *Binding, kind TaskKind, perLane [][]int, budget int, backoffBase time.Duration, retryCounter string,
+	mkDesc func(task, attempt, lane int) *TaskDesc,
+	call func(*Binding, *TaskDesc) (*TaskResult, error),
+	onResult func(task int, res *TaskResult) error) []*TaskError {
 	var (
-		wg     sync.WaitGroup
-		mu     sync.Mutex
-		errs   []*TaskError
-		failed atomic.Bool
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []*TaskError
 	)
-	for slot := range perSlot {
-		if len(perSlot[slot]) == 0 {
+	for lane := range perLane {
+		if len(perLane[lane]) == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(slot int) {
+		go func(lane int) {
 			defer wg.Done()
-			var sched schedStats
-			defer sched.flush(counters)
-			for _, task := range perSlot[slot] {
-				if failed.Load() {
+			for _, task := range perLane[lane] {
+				if b.failed.Load() {
 					return
 				}
-				waited, depth := pool.acquire(priority)
-				sched.observe(waited, depth)
-				if failed.Load() {
-					// The job failed while this task queued for admission;
-					// don't spend a shared slot on work whose output is
-					// discarded.
-					pool.release()
-					return
-				}
-				err := fn(slot, task)
-				pool.release()
-				if err != nil {
-					failed.Store(true)
+				te := runTaskAttempts(exec, b, kind, lane, task, budget, backoffBase, retryCounter, mkDesc, call, onResult)
+				if te != nil {
+					b.failed.Store(true)
 					mu.Lock()
-					errs = append(errs, err)
+					errs = append(errs, te)
 					mu.Unlock()
 					return
 				}
 			}
-		}(slot)
+		}(lane)
 	}
 	wg.Wait()
 	return errs
+}
+
+// runTaskAttempts drives one task through its retry budget: dispatch an
+// attempt descriptor, classify the failure (permanent errors fast-fail,
+// transient ones back off and retry), and attribute the terminal error to
+// the worker that executed the failing attempt.
+func runTaskAttempts(exec Executor, b *Binding, kind TaskKind, lane, task, budget int, backoffBase time.Duration, retryCounter string,
+	mkDesc func(task, attempt, lane int) *TaskDesc,
+	call func(*Binding, *TaskDesc) (*TaskResult, error),
+	onResult func(task int, res *TaskResult) error) *TaskError {
+	for attempt := 1; ; attempt++ {
+		res, err := call(b, mkDesc(task, attempt, lane))
+		if err == nil {
+			if oerr := onResult(task, res); oerr != nil {
+				// A result the orchestrator cannot absorb (undecodable
+				// output) fails identically on every attempt.
+				err = Permanent(oerr)
+			} else {
+				return nil
+			}
+		}
+		if errors.Is(err, errTaskAborted) {
+			// The job failed elsewhere while this attempt queued; drop the
+			// task silently — its outcome is irrelevant.
+			return nil
+		}
+		worker := exec.LaneHost(kind, lane)
+		if res != nil && res.Worker != "" {
+			worker = res.Worker
+		}
+		b.counters.Add(CounterTaskRetries, 1)
+		if isPermanent(err) {
+			return &TaskError{Job: b.job, Kind: kind, Task: task, Worker: worker, Attempts: attempt, Budget: budget, Err: err}
+		}
+		if attempt >= budget {
+			return &TaskError{Job: b.job, Kind: kind, Task: task, Worker: worker, Attempts: attempt, Budget: budget, Exhausted: true, Err: err}
+		}
+		b.counters.Add(retryCounter, 1)
+		backoff(backoffBase, attempt, b.counters)
+	}
 }
 
 // roundRobin spreads n tasks over k slots.
@@ -264,7 +451,7 @@ func maxAttempts[I, K, V, O any](job *Job[I, K, V, O]) int {
 // split's record count is unknown.
 const defaultChunkCap = 4096
 
-// slotState is the reusable attempt-local state of one worker slot: its
+// slotState is the reusable attempt-local state of one executor lane: its
 // tasks run sequentially, so one counter registry and one context serve
 // every attempt, reset between attempts instead of reallocated. Counter
 // deltas of a failed attempt are wiped by the next reset and merged into
@@ -275,49 +462,13 @@ type slotState struct {
 	ctx   *TaskContext
 }
 
-// get lazily initializes the slot's state for the given task kind.
-func (s *slotState) get(c *Cluster, kind TaskKind, slot int) (*Counters, *TaskContext) {
+// get lazily initializes the lane's state for the given task kind.
+func (s *slotState) get(kind TaskKind, host string) (*Counters, *TaskContext) {
 	if s.local == nil {
 		s.local = NewCounters()
-		s.ctx = newTaskContext(kind, 0, 1, c.slotNode(slot), s.local)
+		s.ctx = newTaskContext(kind, 0, 1, host, s.local)
 	}
 	return s.local, s.ctx
-}
-
-// runMapPhase executes all map tasks and publishes their intermediate
-// output into parts.
-func runMapPhase[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], splits []SourceSplit[I], parts []*partitionData[K, V], counters *Counters) error {
-	perSlot, local := assignMapTasks(c, splits)
-	counters.Add(CounterDataLocalMaps, int64(local))
-	attempts := maxAttempts(job)
-	r := job.NumReducers
-	states := make([]slotState, len(perSlot))
-	pool, _ := c.slotPools()
-
-	errs := runTasks(perSlot, pool, job.Priority, counters, func(slot, task int) *TaskError {
-		lc, ctx := states[slot].get(c, MapTask, slot)
-		for attempt := 1; ; attempt++ {
-			lc.reset()
-			ctx.rebind(task, attempt)
-			err := runMapAttempt(c, job, splits[task], parts, counters, lc, ctx, task, attempt, r)
-			if err == nil {
-				return nil
-			}
-			counters.Add(CounterTaskRetries, 1)
-			if isPermanent(err) {
-				return &TaskError{Job: job.Name, Kind: MapTask, Task: task, Attempts: attempt, Budget: attempts, Err: err}
-			}
-			if attempt >= attempts {
-				return &TaskError{Job: job.Name, Kind: MapTask, Task: task, Attempts: attempt, Budget: attempts, Exhausted: true, Err: err}
-			}
-			counters.Add(CounterRetryMap, 1)
-			backoff(job.RetryBackoff, attempt, counters)
-		}
-	})
-	if len(errs) > 0 {
-		return newJobError(job.Name, MapTask, errs)
-	}
-	return nil
 }
 
 // backoff sleeps the capped exponential delay before retry number
@@ -332,7 +483,7 @@ func backoff(base time.Duration, failed int, counters *Counters) {
 // runMapAttempt runs one attempt of one map task. All side effects (counter
 // deltas, buffered records, spill runs) are kept attempt-local and
 // published only on success, so a failed attempt leaves no trace.
-func runMapAttempt[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], split SourceSplit[I], parts []*partitionData[K, V], counters, local *Counters, ctx *TaskContext, task, attempt, r int) (err error) {
+func runMapAttempt[I, K, V, O any](job *Job[I, K, V, O], split SourceSplit[I], parts []*partitionData[K, V], counters, local *Counters, ctx *TaskContext, task, attempt, r int) (err error) {
 	if job.FaultInjector != nil {
 		if ferr := job.FaultInjector(MapTask, task, attempt); ferr != nil {
 			return ferr
@@ -485,51 +636,8 @@ func runMapAttempt[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], split Sourc
 	return nil
 }
 
-// runReducePhase runs the reduce tasks and returns the concatenated output
-// in task order. There is no shuffle barrier work left here: map tasks
-// published sorted chunks, and each reduce task merges its own partition's
-// chunks and spill runs, in parallel across the reduce slots.
-func runReducePhase[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], parts []*partitionData[K, V], counters *Counters) ([]O, error) {
-	r := job.NumReducers
-	attempts := maxAttempts(job)
-
-	outputs := make([][]O, r)
-	perSlot := roundRobin(r, c.reduceSlots())
-	states := make([]slotState, len(perSlot))
-	_, pool := c.slotPools()
-	errs := runTasks(perSlot, pool, job.Priority, counters, func(slot, task int) *TaskError {
-		lc, ctx := states[slot].get(c, ReduceTask, slot)
-		for attempt := 1; ; attempt++ {
-			lc.reset()
-			ctx.rebind(task, attempt)
-			out, err := runReduceAttempt(c, job, parts[task], counters, lc, ctx, task, attempt)
-			if err == nil {
-				outputs[task] = out
-				return nil
-			}
-			counters.Add(CounterTaskRetries, 1)
-			if isPermanent(err) {
-				return &TaskError{Job: job.Name, Kind: ReduceTask, Task: task, Attempts: attempt, Budget: attempts, Err: err}
-			}
-			if attempt >= attempts {
-				return &TaskError{Job: job.Name, Kind: ReduceTask, Task: task, Attempts: attempt, Budget: attempts, Exhausted: true, Err: err}
-			}
-			counters.Add(CounterRetryReduce, 1)
-			backoff(job.RetryBackoff, attempt, counters)
-		}
-	})
-	if len(errs) > 0 {
-		return nil, newJobError(job.Name, ReduceTask, errs)
-	}
-	var out []O
-	for _, o := range outputs {
-		out = append(out, o...)
-	}
-	return out, nil
-}
-
 // runReduceAttempt runs one attempt of one reduce task over its partition.
-func runReduceAttempt[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], part *partitionData[K, V], counters, local *Counters, ctx *TaskContext, task, attempt int) ([]O, error) {
+func runReduceAttempt[I, K, V, O any](job *Job[I, K, V, O], part *partitionData[K, V], counters, local *Counters, ctx *TaskContext, task, attempt int) ([]O, error) {
 	if job.FaultInjector != nil {
 		if ferr := job.FaultInjector(ReduceTask, task, attempt); ferr != nil {
 			return nil, ferr
@@ -580,6 +688,19 @@ func runReduceAttempt[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], part *pa
 	}
 	local.Add(CounterReduceValues, total)
 
+	out, err := reduceStream(job, merged, local, ctx)
+	if err != nil {
+		return nil, err
+	}
+	counters.Merge(local)
+	return out, nil
+}
+
+// reduceStream drives the job's Reduce function over a merged sorted
+// stream, one invocation per key group. It is shared by the local attempt
+// path and the remote worker path, so grouping and counter semantics are
+// identical wherever the task runs.
+func reduceStream[I, K, V, O any](job *Job[I, K, V, O], merged stream[K, V], local *Counters, ctx *TaskContext) ([]O, error) {
 	group := job.GroupEqual
 	if group == nil {
 		group = func(a, b K) bool { return false }
@@ -609,6 +730,5 @@ func runReduceAttempt[I, K, V, O any](c *Cluster, job *Job[I, K, V, O], part *pa
 			return nil, err
 		}
 	}
-	counters.Merge(local)
 	return out, nil
 }

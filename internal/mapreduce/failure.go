@@ -13,9 +13,12 @@ import (
 // it unwraps to both ErrTooManyFailures and the underlying cause, so
 // errors.Is works against either.
 type TaskError struct {
-	Job       string
-	Kind      TaskKind
-	Task      int
+	Job  string
+	Kind TaskKind
+	Task int
+	// Worker names the slot or worker process that executed the failing
+	// attempt, so a distributed JobError is attributable to a machine.
+	Worker    string
 	Attempts  int  // attempts actually executed
 	Budget    int  // the job's retry budget (MaxAttempts)
 	Exhausted bool // true when the retry budget ran out; false for a permanent fast-fail
@@ -23,10 +26,14 @@ type TaskError struct {
 }
 
 func (e *TaskError) Error() string {
-	if e.Exhausted {
-		return fmt.Sprintf("%s task %d failed after %d/%d attempts: %v", e.Kind, e.Task, e.Attempts, e.Budget, e.Err)
+	on := ""
+	if e.Worker != "" {
+		on = " on " + e.Worker
 	}
-	return fmt.Sprintf("%s task %d failed permanently on attempt %d/%d (not retryable): %v", e.Kind, e.Task, e.Attempts, e.Budget, e.Err)
+	if e.Exhausted {
+		return fmt.Sprintf("%s task %d%s failed after %d/%d attempts: %v", e.Kind, e.Task, on, e.Attempts, e.Budget, e.Err)
+	}
+	return fmt.Sprintf("%s task %d%s failed permanently on attempt %d/%d (not retryable): %v", e.Kind, e.Task, on, e.Attempts, e.Budget, e.Err)
 }
 
 func (e *TaskError) Unwrap() []error {

@@ -131,7 +131,25 @@ type Job[I, K, V, O any] struct {
 
 	// FaultInjector, if non-nil, is consulted before each task attempt;
 	// a non-nil return fails that attempt. Used by the failure tests.
+	// A job carrying an injector never leaves the local executor (the
+	// hook is a closure and cannot be shipped).
 	FaultInjector func(kind TaskKind, taskID, attempt int) error
+
+	// Wire, when non-nil, gives the job a serializable self-description so
+	// remote executors can reconstruct it on worker processes (see
+	// RegisterJobKind). Nil keeps the job local-only. The local executor
+	// ignores it.
+	Wire *WireJob
+}
+
+// WireJob is a job's serializable self-description: a registered kind plus
+// an opaque, kind-specific spec blob a worker-side builder turns back into
+// a runnable job.
+type WireJob struct {
+	// Kind names the worker-side builder (see RegisterJobKind).
+	Kind string
+	// Spec is the kind-specific job description, opaque to the framework.
+	Spec []byte
 }
 
 // compare returns the job's three-way key comparator, deriving one from

@@ -1,0 +1,433 @@
+package mapreduce
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"spq/internal/dfs"
+)
+
+// RemoteJob is a job reconstructed on a worker process from its wire
+// form: it runs whole task attempts from self-describing descriptors,
+// reading input through the task's I/O context and returning serialized
+// side effects (shuffle run references, encoded output, counter deltas).
+type RemoteJob interface {
+	RunMapTask(io *TaskIO, d *TaskDesc) (*TaskResult, error)
+	RunReduceTask(io *TaskIO, d *TaskDesc) (*TaskResult, error)
+}
+
+// jobKinds is the registry of worker-side job builders, keyed by
+// WireJob.Kind.
+var jobKinds sync.Map // string -> func([]byte, *WorkerEnv) (RemoteJob, error)
+
+// RegisterJobKind registers a worker-side builder that reconstructs a
+// runnable job from its serialized spec. Packages defining remotable jobs
+// register their kinds in an init function, so every worker process that
+// links them can execute their tasks.
+func RegisterJobKind(kind string, build func(spec []byte, env *WorkerEnv) (RemoteJob, error)) {
+	jobKinds.Store(kind, build)
+}
+
+// buildRemoteJob reconstructs the job a descriptor belongs to.
+func buildRemoteJob(d *TaskDesc, env *WorkerEnv) (RemoteJob, error) {
+	v, ok := jobKinds.Load(d.JobKind)
+	if !ok {
+		return nil, Permanent(fmt.Errorf("mapreduce: unknown job kind %q (not linked into this worker?)", d.JobKind))
+	}
+	return v.(func([]byte, *WorkerEnv) (RemoteJob, error))(d.JobSpec, env)
+}
+
+// RemoteFS is the transport a worker reads and writes master-side files
+// through. The RPC worker implements it with calls back to the master;
+// tests may implement it directly over a shared *dfs.FileSystem.
+type RemoteFS interface {
+	// Fetch reads a whole file from the master DFS.
+	Fetch(name string) ([]byte, error)
+	// Store publishes a file (a shuffle run) into the master DFS.
+	Store(name string, data []byte) error
+	// DictWords returns words [0, n) of the master's keyword dictionary,
+	// in id order.
+	DictWords(n int) ([]string, error)
+}
+
+// WorkerEnv is the per-worker-process execution environment: the
+// transport to the master, a write-once local mirror of fetched input
+// files (input files are immutable and generation-prefixed, so the mirror
+// never invalidates), and a cache of reconstructed jobs keyed by job id.
+type WorkerEnv struct {
+	// Worker is the name the master assigned at attach time.
+	Worker string
+	// FS is the transport to the master's file system.
+	FS RemoteFS
+
+	mirror *dfs.FileSystem
+
+	mu    sync.Mutex
+	words []string // master dictionary prefix, cached monotonically
+
+	jobsMu sync.Mutex
+	jobs   map[string]RemoteJob
+}
+
+// NewWorkerEnv builds a worker environment over the given transport.
+func NewWorkerEnv(worker string, fs RemoteFS) *WorkerEnv {
+	return &WorkerEnv{
+		Worker: worker,
+		FS:     fs,
+		// One-node, unreplicated mirror: block size only shapes the
+		// mirror's internal chunking, never split boundaries (references
+		// carry explicit byte ranges).
+		mirror: dfs.New(dfs.Config{NumNodes: 1, Replication: 1}),
+		jobs:   make(map[string]RemoteJob),
+	}
+}
+
+// jobFor returns the reconstructed job of a descriptor, building it once
+// per job id (every task of one job shares the same spec).
+func (e *WorkerEnv) jobFor(d *TaskDesc) (RemoteJob, error) {
+	e.jobsMu.Lock()
+	defer e.jobsMu.Unlock()
+	if j, ok := e.jobs[d.JobID]; ok {
+		return j, nil
+	}
+	j, err := buildRemoteJob(d, e)
+	if err != nil {
+		return nil, err
+	}
+	e.jobs[d.JobID] = j
+	return j, nil
+}
+
+// forgetJob drops a cached job reconstruction (on job completion signals;
+// the cache is also naturally bounded by worker lifetime in tests).
+func (e *WorkerEnv) forgetJob(jobID string) {
+	e.jobsMu.Lock()
+	defer e.jobsMu.Unlock()
+	delete(e.jobs, jobID)
+}
+
+// RunTask executes one attempt described by d and returns its result.
+func (e *WorkerEnv) RunTask(d *TaskDesc) (*TaskResult, error) {
+	job, err := e.jobFor(d)
+	if err != nil {
+		return nil, err
+	}
+	io := &TaskIO{Env: e}
+	if d.Kind == MapTask {
+		return job.RunMapTask(io, d)
+	}
+	return job.RunReduceTask(io, d)
+}
+
+// TaskIO is the per-task I/O context a remote task reads and writes
+// master-side data through. It meters every byte crossing the RPC
+// boundary, so the task's counter deltas carry its transfer cost. It
+// implements the data package's RangeReader shape (ReadRange), so
+// columnar sources can read through it directly.
+type TaskIO struct {
+	Env   *WorkerEnv
+	bytes atomic.Int64
+}
+
+// Bytes returns the RPC payload bytes this task moved so far.
+func (t *TaskIO) Bytes() int64 { return t.bytes.Load() }
+
+// File ensures name is present in the worker's local mirror (fetching it
+// from the master once; later tasks hit the mirror) and returns the
+// mirror file system to read it from.
+func (t *TaskIO) File(name string) (*dfs.FileSystem, error) {
+	m := t.Env.mirror
+	if m.Exists(name) {
+		return m, nil
+	}
+	data, err := t.Env.FS.Fetch(name)
+	if err != nil {
+		return nil, err
+	}
+	t.bytes.Add(int64(len(data)))
+	if err := m.Create(name, data); err != nil && !errors.Is(err, dfs.ErrExists) {
+		// ErrExists means a concurrent task of this worker fetched the
+		// same file first; the mirror copy is identical (files are
+		// write-once master-side).
+		return nil, err
+	}
+	return m, nil
+}
+
+// ReadRange reads [off, off+n) of a master file through the mirror.
+func (t *TaskIO) ReadRange(file string, off int64, n int) ([]byte, error) {
+	m, err := t.File(file)
+	if err != nil {
+		return nil, err
+	}
+	return m.ReadRange(file, off, n)
+}
+
+// Fetch reads a master file without mirroring it (shuffle runs are read
+// once by exactly one reduce task).
+func (t *TaskIO) Fetch(name string) ([]byte, error) {
+	data, err := t.Env.FS.Fetch(name)
+	if err != nil {
+		return nil, err
+	}
+	t.bytes.Add(int64(len(data)))
+	return data, nil
+}
+
+// Store publishes a shuffle run into the master DFS.
+func (t *TaskIO) Store(name string, data []byte) error {
+	if err := t.Env.FS.Store(name, data); err != nil {
+		return err
+	}
+	t.bytes.Add(int64(len(data)))
+	return nil
+}
+
+// DictWords returns words [0, n) of the master's keyword dictionary, in
+// id order, serving from the worker's monotone cache when possible (the
+// master dictionary is append-only, so a cached prefix never goes stale).
+func (t *TaskIO) DictWords(n int) ([]string, error) {
+	e := t.Env
+	e.mu.Lock()
+	have := len(e.words)
+	if have >= n {
+		out := e.words[:n]
+		e.mu.Unlock()
+		return out, nil
+	}
+	e.mu.Unlock()
+	words, err := e.FS.DictWords(n)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range words {
+		t.bytes.Add(int64(len(w)))
+	}
+	e.mu.Lock()
+	if len(words) > len(e.words) {
+		e.words = words
+	}
+	out := e.words[:n]
+	e.mu.Unlock()
+	return out, nil
+}
+
+// finish folds the task's RPC byte meter into its counter deltas.
+func (t *TaskIO) finish(local *Counters) {
+	if b := t.bytes.Load(); b > 0 {
+		local.Add(CounterExecRPCBytes, b)
+	}
+}
+
+// BindRemote adapts a typed job to the RemoteJob interface. The open
+// callback re-opens one (non-group) split reference against the task's
+// I/O context; group references are unwrapped by the adapter. Worker-side
+// map attempts sort each partition fully and publish it as one run in the
+// master DFS — the same sorted-run multiset semantics as the local
+// executor's chunk shuffle, so the merged reduce input is equivalent and
+// results are identical.
+func BindRemote[I, K, V, O any](job *Job[I, K, V, O], open func(io *TaskIO, ref *SplitRef) (SourceSplit[I], error)) RemoteJob {
+	return &remoteJob[I, K, V, O]{job: job, open: open}
+}
+
+type remoteJob[I, K, V, O any] struct {
+	job  *Job[I, K, V, O]
+	open func(io *TaskIO, ref *SplitRef) (SourceSplit[I], error)
+}
+
+// openRef resolves a split reference, unwrapping group references.
+func (r *remoteJob[I, K, V, O]) openRef(io *TaskIO, ref *SplitRef) (SourceSplit[I], error) {
+	if ref.Kind == "group" {
+		return OpenGroupSplit(ref, func(member *SplitRef) (SourceSplit[I], error) {
+			return r.openRef(io, member)
+		})
+	}
+	return r.open(io, ref)
+}
+
+// shuffleFile names the run one map attempt writes for one partition.
+// Attempt-qualified names keep retried attempts clear of the write-once
+// semantics of the DFS; zero-padded indices make name order deterministic.
+func shuffleFile(jobID string, task, attempt, part int) string {
+	return fmt.Sprintf("shuffle/%s/m%05d.a%02d.p%05d", jobID, task, attempt, part)
+}
+
+// ShufflePrefix returns the DFS name prefix of a job's shuffle files, for
+// cleanup.
+func ShufflePrefix(jobID string) string { return "shuffle/" + jobID + "/" }
+
+// sortShuffleRefs orders runs by file name: zero-padded (task, attempt,
+// partition) indices make this the deterministic map-task order,
+// independent of result arrival order.
+func sortShuffleRefs(refs []ShuffleRef) {
+	sort.Slice(refs, func(i, j int) bool { return refs[i].File < refs[j].File })
+}
+
+// RunMapTask implements RemoteJob: read the referenced split, partition
+// and sort the intermediate records, and publish one sorted run per
+// non-empty partition into the master DFS.
+func (r *remoteJob[I, K, V, O]) RunMapTask(io *TaskIO, d *TaskDesc) (*TaskResult, error) {
+	job := r.job
+	if d.Split == nil {
+		return nil, Permanent(fmt.Errorf("mapreduce: job %q: map task %d shipped without a split reference", job.Name, d.Task))
+	}
+	if job.KeyCodec == nil || job.ValueCodec == nil {
+		return nil, Permanent(fmt.Errorf("mapreduce: job %q: remote execution requires Key/ValueCodec", job.Name))
+	}
+	local := NewCounters()
+	ctx := newTaskContext(MapTask, d.Task, d.Attempt, io.Env.Worker, local)
+
+	split, err := r.openRef(io, d.Split)
+	if err != nil {
+		return nil, err
+	}
+
+	nred := d.NumReducers
+	buffers := make([][]Pair[K, V], nred)
+	var recIn, recOut int64
+	var emitErr error
+	emit := func(k K, v V) {
+		p := job.Partition(k, nred)
+		if p < 0 || p >= nred {
+			if emitErr == nil {
+				emitErr = Permanent(fmt.Errorf("mapreduce: job %q: Partition returned %d for %d reducers", job.Name, p, nred))
+			}
+			return
+		}
+		buffers[p] = append(buffers[p], Pair[K, V]{Key: k, Value: v})
+		recOut++
+	}
+	var mapErr error
+	eachErr := split.Each(func(rec I) bool {
+		recIn++
+		if merr := job.Map(ctx, rec, emit); merr != nil {
+			mapErr = merr
+			return false
+		}
+		return emitErr == nil
+	})
+	atomic.AddInt64(ctx.recIn, recIn)
+	atomic.AddInt64(ctx.recOut, recOut)
+	switch {
+	case eachErr != nil:
+		return nil, eachErr
+	case mapErr != nil:
+		return nil, mapErr
+	case emitErr != nil:
+		return nil, emitErr
+	}
+
+	cmp := job.compare()
+	var refs []ShuffleRef
+	var buf bytes.Buffer
+	for p, pairs := range buffers {
+		if len(pairs) == 0 {
+			continue
+		}
+		sortPairs(pairs, cmp)
+		buf.Reset()
+		w := bufio.NewWriter(&buf)
+		for i := range pairs {
+			if err := job.KeyCodec.Encode(w, pairs[i].Key); err != nil {
+				return nil, err
+			}
+			if err := job.ValueCodec.Encode(w, pairs[i].Value); err != nil {
+				return nil, err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return nil, err
+		}
+		name := shuffleFile(d.JobID, d.Task, d.Attempt, p)
+		data := append([]byte(nil), buf.Bytes()...)
+		if err := io.Store(name, data); err != nil {
+			return nil, err
+		}
+		refs = append(refs, ShuffleRef{File: name, Part: p, Records: len(pairs), Bytes: int64(len(data))})
+		local.Add(CounterShuffleChunks, 1)
+		local.Add(CounterShuffleBytes, int64(len(data)))
+	}
+	io.finish(local)
+	return &TaskResult{Worker: io.Env.Worker, Counters: local.Snapshot(), Shuffle: refs}, nil
+}
+
+// RunReduceTask implements RemoteJob: fetch the partition's sorted runs,
+// k-way merge them with the job comparator, drive Reduce over the groups
+// and return the gob-encoded output.
+func (r *remoteJob[I, K, V, O]) RunReduceTask(io *TaskIO, d *TaskDesc) (*TaskResult, error) {
+	job := r.job
+	local := NewCounters()
+	ctx := newTaskContext(ReduceTask, d.Task, d.Attempt, io.Env.Worker, local)
+
+	chunks := make([][]Pair[K, V], 0, len(d.Shuffle))
+	var total int64
+	for _, ref := range d.Shuffle {
+		data, err := io.Fetch(ref.File)
+		if err != nil {
+			return nil, err
+		}
+		pairs, err := decodePairs(data, ref.Records, job.KeyCodec, job.ValueCodec)
+		if err != nil {
+			return nil, Permanent(fmt.Errorf("mapreduce: job %q: shuffle run %s: %w", job.Name, ref.File, err))
+		}
+		chunks = append(chunks, pairs)
+		total += int64(len(pairs))
+	}
+	var merged stream[K, V]
+	switch len(chunks) {
+	case 0:
+		merged = &memStream[K, V]{}
+	case 1:
+		merged = &memStream[K, V]{pairs: chunks[0]}
+	default:
+		merged = newChunkMerge(job.Less, chunks)
+	}
+	local.Add(CounterReduceValues, total)
+
+	out, err := reduceStream(job, merged, local, ctx)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(out); err != nil {
+		return nil, Permanent(fmt.Errorf("mapreduce: job %q: encode reduce output: %w", job.Name, err))
+	}
+	io.finish(local)
+	return &TaskResult{Worker: io.Env.Worker, Counters: local.Snapshot(), Output: buf.Bytes()}, nil
+}
+
+// decodePairs decodes a shuffle run back into its sorted pair slice.
+func decodePairs[K, V any](data []byte, records int, kc *Codec[K], vc *Codec[V]) ([]Pair[K, V], error) {
+	r := bufio.NewReader(bytes.NewReader(data))
+	pairs := make([]Pair[K, V], 0, records)
+	for i := 0; i < records; i++ {
+		k, err := kc.Decode(r)
+		if err != nil {
+			return nil, fmt.Errorf("record %d key: %w", i, err)
+		}
+		v, err := vc.Decode(r)
+		if err != nil {
+			return nil, fmt.Errorf("record %d value: %w", i, err)
+		}
+		pairs = append(pairs, Pair[K, V]{Key: k, Value: v})
+	}
+	return pairs, nil
+}
+
+// decodeOutput decodes a remote reduce task's gob-encoded output slice.
+func decodeOutput[O any](data []byte) ([]O, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	var out []O
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

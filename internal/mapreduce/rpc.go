@@ -1,0 +1,444 @@
+// Master/worker execution over net/rpc.
+//
+// The master lives in the engine process: it owns the DFS and the keyword
+// dictionary, listens for worker callbacks (file fetches, shuffle writes,
+// dictionary pulls), registers worker processes by dialing them and
+// heartbeats them for liveness. Workers are separate processes (or
+// loopback servers in tests) serving RunTask: they reconstruct jobs from
+// wire descriptors through the job-kind registry and execute whole task
+// attempts, reading inputs from and writing shuffle intermediates to the
+// master's DFS — which brings replication, checksums and repair to the
+// shuffle path for free.
+package mapreduce
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"spq/internal/dfs"
+)
+
+// RPC argument/reply types. All exported for net/rpc's gob codec.
+
+// FetchArgs/FetchReply move one whole file master -> worker.
+type FetchArgs struct{ Name string }
+type FetchReply struct{ Data []byte }
+
+// StoreArgs publishes one shuffle file worker -> master.
+type StoreArgs struct {
+	Name string
+	Data []byte
+}
+type StoreReply struct{}
+
+// DictArgs/DictReply pull a prefix of the master's keyword dictionary.
+type DictArgs struct{ N int }
+type DictReply struct{ Words []string }
+
+// AttachArgs introduce a master to a worker; the reply carries the
+// worker's task capacity.
+type AttachArgs struct {
+	// Master is the address of the master's callback listener.
+	Master string
+	// Name is the name the master assigned this worker.
+	Name string
+}
+type AttachReply struct {
+	// Slots is the number of tasks the worker runs concurrently.
+	Slots int
+}
+
+// RunTaskArgs/RunTaskReply execute one task attempt master -> worker. Task
+// failures travel in the reply rather than as the RPC error: net/rpc
+// flattens method errors to strings, which would strip the Permanent
+// marking the orchestrator's retry loop classifies on.
+type RunTaskArgs struct{ Desc TaskDesc }
+type RunTaskReply struct {
+	Result TaskResult
+	// Err is the task attempt's failure message ("" on success);
+	// Permanent reports whether it was marked not-retryable.
+	Err       string
+	Permanent bool
+}
+
+// PingArgs/PingReply carry heartbeats.
+type PingArgs struct{}
+type PingReply struct{}
+
+// ForgetJobArgs tells a worker a job finished, releasing its cached
+// reconstruction.
+type ForgetJobArgs struct{ JobID string }
+type ForgetJobReply struct{}
+
+// MasterService is the RPC surface workers call back into.
+type MasterService struct {
+	fs *dfs.FileSystem
+	// dictWords snapshots words [0, n) of the engine's keyword dictionary
+	// in id order; nil when the cluster has no dictionary.
+	dictWords func(n int) []string
+}
+
+// Fetch serves a whole-file read from the master DFS.
+func (s *MasterService) Fetch(args *FetchArgs, reply *FetchReply) error {
+	data, err := s.fs.ReadAll(args.Name)
+	if err != nil {
+		return err
+	}
+	reply.Data = data
+	return nil
+}
+
+// Store publishes a worker-written shuffle file into the master DFS.
+func (s *MasterService) Store(args *StoreArgs, reply *StoreReply) error {
+	return s.fs.Create(args.Name, args.Data)
+}
+
+// DictWords serves a prefix of the master's keyword dictionary.
+func (s *MasterService) DictWords(args *DictArgs, reply *DictReply) error {
+	if s.dictWords == nil {
+		return fmt.Errorf("mapreduce: master has no keyword dictionary")
+	}
+	reply.Words = s.dictWords(args.N)
+	return nil
+}
+
+// Ping answers worker liveness probes.
+func (s *MasterService) Ping(args *PingArgs, reply *PingReply) error { return nil }
+
+// Master hosts the cluster-side half of distributed execution: the
+// callback listener plus the registry of attached workers.
+type Master struct {
+	addr string
+	ln   net.Listener
+
+	mu      sync.Mutex
+	workers []*workerConn
+	closed  bool
+	done    chan struct{}
+}
+
+// workerConn is the master's handle of one attached worker.
+type workerConn struct {
+	name  string
+	addr  string
+	slots int
+
+	mu     sync.Mutex
+	client *rpc.Client
+	dead   bool
+	// dispatched counts task dispatches to this worker (drives the
+	// seeded worker-kill plan of the chaos harness).
+	dispatched int
+}
+
+// call invokes an RPC on the worker. Any failure that is not an
+// application error returned by the remote method (rpc.ServerError) is a
+// transport fault: the worker is marked dead and lost reports whether
+// this call performed the live->dead transition (so the caller can meter
+// the loss exactly once).
+func (w *workerConn) call(method string, args, reply any) (err error, lost bool) {
+	w.mu.Lock()
+	c, dead := w.client, w.dead
+	w.mu.Unlock()
+	if dead || c == nil {
+		return fmt.Errorf("mapreduce: worker %s is down", w.name), false
+	}
+	err = c.Call(method, args, reply)
+	if err == nil {
+		return nil, false
+	}
+	if _, server := err.(rpc.ServerError); server {
+		return err, false
+	}
+	lost = w.markDead()
+	return fmt.Errorf("mapreduce: worker %s lost: %w", w.name, err), lost
+}
+
+// markDead closes the client and flags the worker unusable, reporting
+// whether this call performed the transition.
+func (w *workerConn) markDead() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead {
+		return false
+	}
+	w.dead = true
+	if w.client != nil {
+		w.client.Close()
+	}
+	return true
+}
+
+// isDead reports the worker's liveness flag.
+func (w *workerConn) isDead() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dead
+}
+
+// Kill severs the master's connection to the worker: the client closes,
+// so every in-flight and subsequent call to it fails at the transport
+// level — from the master's perspective, exactly a machine loss. It
+// reports whether this call performed the transition.
+func (w *workerConn) Kill() bool { return w.markDead() }
+
+// NewMaster starts the master's callback listener on a loopback address.
+// dictWords may be nil when jobs never need the keyword dictionary.
+func NewMaster(fs *dfs.FileSystem, dictWords func(n int) []string) (*Master, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: master listen: %w", err)
+	}
+	m := &Master{addr: ln.Addr().String(), ln: ln, done: make(chan struct{})}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Master", &MasterService{fs: fs, dictWords: dictWords}); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return m, nil
+}
+
+// Addr returns the master's callback address.
+func (m *Master) Addr() string { return m.addr }
+
+// AttachWorker dials a worker process at addr, introduces the master and
+// registers the worker under the given name. The returned handle is
+// already part of the master's registry.
+func (m *Master) AttachWorker(addr, name string) (*workerConn, error) {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: dial worker %s: %w", addr, err)
+	}
+	var reply AttachReply
+	if err := client.Call("Worker.Attach", &AttachArgs{Master: m.addr, Name: name}, &reply); err != nil {
+		client.Close()
+		return nil, fmt.Errorf("mapreduce: attach worker %s: %w", addr, err)
+	}
+	slots := reply.Slots
+	if slots <= 0 {
+		slots = 1
+	}
+	w := &workerConn{name: name, addr: addr, slots: slots, client: client}
+	m.mu.Lock()
+	m.workers = append(m.workers, w)
+	m.mu.Unlock()
+	return w, nil
+}
+
+// Heartbeat starts a liveness loop pinging every attached worker each
+// interval; a failed ping marks the worker dead (its lanes reroute).
+func (m *Master) Heartbeat(interval time.Duration) {
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.done:
+				return
+			case <-t.C:
+				m.mu.Lock()
+				ws := append([]*workerConn(nil), m.workers...)
+				m.mu.Unlock()
+				for _, w := range ws {
+					if w.isDead() {
+						continue
+					}
+					w.call("Worker.Ping", &PingArgs{}, &PingReply{}) //nolint:errcheck // a failed ping already marked the worker dead
+				}
+			}
+		}
+	}()
+}
+
+// Close shuts the master down: the callback listener stops and every
+// worker client closes. Attached worker processes keep running (they
+// belong to their own lifecycle).
+func (m *Master) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	close(m.done)
+	ws := append([]*workerConn(nil), m.workers...)
+	m.mu.Unlock()
+	for _, w := range ws {
+		w.markDead()
+	}
+	return m.ln.Close()
+}
+
+// WorkerService is the RPC surface a worker process serves to its master.
+type WorkerService struct {
+	w *WorkerNode
+}
+
+// Attach introduces a master: the worker dials the master's callback
+// address and rebinds its environment to it.
+func (s *WorkerService) Attach(args *AttachArgs, reply *AttachReply) error {
+	if err := s.w.attach(args.Master, args.Name); err != nil {
+		return err
+	}
+	reply.Slots = s.w.slots
+	return nil
+}
+
+// RunTask executes one task attempt. Attempt failures are encoded into
+// the reply (see RunTaskReply); an RPC-level error here means the worker
+// itself is unusable.
+func (s *WorkerService) RunTask(args *RunTaskArgs, reply *RunTaskReply) error {
+	env := s.w.env()
+	if env == nil {
+		return fmt.Errorf("mapreduce: worker %s has no attached master", s.w.listenAddr)
+	}
+	res, err := env.RunTask(&args.Desc)
+	if err != nil {
+		reply.Err = err.Error()
+		reply.Permanent = isPermanent(err)
+		return nil
+	}
+	reply.Result = *res
+	return nil
+}
+
+// ForgetJob drops a finished job's cached reconstruction.
+func (s *WorkerService) ForgetJob(args *ForgetJobArgs, reply *ForgetJobReply) error {
+	if env := s.w.env(); env != nil {
+		env.forgetJob(args.JobID)
+	}
+	return nil
+}
+
+// Ping answers master liveness probes.
+func (s *WorkerService) Ping(args *PingArgs, reply *PingReply) error { return nil }
+
+// WorkerNode is one worker: a TCP listener serving WorkerService, bound
+// to at most one master at a time. It runs as a standalone process
+// (cmd/spqworker) or as a loopback server inside tests and benches.
+type WorkerNode struct {
+	listenAddr string
+	slots      int
+	ln         net.Listener
+
+	mu  sync.Mutex
+	e   *WorkerEnv
+	cls []net.Conn
+}
+
+// StartWorker listens on addr (e.g. "127.0.0.1:0") and serves task
+// execution with the given concurrent slot capacity.
+func StartWorker(addr string, slots int) (*WorkerNode, error) {
+	if slots <= 0 {
+		slots = 1
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: worker listen: %w", err)
+	}
+	w := &WorkerNode{listenAddr: ln.Addr().String(), slots: slots, ln: ln}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", &WorkerService{w: w}); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			w.mu.Lock()
+			w.cls = append(w.cls, conn)
+			w.mu.Unlock()
+			go srv.ServeConn(conn)
+		}
+	}()
+	return w, nil
+}
+
+// Addr returns the worker's listen address.
+func (w *WorkerNode) Addr() string { return w.ln.Addr().String() }
+
+// attach binds the worker to a master, building a fresh environment over
+// an RPC transport to the master's callback listener.
+func (w *WorkerNode) attach(masterAddr, name string) error {
+	client, err := rpc.Dial("tcp", masterAddr)
+	if err != nil {
+		return fmt.Errorf("mapreduce: worker dial master %s: %w", masterAddr, err)
+	}
+	env := NewWorkerEnv(name, &rpcRemoteFS{client: client})
+	w.mu.Lock()
+	old := w.e
+	w.e = env
+	w.mu.Unlock()
+	if old != nil {
+		if rf, ok := old.FS.(*rpcRemoteFS); ok {
+			rf.client.Close()
+		}
+	}
+	return nil
+}
+
+// env returns the worker's current environment (nil before any attach).
+func (w *WorkerNode) env() *WorkerEnv {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.e
+}
+
+// Stop kills the worker server: the listener closes and every open
+// connection drops, failing in-flight RPCs — the loopback equivalent of
+// killing the process.
+func (w *WorkerNode) Stop() {
+	w.ln.Close()
+	w.mu.Lock()
+	cls := w.cls
+	w.cls = nil
+	e := w.e
+	w.mu.Unlock()
+	for _, c := range cls {
+		c.Close()
+	}
+	if e != nil {
+		if rf, ok := e.FS.(*rpcRemoteFS); ok {
+			rf.client.Close()
+		}
+	}
+}
+
+// rpcRemoteFS implements RemoteFS over the worker's client connection to
+// the master.
+type rpcRemoteFS struct{ client *rpc.Client }
+
+func (r *rpcRemoteFS) Fetch(name string) ([]byte, error) {
+	var reply FetchReply
+	if err := r.client.Call("Master.Fetch", &FetchArgs{Name: name}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Data, nil
+}
+
+func (r *rpcRemoteFS) Store(name string, data []byte) error {
+	return r.client.Call("Master.Store", &StoreArgs{Name: name, Data: data}, &StoreReply{})
+}
+
+func (r *rpcRemoteFS) DictWords(n int) ([]string, error) {
+	var reply DictReply
+	if err := r.client.Call("Master.DictWords", &DictArgs{N: n}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Words, nil
+}

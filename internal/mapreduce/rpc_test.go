@@ -1,0 +1,269 @@
+package mapreduce
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"spq/internal/dfs"
+)
+
+// The RPC executor tests run a real master and real worker RPC servers
+// over loopback TCP in one process: every task descriptor, shuffle
+// reference and counter delta crosses the wire exactly as it would
+// between machines, only the transport latency is missing.
+
+var rpcIntCodec = &Codec[int]{
+	Encode: func(w *bufio.Writer, v int) error {
+		_, err := fmt.Fprintf(w, "%d\n", v)
+		return err
+	},
+	Decode: func(r *bufio.Reader) (int, error) {
+		s, err := r.ReadString('\n')
+		if err != nil {
+			return 0, err
+		}
+		return strconv.Atoi(strings.TrimSpace(s))
+	},
+}
+
+func rpcParseInt(line []byte) (int, error) { return strconv.Atoi(string(line)) }
+
+// rpcSumJob is the job both ends of the wire share: ints keyed even/odd,
+// summed per group. The orchestrator attaches the source and wire kind;
+// the worker-side builder reconstructs the rest from the registered kind.
+func rpcSumJob() *Job[int, string, int, string] {
+	return &Job[int, string, int, string]{
+		Name:        "rpc-sum",
+		NumReducers: 2,
+		MaxAttempts: 3,
+		Map: func(ctx *TaskContext, v int, emit func(string, int)) error {
+			if v%2 == 0 {
+				emit("even", v)
+			} else {
+				emit("odd", v)
+			}
+			return nil
+		},
+		Partition: func(k string, r int) int {
+			if k == "even" {
+				return 0
+			}
+			return 1 % r
+		},
+		Less:       func(a, b string) bool { return a < b },
+		GroupEqual: func(a, b string) bool { return a == b },
+		KeyCodec:   stringCodec,
+		ValueCodec: rpcIntCodec,
+		Reduce: func(ctx *TaskContext, values *Values[string, int], emit func(string)) error {
+			sum := 0
+			for {
+				v, ok := values.Next()
+				if !ok {
+					break
+				}
+				sum += v
+			}
+			emit(fmt.Sprintf("%s=%d", values.GroupKey(), sum))
+			return nil
+		},
+	}
+}
+
+func init() {
+	RegisterJobKind("rpc-test-sum", func(spec []byte, env *WorkerEnv) (RemoteJob, error) {
+		job := rpcSumJob()
+		return BindRemote(job, func(io *TaskIO, ref *SplitRef) (SourceSplit[int], error) {
+			fs, err := io.File(ref.File)
+			if err != nil {
+				return nil, err
+			}
+			return OpenTextSplit(fs, ref, rpcParseInt), nil
+		}), nil
+	})
+}
+
+// rpcHarness is a master-side DFS with an input file of n ints plus the
+// expected reduce output.
+func rpcHarness(t *testing.T, n int) (*dfs.FileSystem, map[string]bool) {
+	t.Helper()
+	fs := dfs.New(dfs.Config{NumNodes: 4, BlockSize: 128, Replication: 2, Seed: 7})
+	var sb strings.Builder
+	even, odd := 0, 0
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%d\n", i)
+		if i%2 == 0 {
+			even += i
+		} else {
+			odd += i
+		}
+	}
+	if err := fs.Create("nums.txt", []byte(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	return fs, map[string]bool{
+		fmt.Sprintf("even=%d", even): true,
+		fmt.Sprintf("odd=%d", odd):   true,
+	}
+}
+
+// startWorkers brings up n loopback worker nodes and returns their
+// addresses.
+func startWorkers(t *testing.T, n, slots int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		w, err := StartWorker("127.0.0.1:0", slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Stop)
+		addrs[i] = w.Addr()
+	}
+	return addrs
+}
+
+func runRPCSum(t *testing.T, fs *dfs.FileSystem, exec *RPCExecutor) *Result[string] {
+	t.Helper()
+	job := rpcSumJob()
+	job.Source = NewTextInput(fs, rpcParseInt, "nums.txt")
+	job.Wire = &WireJob{Kind: "rpc-test-sum"}
+	cl := NewCluster(fs, 4, 2)
+	cl.Executor = exec
+	res, err := Run(cl, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func checkRPCSum(t *testing.T, res *Result[string], want map[string]bool) {
+	t.Helper()
+	if len(res.Output) != len(want) {
+		t.Fatalf("output %v, want the keys of %v", res.Output, want)
+	}
+	for _, o := range res.Output {
+		if !want[o] {
+			t.Errorf("unexpected output record %q", o)
+		}
+	}
+}
+
+// A job shipped over RPC to two workers must produce exactly the local
+// result, meter its tasks per worker, and leave no shuffle intermediates
+// behind.
+func TestRPCExecutorEndToEnd(t *testing.T) {
+	fs, want := rpcHarness(t, 500)
+	exec, err := NewRPCExecutor(fs, func(n int) []string { return nil }, startWorkers(t, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exec.Close()
+
+	res := runRPCSum(t, fs, exec)
+	checkRPCSum(t, res, want)
+
+	if res.Counters[CounterExecFallbackLocal] != 0 {
+		t.Error("remotable job fell back to the local executor")
+	}
+	tasks := int64(0)
+	for _, w := range exec.Workers() {
+		tasks += res.Counters[CounterExecTasksPrefix+w]
+	}
+	if wantTasks := int64(res.Stats.MapTasks + res.Stats.ReduceTasks); tasks != wantTasks {
+		t.Errorf("per-worker task counters sum to %d, want %d", tasks, wantTasks)
+	}
+	if res.Counters[CounterExecRPCBytes] == 0 {
+		t.Error("no RPC bytes metered for a remote job")
+	}
+	for _, name := range fs.List() {
+		if strings.HasPrefix(name, "shuffle/") {
+			t.Errorf("shuffle intermediate %q not cleaned up", name)
+		}
+	}
+}
+
+// Killing a worker mid-job must not change the result: its tasks are
+// re-executed on the surviving worker and the loss is metered.
+func TestRPCExecutorWorkerKill(t *testing.T) {
+	fs, want := rpcHarness(t, 500)
+	exec, err := NewRPCExecutor(fs, func(n int) []string { return nil }, startWorkers(t, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exec.Close()
+	exec.SetWorkerKills([]dfs.WorkerKillEvent{{Worker: "worker-1", AfterTasks: 2}})
+
+	res := runRPCSum(t, fs, exec)
+	checkRPCSum(t, res, want)
+
+	if res.Counters[CounterExecWorkersLost] == 0 {
+		t.Error("worker kill not metered as a loss")
+	}
+	if res.Counters[CounterExecReexec] == 0 {
+		t.Error("no re-executions metered after losing a worker mid-job")
+	}
+	if res.Counters[CounterExecTasksPrefix+"worker-2"] == 0 {
+		t.Error("surviving worker ran no tasks")
+	}
+}
+
+// Losing every worker must fail the job with a permanent error, not hang
+// or return partial results.
+func TestRPCExecutorAllWorkersLost(t *testing.T) {
+	fs, _ := rpcHarness(t, 100)
+	exec, err := NewRPCExecutor(fs, func(n int) []string { return nil }, startWorkers(t, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exec.Close()
+	exec.SetWorkerKills([]dfs.WorkerKillEvent{{Worker: "worker-1", AfterTasks: 1}})
+
+	job := rpcSumJob()
+	job.Source = NewTextInput(fs, rpcParseInt, "nums.txt")
+	job.Wire = &WireJob{Kind: "rpc-test-sum"}
+	cl := NewCluster(fs, 4, 2)
+	cl.Executor = exec
+	if _, err := Run(cl, job); err == nil {
+		t.Fatal("job succeeded with its only worker dead")
+	}
+}
+
+// A job without serializable splits runs on the local executor even when
+// an RPC executor is installed, and says so in the counters.
+func TestRPCExecutorFallbackLocal(t *testing.T) {
+	fs, want := rpcHarness(t, 100)
+	exec, err := NewRPCExecutor(fs, func(n int) []string { return nil }, startWorkers(t, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exec.Close()
+
+	recs := make([]int, 100)
+	for i := range recs {
+		recs[i] = i
+	}
+	job := rpcSumJob()
+	job.Source = NewMemorySource(recs, 4)
+	job.Wire = &WireJob{Kind: "rpc-test-sum"}
+	cl := NewCluster(fs, 4, 2)
+	cl.Executor = exec
+	res, err := Run(cl, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRPCSum(t, res, want)
+	if res.Counters[CounterExecFallbackLocal] == 0 {
+		t.Error("memory-source job not metered as a local fallback")
+	}
+}
+
+// NewRPCExecutor with no workers must refuse, not build a dead executor.
+func TestRPCExecutorNoWorkers(t *testing.T) {
+	fs := dfs.New(dfs.Config{NumNodes: 2, BlockSize: 128, Seed: 1})
+	if _, err := NewRPCExecutor(fs, nil, nil); err == nil {
+		t.Fatal("expected an error for zero workers")
+	}
+}

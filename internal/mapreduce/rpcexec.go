@@ -1,0 +1,215 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"spq/internal/dfs"
+)
+
+// shuffleCleaner is implemented by executors whose map tasks persist
+// shuffle intermediates in the DFS; the Run loop invokes it when a remote
+// job finishes (success or not).
+type shuffleCleaner interface {
+	CleanupShuffle(b *Binding)
+}
+
+// laneRef maps one dispatch lane onto a worker slot.
+type laneRef struct {
+	worker int // index into RPCExecutor.workers
+	slot   int
+}
+
+// RPCExecutor runs task attempts on remote worker processes over net/rpc.
+// Lanes are the flattened (worker, slot) pairs of every attached worker;
+// when a worker is lost (a call fails at the transport level, or a
+// heartbeat misses), its lanes reroute to the next live worker and the
+// orchestrator's retry loop re-dispatches the failed attempts there —
+// metered as spq.exec.reexec.
+type RPCExecutor struct {
+	master  *Master
+	fs      *dfs.FileSystem
+	workers []*workerConn
+	lanes   []laneRef
+
+	// kills is the worker-crash schedule of the active fault plan (chaos
+	// runs only; nil otherwise).
+	mu    sync.Mutex
+	kills []dfs.WorkerKillEvent
+}
+
+// heartbeatInterval paces the master's worker liveness probes.
+const heartbeatInterval = 250 * time.Millisecond
+
+// NewRPCExecutor starts a master over fs, attaches the worker processes
+// listening at addrs (naming them worker-1..worker-n) and begins
+// heartbeating them. dictWords may be nil when jobs never pull the
+// keyword dictionary.
+func NewRPCExecutor(fs *dfs.FileSystem, dictWords func(n int) []string, addrs []string) (*RPCExecutor, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("mapreduce: RPC executor needs at least one worker address")
+	}
+	m, err := NewMaster(fs, dictWords)
+	if err != nil {
+		return nil, err
+	}
+	e := &RPCExecutor{master: m, fs: fs}
+	for i, addr := range addrs {
+		w, err := m.AttachWorker(addr, fmt.Sprintf("worker-%d", i+1))
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		e.workers = append(e.workers, w)
+		for s := 0; s < w.slots; s++ {
+			e.lanes = append(e.lanes, laneRef{worker: i, slot: s})
+		}
+	}
+	m.Heartbeat(heartbeatInterval)
+	return e, nil
+}
+
+// SetWorkerKills installs the worker-crash schedule of a fault plan. The
+// schedule is consumed as workers' dispatch counts reach the thresholds.
+func (e *RPCExecutor) SetWorkerKills(kills []dfs.WorkerKillEvent) {
+	e.mu.Lock()
+	e.kills = append([]dfs.WorkerKillEvent(nil), kills...)
+	e.mu.Unlock()
+}
+
+// Workers returns the names of the attached workers.
+func (e *RPCExecutor) Workers() []string {
+	out := make([]string, len(e.workers))
+	for i, w := range e.workers {
+		out[i] = w.name
+	}
+	return out
+}
+
+// Close shuts down the master (listener and worker clients). Worker
+// processes keep running; external lifecycles own them.
+func (e *RPCExecutor) Close() error { return e.master.Close() }
+
+// Name implements Executor.
+func (e *RPCExecutor) Name() string { return "rpc" }
+
+// Lanes implements Executor: every worker slot is a dispatch lane for
+// both phases.
+func (e *RPCExecutor) Lanes(kind TaskKind) int { return len(e.lanes) }
+
+// LaneHost implements Executor: a lane's host is its primary worker.
+// Worker processes are not DFS DataNodes, so data-locality preferences
+// never match — map assignment degrades to load balancing, which is the
+// honest model for workers reading through the master anyway.
+func (e *RPCExecutor) LaneHost(kind TaskKind, lane int) string {
+	return e.workers[e.lanes[lane].worker].name
+}
+
+// RunMapTask implements Executor.
+func (e *RPCExecutor) RunMapTask(b *Binding, d *TaskDesc) (*TaskResult, error) {
+	return e.dispatch(b, d)
+}
+
+// RunReduceTask implements Executor.
+func (e *RPCExecutor) RunReduceTask(b *Binding, d *TaskDesc) (*TaskResult, error) {
+	return e.dispatch(b, d)
+}
+
+// route picks the worker executing a lane's next attempt: the lane's
+// primary worker, or — after it was lost — the next live worker in
+// attachment order (deterministic, so reroutes are replayable).
+func (e *RPCExecutor) route(lane int) (w *workerConn, primary bool) {
+	p := e.lanes[lane].worker
+	n := len(e.workers)
+	for i := 0; i < n; i++ {
+		cand := e.workers[(p+i)%n]
+		if !cand.isDead() {
+			return cand, i == 0
+		}
+	}
+	return nil, false
+}
+
+// dispatch executes one attempt on a routed worker.
+func (e *RPCExecutor) dispatch(b *Binding, d *TaskDesc) (*TaskResult, error) {
+	if b.Failed() {
+		return nil, errTaskAborted
+	}
+	w, primary := e.route(d.Lane)
+	if w == nil {
+		// Nothing left to run on; retrying cannot help.
+		return nil, Permanent(fmt.Errorf("mapreduce: job %q: all %d workers lost", b.Job(), len(e.workers)))
+	}
+	if d.Attempt > 1 && !primary {
+		// A re-execution proper: the attempt's lane lost its worker and the
+		// task is re-dispatched elsewhere.
+		b.Counters().Add(CounterExecReexec, 1)
+	}
+	if e.maybeKill(w) {
+		b.Counters().Add(CounterExecWorkersLost, 1)
+	}
+	args := &RunTaskArgs{Desc: *d}
+	var reply RunTaskReply
+	err, lost := w.call("Worker.RunTask", args, &reply)
+	if lost {
+		b.Counters().Add(CounterExecWorkersLost, 1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if reply.Err != "" {
+		terr := errors.New(reply.Err)
+		if reply.Permanent {
+			terr = Permanent(terr)
+		}
+		return &reply.Result, terr
+	}
+	b.Counters().Add(CounterExecTasksPrefix+w.name, 1)
+	return &reply.Result, nil
+}
+
+// maybeKill advances w's dispatch count and fires any scheduled worker
+// kill that count reaches — before the dispatch, so the killed worker's
+// in-flight and current calls fail like a real machine loss. It reports
+// whether a kill transitioned the worker to dead.
+func (e *RPCExecutor) maybeKill(w *workerConn) bool {
+	w.mu.Lock()
+	w.dispatched++
+	n := w.dispatched
+	w.mu.Unlock()
+
+	e.mu.Lock()
+	fire := false
+	for i := 0; i < len(e.kills); {
+		k := e.kills[i]
+		if k.Worker == w.name && n >= k.AfterTasks {
+			fire = true
+			e.kills = append(e.kills[:i], e.kills[i+1:]...)
+			continue
+		}
+		i++
+	}
+	e.mu.Unlock()
+	return fire && w.Kill()
+}
+
+// CleanupShuffle implements shuffleCleaner: it removes the job's shuffle
+// intermediates from the DFS and releases the workers' cached job
+// reconstructions.
+func (e *RPCExecutor) CleanupShuffle(b *Binding) {
+	prefix := ShufflePrefix(b.JobID())
+	for _, name := range e.fs.List() {
+		if strings.HasPrefix(name, prefix) {
+			e.fs.Delete(name) //nolint:errcheck // best-effort cleanup
+		}
+	}
+	for _, w := range e.workers {
+		if w.isDead() {
+			continue
+		}
+		w.call("Worker.ForgetJob", &ForgetJobArgs{JobID: b.JobID()}, &ForgetJobReply{}) //nolint:errcheck // best-effort release
+	}
+}

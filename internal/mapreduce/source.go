@@ -69,6 +69,21 @@ func (s *textSplit[I]) Hosts() []string { return s.split.Hosts }
 // Size implements SizedSplit.
 func (s *textSplit[I]) Size() int64 { return int64(s.split.Length) }
 
+// SplitRef implements RefSplit: a text split is fully described by its
+// file byte range (the parser is reconstructed job-side from the wire
+// spec).
+func (s *textSplit[I]) SplitRef() (*SplitRef, error) {
+	return &SplitRef{Kind: "text", File: s.split.File, Offset: s.split.Offset, Length: int64(s.split.Length)}, nil
+}
+
+// OpenTextSplit re-opens a "text" split reference against fs (typically a
+// worker's local mirror of the master file). The line-boundary convention
+// is identical to the original split's, so the reference yields exactly
+// the same records.
+func OpenTextSplit[I any](fs *dfs.FileSystem, ref *SplitRef, parse func(line []byte) (I, error)) SourceSplit[I] {
+	return &textSplit[I]{fs: fs, split: dfs.Split{File: ref.File, Offset: ref.Offset, Length: int(ref.Length)}, parse: parse}
+}
+
 func (s *textSplit[I]) Each(yield func(I) bool) error {
 	var parseErr error
 	err := s.fs.SplitLines(s.split, func(line []byte) bool {
@@ -197,6 +212,39 @@ func (g groupedSplit[I]) Records() int {
 		n += cs.Records()
 	}
 	return n
+}
+
+// SplitRef implements RefSplit when every member does: the group ships as
+// the ordered list of its members' references.
+func (g groupedSplit[I]) SplitRef() (*SplitRef, error) {
+	out := &SplitRef{Kind: "group", Group: make([]SplitRef, 0, len(g))}
+	for _, s := range g {
+		rs, ok := s.(RefSplit)
+		if !ok {
+			return nil, fmt.Errorf("mapreduce: grouped split member %T has no reference form", s)
+		}
+		ref, err := rs.SplitRef()
+		if err != nil {
+			return nil, err
+		}
+		out.Group = append(out.Group, *ref)
+	}
+	return out, nil
+}
+
+// OpenGroupSplit re-opens a "group" reference by opening every member
+// through open and running them sequentially as one map input, exactly
+// like the coalesced split it references.
+func OpenGroupSplit[I any](ref *SplitRef, open func(ref *SplitRef) (SourceSplit[I], error)) (SourceSplit[I], error) {
+	g := make(groupedSplit[I], 0, len(ref.Group))
+	for i := range ref.Group {
+		s, err := open(&ref.Group[i])
+		if err != nil {
+			return nil, err
+		}
+		g = append(g, s)
+	}
+	return g, nil
 }
 
 func (g groupedSplit[I]) Each(yield func(I) bool) error {
