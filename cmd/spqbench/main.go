@@ -226,7 +226,7 @@ func runAppend(clients int, quick bool) error {
 	// generation is stable and repeats would be cache hits, which measures
 	// the cache instead of the delta-merging read path under comparison.
 	run := func(i int) (string, error) {
-		res, err := eng.Query(query(i%queries), spq.WithAutoPlan(), spq.WithoutCache())
+		res, err := eng.Query(query(i%queries), spq.WithAutoPlan(), spq.WithCache(false))
 		return fmt.Sprint(res), err
 	}
 
@@ -316,7 +316,7 @@ func runAppend(clients int, quick bool) error {
 	}
 	runOn := func(e *spq.Engine) bench.QueryFunc {
 		return func(i int) (string, error) {
-			res, err := e.Query(query(i%queries), spq.WithAutoPlan(), spq.WithoutCache())
+			res, err := e.Query(query(i%queries), spq.WithAutoPlan(), spq.WithCache(false))
 			return fmt.Sprint(res), err
 		}
 	}
@@ -372,7 +372,7 @@ func runConcurrency(clients int, quick bool) error {
 		return func(i int) (string, error) {
 			opts := []spq.QueryOption{spq.WithAutoPlan()}
 			if !cache {
-				opts = append(opts, spq.WithoutCache())
+				opts = append(opts, spq.WithCache(false))
 			}
 			res, err := eng.Query(query(i%queries), opts...)
 			return fmt.Sprint(res), err

@@ -1,0 +1,133 @@
+// Command spqd is the spatial-preference-query serving daemon: a
+// long-running process that loads (or generates) a dataset, seals it, and
+// serves queries over HTTP/JSON plus a length-prefixed binary endpoint
+// for bench clients (cmd/spqload).
+//
+// Endpoints:
+//
+//	POST /query     one spq.QueryRequest -> spq.QueryResponse
+//	GET  /metrics   Prometheus-style text: request outcomes, latency
+//	                histogram, admission gauges, aggregated spq.* counters
+//	GET  /stats     the same as JSON (serve.Stats)
+//	GET  /healthz   200 while serving, 503 while draining
+//
+// Admission is bounded (-max-inflight running, -queue waiting) and shed
+// beyond that with 429; queued requests whose deadline expires are evicted
+// rather than served late. Per-tenant token buckets (-quota-rps,
+// -quota-burst) shed abusive tenants with 429 without consuming admission.
+// SIGINT/SIGTERM starts a graceful drain: in-flight queries finish, new
+// ones get 503, then the engine closes.
+//
+// The first stdout line is "listening <http-addr> <bin-addr>", so a parent
+// process (spqload -spawn, the CI smoke job) can scrape the bound ports.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spq"
+	"spq/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8642", "HTTP listen address")
+		binAddr    = flag.String("bin-addr", "", "binary-protocol listen address (default: HTTP port + 1; 'off' disables)")
+		dataset    = flag.String("dataset", "uniform", "synthetic dataset family (uniform, cluster)")
+		n          = flag.Int("n", 20000, "synthetic dataset size in objects")
+		seed       = flag.Int64("seed", 42, "dataset generation seed")
+		mapSlots   = flag.Int("map-slots", 0, "map task slots (default 8)")
+		redSlots   = flag.Int("reduce-slots", 0, "reduce task slots (default 8)")
+		qcache     = flag.Int("query-cache", 0, "query cache size in reports (0 default, negative disables)")
+		inflight   = flag.Int("max-inflight", 0, "max concurrently executing queries (default 2x GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "max queries waiting for admission (default 4x max-inflight)")
+		deadline   = flag.Duration("deadline", 10*time.Second, "default per-query deadline, queueing included")
+		quotaRPS   = flag.Float64("quota-rps", 0, "per-tenant sustained queries/sec (0 disables quotas)")
+		quotaBurst = flag.Float64("quota-burst", 0, "per-tenant burst size (default max(quota-rps, 1))")
+		drainWait  = flag.Duration("drain-wait", 30*time.Second, "max time to wait for in-flight queries on shutdown")
+	)
+	flag.Parse()
+	log.SetPrefix("spqd: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	eng := spq.NewEngine(spq.Config{
+		Storage:  spq.StorageMemory,
+		Seed:     *seed,
+		MapSlots: *mapSlots, ReduceSlots: *redSlots,
+		QueryCache: *qcache,
+	})
+	log.Printf("loading %s/%d (seed %d)", *dataset, *n, *seed)
+	if err := eng.LoadSynthetic(*dataset, *n); err != nil {
+		log.Fatalf("load: %v", err)
+	}
+	if err := eng.Seal(); err != nil {
+		log.Fatalf("seal: %v", err)
+	}
+
+	srv := serve.New(eng, serve.Config{
+		MaxInflight:    *inflight,
+		MaxQueue:       *queue,
+		DefaultTimeout: *deadline,
+		Quota:          serve.QuotaConfig{RatePerSec: *quotaRPS, Burst: *quotaBurst},
+	})
+
+	hl, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	var bl net.Listener
+	binShown := "off"
+	if *binAddr != "off" {
+		ba := *binAddr
+		if ba == "" {
+			host, port, err := net.SplitHostPort(hl.Addr().String())
+			if err != nil {
+				log.Fatalf("split %q: %v", hl.Addr(), err)
+			}
+			var p int
+			fmt.Sscan(port, &p) //nolint:errcheck // port from the listener is numeric
+			ba = net.JoinHostPort(host, fmt.Sprint(p+1))
+		}
+		if bl, err = net.Listen("tcp", ba); err != nil {
+			log.Fatalf("listen binary: %v", err)
+		}
+		binShown = bl.Addr().String()
+	}
+
+	// The parent-scrapeable banner; keep it the first stdout line.
+	fmt.Printf("listening %s %s\n", hl.Addr(), binShown)
+	os.Stdout.Sync() //nolint:errcheck // best effort
+
+	hs := &http.Server{Handler: srv.Handler()}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- hs.Serve(hl) }()
+	binDone := make(chan error, 1)
+	if bl != nil {
+		go func() { binDone <- srv.ServeBinary(bl) }()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("caught %v, draining (max %v)", s, *drainWait)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("drain: %v (closing anyway)", err)
+	}
+	hs.Shutdown(ctx) //nolint:errcheck // draining already waited for queries
+	if err := eng.Close(); err != nil {
+		log.Printf("engine close: %v", err)
+	}
+	log.Printf("bye")
+}

@@ -1,0 +1,437 @@
+// Command spqload is an open-loop load harness for the spqd daemon: it
+// fires queries at a fixed arrival rate over the binary protocol —
+// arrivals do not wait for completions, so a slow server faces a growing
+// backlog exactly like production traffic — and reports p50/p95/p99
+// latency, the shed (429) rate, and result correctness.
+//
+// Correctness: spqd's synthetic datasets are seed-deterministic, so the
+// harness builds an identical in-process engine, derives the same keyword
+// workload, and checks every served response byte-for-byte (canonical
+// JSON) against the local engine's answer. Any divergence is a mismatch
+// and fails the run.
+//
+// Exit status is non-zero if any result mismatched, any request failed
+// outright, -max-p99 was exceeded, or fewer than -min-shed of requests
+// were shed (used by CI to prove load shedding engages at 2x capacity).
+//
+//	spqload -addr 127.0.0.1:8643 -rate 200 -duration 5s
+//	spqload -spawn ./spqd -rate 500 -duration 3s -max-inflight 2 -min-shed 0.05
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"spq"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "binary-protocol address of a running spqd")
+		spawn    = flag.String("spawn", "", "path to an spqd binary to spawn and tear down")
+		rate     = flag.Float64("rate", 100, "arrival rate in queries/sec (open loop)")
+		duration = flag.Duration("duration", 5*time.Second, "measurement window")
+		conns    = flag.Int("conns", 8, "connection pool size (arrivals beyond it dial fresh)")
+		dataset  = flag.String("dataset", "uniform", "dataset family (must match the daemon)")
+		n        = flag.Int("n", 20000, "dataset size (must match the daemon)")
+		seed     = flag.Int64("seed", 42, "dataset seed (must match the daemon)")
+		nq       = flag.Int("queries", 16, "distinct queries cycled through the workload")
+		k        = flag.Int("k", 5, "query k")
+		radius   = flag.Float64("radius", 0.05, "query radius")
+		timeout  = flag.Duration("timeout", 2*time.Second, "per-request deadline carried in timeout_ms")
+		verify   = flag.Bool("verify", true, "check responses against an identical in-process engine")
+		maxP99   = flag.Duration("max-p99", 0, "fail if served p99 exceeds this (0 = off)")
+		minShed  = flag.Float64("min-shed", 0, "fail if less than this fraction of requests was shed")
+		jsonOut  = flag.Bool("json", false, "emit the summary as JSON")
+		// spawn-mode daemon tuning
+		inflight = flag.Int("max-inflight", 0, "spawned daemon's -max-inflight")
+		queue    = flag.Int("queue", 0, "spawned daemon's -queue")
+		qcache   = flag.Int("query-cache", 0, "spawned daemon's -query-cache (negative disables; use with overload runs so every query executes)")
+	)
+	flag.Parse()
+	log.SetPrefix("spqload: ")
+	log.SetFlags(0)
+
+	// All the work happens in run so its defers — spawned-daemon teardown
+	// above all — fire before os.Exit.
+	os.Exit(run(config{
+		addr: *addr, spawn: *spawn, rate: *rate, duration: *duration,
+		conns: *conns, dataset: *dataset, n: *n, seed: *seed, nq: *nq,
+		k: *k, radius: *radius, timeout: *timeout, verify: *verify,
+		maxP99: *maxP99, minShed: *minShed, jsonOut: *jsonOut,
+		inflight: *inflight, queue: *queue, qcache: *qcache,
+	}))
+}
+
+type config struct {
+	addr, spawn, dataset      string
+	rate, radius, minShed     float64
+	duration, timeout, maxP99 time.Duration
+	conns, n, nq, k           int
+	inflight, queue, qcache   int
+	seed                      int64
+	verify, jsonOut           bool
+}
+
+func run(cfg config) int {
+	target := cfg.addr
+	if cfg.spawn != "" {
+		var stop func()
+		target, stop = spawnDaemon(cfg.spawn, cfg.dataset, cfg.n, cfg.seed, cfg.inflight, cfg.queue, cfg.qcache)
+		defer stop()
+	}
+	if target == "" {
+		log.Print("need -addr or -spawn")
+		return 2
+	}
+
+	queries, references, err := buildWorkload(cfg.dataset, cfg.n, cfg.seed, cfg.nq, cfg.k, cfg.radius, cfg.verify)
+	if err != nil {
+		log.Printf("workload: %v", err)
+		return 1
+	}
+
+	p := &pool{addr: target, free: make(chan net.Conn, cfg.conns)}
+	defer p.drain()
+
+	// Warm each distinct query once (sequentially, uncounted) so the timed
+	// window measures the serving path, not first-touch compulsory misses.
+	for i := range queries {
+		if _, _, err := p.roundTrip(spq.QueryRequest{Query: queries[i], TimeoutMillis: 30_000}); err != nil {
+			log.Printf("warmup query %d: %v", i, err)
+			return 1
+		}
+	}
+
+	var (
+		sent, ok, shed, canceled, failed, mismatches atomic.Int64
+		mu                                           sync.Mutex
+		lat                                          []time.Duration
+		wg                                           sync.WaitGroup
+	)
+	interval := time.Duration(float64(time.Second) / cfg.rate)
+	if interval <= 0 {
+		log.Printf("rate %g too high", cfg.rate)
+		return 2
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	deadline := time.Now().Add(cfg.duration)
+	tm := cfg.timeout
+	for i := 0; time.Now().Before(deadline); i++ {
+		<-tick.C
+		qi := i % len(queries)
+		sent.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := spq.QueryRequest{Query: queries[qi], TimeoutMillis: tm.Milliseconds()}
+			start := time.Now()
+			resp, raw, err := p.roundTrip(req)
+			d := time.Since(start)
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			switch resp.Code {
+			case "":
+				ok.Add(1)
+				mu.Lock()
+				lat = append(lat, d)
+				mu.Unlock()
+				if references != nil && !bytes.Equal(raw, references[qi]) {
+					if mismatches.Add(1) == 1 {
+						log.Printf("MISMATCH query %d:\n  got  %s\n  want %s", qi, raw, references[qi])
+					}
+				}
+			case spq.CodeOverloaded:
+				shed.Add(1)
+			case spq.CodeCanceled:
+				canceled.Add(1)
+			default:
+				failed.Add(1)
+				log.Printf("query %d failed: %s (%s)", qi, resp.Error, resp.Code)
+			}
+		}()
+	}
+	wg.Wait()
+
+	summary := summarize(sent.Load(), ok.Load(), shed.Load(), canceled.Load(), failed.Load(), mismatches.Load(), lat, cfg.duration)
+	if cfg.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(summary) //nolint:errcheck // stdout
+	} else {
+		fmt.Printf("sent %d in %v (%.0f/s target %g/s)\n", summary.Sent, cfg.duration, summary.AchievedRate, cfg.rate)
+		fmt.Printf("ok %d  shed %d (%.1f%%)  canceled %d  failed %d  mismatches %d\n",
+			summary.OK, summary.Shed, 100*summary.ShedRate, summary.Canceled, summary.Failed, summary.Mismatches)
+		fmt.Printf("latency p50 %.2fms  p95 %.2fms  p99 %.2fms\n", summary.P50Millis, summary.P95Millis, summary.P99Millis)
+	}
+
+	code := 0
+	if summary.Mismatches > 0 {
+		log.Printf("FAIL: %d result mismatches", summary.Mismatches)
+		code = 1
+	}
+	if summary.Failed > 0 {
+		log.Printf("FAIL: %d failed requests", summary.Failed)
+		code = 1
+	}
+	if cfg.maxP99 > 0 && time.Duration(summary.P99Millis*float64(time.Millisecond)) > cfg.maxP99 {
+		log.Printf("FAIL: p99 %.2fms exceeds bound %v", summary.P99Millis, cfg.maxP99)
+		code = 1
+	}
+	if cfg.minShed > 0 && summary.ShedRate < cfg.minShed {
+		log.Printf("FAIL: shed rate %.3f below required %.3f (load shedding did not engage)", summary.ShedRate, cfg.minShed)
+		code = 1
+	}
+	return code
+}
+
+// buildWorkload derives the deterministic query set and — when verifying —
+// the canonical-JSON reference answer for each query from an in-process
+// engine identical to the daemon's.
+func buildWorkload(dataset string, n int, seed int64, nq, k int, radius float64, verify bool) ([]spq.Query, [][]byte, error) {
+	e := spq.NewEngine(spq.Config{Storage: spq.StorageMemory, Seed: seed})
+	if err := e.LoadSynthetic(dataset, n); err != nil {
+		return nil, nil, fmt.Errorf("reference load: %w", err)
+	}
+	if err := e.Seal(); err != nil {
+		return nil, nil, fmt.Errorf("reference seal: %w", err)
+	}
+	defer e.Close()
+	kws := e.FrequentKeywords(12)
+	if len(kws) < 2 {
+		return nil, nil, fmt.Errorf("only %d frequent keywords in %s/%d", len(kws), dataset, n)
+	}
+	queries := make([]spq.Query, nq)
+	for i := range queries {
+		queries[i] = spq.Query{
+			K:        k,
+			Radius:   radius,
+			Keywords: []string{kws[i%len(kws)], kws[(i*3+1)%len(kws)]},
+		}
+	}
+	if !verify {
+		return queries, nil, nil
+	}
+	refs := make([][]byte, nq)
+	for i, q := range queries {
+		res, err := e.Query(q)
+		if err != nil {
+			return nil, nil, fmt.Errorf("reference query %d: %w", i, err)
+		}
+		if res == nil {
+			res = []spq.Result{}
+		}
+		raw, err := json.Marshal(res)
+		if err != nil {
+			return nil, nil, err
+		}
+		refs[i] = raw
+	}
+	return queries, refs, nil
+}
+
+// pool is a trivial connection pool over the binary protocol. Arrivals
+// beyond the pool size dial fresh connections (open loop: the client never
+// queues on itself).
+type pool struct {
+	addr string
+	free chan net.Conn
+}
+
+func (p *pool) get() (net.Conn, error) {
+	select {
+	case c := <-p.free:
+		return c, nil
+	default:
+		return net.DialTimeout("tcp", p.addr, 5*time.Second)
+	}
+}
+
+func (p *pool) put(c net.Conn) {
+	select {
+	case p.free <- c:
+	default:
+		c.Close()
+	}
+}
+
+func (p *pool) drain() {
+	for {
+		select {
+		case c := <-p.free:
+			c.Close()
+		default:
+			return
+		}
+	}
+}
+
+// roundTrip sends one request frame and decodes the response, returning
+// the raw JSON of the results array for byte-level verification.
+func (p *pool) roundTrip(req spq.QueryRequest) (*spq.QueryResponse, []byte, error) {
+	conn, err := p.get()
+	if err != nil {
+		return nil, nil, err
+	}
+	payload, err := json.Marshal(&req)
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	if err := writeFrame(conn, payload); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	frame, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	p.put(conn)
+	// Decode the envelope but keep Results raw for byte comparison.
+	var envelope struct {
+		Results json.RawMessage `json:"results"`
+	}
+	var resp spq.QueryResponse
+	if err := json.Unmarshal(frame, &resp); err != nil {
+		return nil, nil, err
+	}
+	if err := json.Unmarshal(frame, &envelope); err != nil {
+		return nil, nil, err
+	}
+	return &resp, []byte(envelope.Results), nil
+}
+
+const maxFrame = 4 << 20
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("frame length %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// spawnDaemon launches an spqd child on ephemeral ports, scrapes its
+// "listening <http> <bin>" banner, and returns the binary address plus a
+// teardown func (SIGTERM, wait).
+func spawnDaemon(bin, dataset string, n int, seed int64, inflight, queue, qcache int) (string, func()) {
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-dataset", dataset, "-n", fmt.Sprint(n), "-seed", fmt.Sprint(seed),
+	}
+	if inflight > 0 {
+		args = append(args, "-max-inflight", fmt.Sprint(inflight))
+	}
+	if queue != 0 {
+		args = append(args, "-queue", fmt.Sprint(queue))
+	}
+	if qcache != 0 {
+		args = append(args, "-query-cache", fmt.Sprint(qcache))
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("spawn %s: %v", bin, err)
+	}
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		cmd.Process.Kill() //nolint:errcheck // teardown
+		log.Fatalf("%s exited before printing its banner", bin)
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) != 3 || fields[0] != "listening" || fields[2] == "off" {
+		cmd.Process.Kill() //nolint:errcheck // teardown
+		log.Fatalf("unexpected banner %q", sc.Text())
+	}
+	go io.Copy(io.Discard, stdout) //nolint:errcheck // keep the pipe drained
+	log.Printf("spawned %s: http %s binary %s", bin, fields[1], fields[2])
+	return fields[2], func() {
+		cmd.Process.Signal(syscall.SIGTERM) //nolint:errcheck // teardown
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }() //nolint:errcheck // teardown
+		select {
+		case <-done:
+		case <-time.After(40 * time.Second):
+			cmd.Process.Kill() //nolint:errcheck // teardown
+			<-done
+		}
+	}
+}
+
+// Summary is the machine-readable outcome (-json).
+type Summary struct {
+	Sent         int64   `json:"sent"`
+	OK           int64   `json:"ok"`
+	Shed         int64   `json:"shed"`
+	Canceled     int64   `json:"canceled"`
+	Failed       int64   `json:"failed"`
+	Mismatches   int64   `json:"mismatches"`
+	AchievedRate float64 `json:"achieved_rate"`
+	ShedRate     float64 `json:"shed_rate"`
+	P50Millis    float64 `json:"p50_ms"`
+	P95Millis    float64 `json:"p95_ms"`
+	P99Millis    float64 `json:"p99_ms"`
+}
+
+func summarize(sent, ok, shed, canceled, failed, mismatches int64, lat []time.Duration, window time.Duration) Summary {
+	s := Summary{
+		Sent: sent, OK: ok, Shed: shed, Canceled: canceled,
+		Failed: failed, Mismatches: mismatches,
+	}
+	if window > 0 {
+		s.AchievedRate = float64(sent) / window.Seconds()
+	}
+	if sent > 0 {
+		s.ShedRate = float64(shed) / float64(sent)
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		q := func(p float64) float64 {
+			i := int(p * float64(len(lat)-1))
+			return float64(lat[i]) / float64(time.Millisecond)
+		}
+		s.P50Millis, s.P95Millis, s.P99Millis = q(0.50), q(0.95), q(0.99)
+	}
+	return s
+}

@@ -1,6 +1,7 @@
 package spq
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -253,6 +254,14 @@ type Engine struct {
 	// Queries load it lock-free; e.mu is only taken to seal.
 	snap atomic.Pointer[snapshot]
 
+	// Lifecycle: closed flips once under lifeMu and stays; inflight counts
+	// queries between beginQuery/endQuery so Close can drain them. They are
+	// separate from e.mu because queries never take e.mu (by design), yet
+	// Close must still fence them.
+	lifeMu   sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+
 	mu      sync.Mutex
 	objects []data.Object
 	nData   int
@@ -348,17 +357,41 @@ func (e *Engine) Workers() []string {
 	return e.exec.Workers()
 }
 
-// Close releases the engine's distributed-execution resources: the RPC
-// master stops and worker connections drop. Worker processes themselves
-// keep running (their lifecycle belongs to whoever started them). Close
-// is a no-op for in-process engines; the engine must not be queried
-// afterwards.
+// Close shuts the engine down: it waits for in-flight queries to finish,
+// then releases the distributed-execution resources (the RPC master stops
+// and worker connections drop; worker processes themselves keep running —
+// their lifecycle belongs to whoever started them). Close is idempotent
+// and safe to call concurrently with queries: calls racing a Close, and
+// every query submitted afterwards, fail with ErrClosed instead of
+// touching torn-down state.
 func (e *Engine) Close() error {
+	e.lifeMu.Lock()
+	if e.closed {
+		e.lifeMu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.lifeMu.Unlock()
+	e.inflight.Wait()
 	if e.exec == nil {
 		return nil
 	}
 	return e.exec.Close()
 }
+
+// beginQuery registers one in-flight query, failing with ErrClosed once
+// Close has begun. Callers that receive nil must call endQuery.
+func (e *Engine) beginQuery() error {
+	e.lifeMu.Lock()
+	defer e.lifeMu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.inflight.Add(1)
+	return nil
+}
+
+func (e *Engine) endQuery() { e.inflight.Done() }
 
 // AddData loads data objects (the objects ranked and returned by queries).
 //
@@ -736,8 +769,20 @@ func (e *Engine) memorySource(s *snapshot, files []string) mapreduce.Source[data
 }
 
 // Query runs a spatial preference query and returns the ranked results.
+// It is QueryContext with a background context.
 func (e *Engine) Query(q Query, opts ...QueryOption) ([]Result, error) {
-	rep, err := e.QueryReport(q, opts...)
+	return e.QueryContext(context.Background(), q, opts...)
+}
+
+// QueryContext runs a spatial preference query under ctx and returns the
+// ranked results. It is the primary query entry point: canceling ctx (a
+// dropped client connection, an expired deadline) aborts the query's
+// map/reduce tasks promptly — queued tasks leave the admission pools
+// without consuming a slot, running local tasks stop at record granularity
+// — and the call returns an error wrapping both ErrCanceled and the
+// context's own error. See errors.go for the full error taxonomy.
+func (e *Engine) QueryContext(ctx context.Context, q Query, opts ...QueryOption) ([]Result, error) {
+	rep, err := e.QueryReportContext(ctx, q, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -749,7 +794,14 @@ func (e *Engine) Query(q Query, opts ...QueryOption) ([]Result, error) {
 const defaultGridN = 16
 
 // QueryReport runs a query and additionally returns the execution metrics
-// of the underlying MapReduce job.
+// of the underlying MapReduce job. It is QueryReportContext with a
+// background context.
+func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
+	return e.QueryReportContext(context.Background(), q, opts...)
+}
+
+// QueryReportContext runs a query under ctx and additionally returns the
+// execution metrics of the underlying MapReduce job.
 //
 // Serving path: the first query seals the engine (under the engine
 // mutex); every later query runs lock-free against the published
@@ -759,7 +811,33 @@ const defaultGridN = 16
 // a job), and draws its map/reduce tasks from the cluster-shared
 // admission pools, so concurrent queries share the configured slots
 // fairly instead of oversubscribing the machine.
-func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
+//
+// Errors wrap the sentinels of errors.go: a malformed query returns
+// ErrInvalidQuery without executing anything, a query after Close returns
+// ErrClosed, and a canceled or expired ctx returns ErrCanceled (also
+// matching the context's own error under errors.Is).
+func (e *Engine) QueryReportContext(ctx context.Context, q Query, opts ...QueryOption) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := e.beginQuery(); err != nil {
+		return nil, err
+	}
+	defer e.endQuery()
+	if ctx.Err() != nil {
+		return nil, canceledErr(ctx)
+	}
+	rep, err := e.queryReport(ctx, q, opts)
+	if err != nil && ctx.Err() != nil {
+		// Cancellation outranks whatever proximate error the teardown
+		// produced; the caller asked for exactly this outcome.
+		return nil, canceledErr(ctx)
+	}
+	return rep, err
+}
+
+// queryReport is the query execution path behind QueryReportContext.
+func (e *Engine) queryReport(ctx context.Context, q Query, opts []QueryOption) (*Report, error) {
 	if err := validateQuery(q); err != nil {
 		return nil, err
 	}
@@ -771,11 +849,12 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 		opt(&cfg)
 	}
 	if cfg.gridSet && cfg.gridN <= 0 {
-		return nil, fmt.Errorf("spq: grid size %d, must be positive", cfg.gridN)
+		return nil, fmt.Errorf("%w: grid size %d, must be positive", ErrInvalidQuery, cfg.gridN)
 	}
 	if cfg.sealGridSet && cfg.sealGridN <= 0 {
-		return nil, fmt.Errorf("spq: seal grid size %d, must be positive", cfg.sealGridN)
+		return nil, fmt.Errorf("%w: seal grid size %d, must be positive", ErrInvalidQuery, cfg.sealGridN)
 	}
+	effective := cfg.effectiveOptions(e.cache != nil)
 
 	// Baseline DFS fault/repair activity: the delta accumulated while this
 	// query runs (failovers, quarantines, read repairs, ...) is surfaced on
@@ -880,6 +959,7 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 				return nil, err
 			}
 			rep.Counters = addFaultCounters(rep.Counters, e.fs.FaultStats().Sub(fault0))
+			rep.effective = effective
 			return e.finishQuery(key, rep), nil
 		}
 		if view != nil && len(dec.DeltaData)+len(dec.DeltaFeatures) > 0 {
@@ -930,7 +1010,7 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 	if e.exec != nil {
 		wire = &core.WireInfo{DictLen: e.dict.Size(), Gen: snap.manifest.Generation}
 	}
-	rep, err := core.Run(cfg.alg, src, cq, core.Options{
+	rep, err := core.RunContext(ctx, cfg.alg, src, cq, core.Options{
 		Cluster:       e.cluster,
 		Bounds:        bounds,
 		GridN:         gridN,
@@ -964,6 +1044,7 @@ func (e *Engine) QueryReport(q Query, opts ...QueryOption) (*Report, error) {
 		MapMillis:    float64(rep.Stats.MapDuration.Microseconds()) / 1000,
 		ReduceMillis: float64(rep.Stats.ReduceDuration.Microseconds()) / 1000,
 		TotalMillis:  float64(rep.Stats.Duration.Microseconds()) / 1000,
+		effective:    effective,
 	}), nil
 }
 

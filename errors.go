@@ -1,0 +1,46 @@
+package spq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Typed query-error taxonomy. Every error returned by QueryContext /
+// QueryReportContext wraps exactly one of these sentinels (or one of the
+// failure sentinels in fault.go — ErrDataUnavailable, ErrRetriesExhausted),
+// so callers branch with errors.Is instead of string matching. The serve
+// package maps them 1:1 onto HTTP status codes:
+//
+//	ErrInvalidQuery      → 400 Bad Request
+//	ErrOverloaded        → 429 Too Many Requests
+//	ErrCanceled          → 499 (client closed) or 504 (deadline)
+//	ErrClosed            → 503 Service Unavailable
+//	ErrDataUnavailable,
+//	ErrRetriesExhausted  → 500 Internal Server Error
+var (
+	// ErrInvalidQuery marks a query rejected at the API boundary before any
+	// execution: K <= 0, no keywords, a non-finite radius, or an invalid
+	// execution option. The error text names the offending field.
+	ErrInvalidQuery = errors.New("spq: invalid query")
+	// ErrOverloaded marks a query shed by admission control: the serving
+	// queue was full, the request's deadline would expire while queued, or
+	// its tenant exhausted its quota. The work was never started; retrying
+	// after backoff is safe.
+	ErrOverloaded = errors.New("spq: overloaded")
+	// ErrCanceled marks a query abandoned through its context — canceled by
+	// the caller or past its deadline. The underlying map/reduce tasks stop
+	// promptly and their admission slots are released. The context's own
+	// error (context.Canceled or context.DeadlineExceeded) is wrapped too,
+	// so errors.Is distinguishes the two causes.
+	ErrCanceled = errors.New("spq: query canceled")
+	// ErrClosed marks a query submitted after Engine.Close.
+	ErrClosed = errors.New("spq: engine closed")
+)
+
+// canceledErr wraps a context's termination as the taxonomy's ErrCanceled
+// while preserving the context error for errors.Is(err, context.Canceled)
+// / context.DeadlineExceeded checks.
+func canceledErr(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+}

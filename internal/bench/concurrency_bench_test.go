@@ -56,7 +56,7 @@ func benchConcurrentQuery(b *testing.B, opts ...spq.QueryOption) {
 // concurrent clients issuing distinct queries against one shared sealed
 // engine — snapshot reads plus shared-slot admission, no cache.
 func BenchmarkConcurrentQuery(b *testing.B) {
-	benchConcurrentQuery(b, spq.WithAutoPlan(), spq.WithoutCache())
+	benchConcurrentQuery(b, spq.WithAutoPlan(), spq.WithCache(false))
 }
 
 // BenchmarkConcurrentQueryCached is the steady serving state: the same

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -169,11 +170,18 @@ func Validate(alg Algorithm, q Query, opts Options) error {
 }
 
 // Run executes the selected algorithm over the source and returns the
-// merged top-k. The source yields both datasets (data and feature objects
-// are distinguished by Object.Kind, exactly as the Map functions of the
-// paper receive "x: input object" without assumptions on its location or
-// provenance).
+// merged top-k. It is RunContext with a background context.
 func Run(alg Algorithm, src mapreduce.Source[data.Object], q Query, opts Options) (*Report, error) {
+	return RunContext(context.Background(), alg, src, q, opts)
+}
+
+// RunContext executes the selected algorithm over the source and returns
+// the merged top-k. The source yields both datasets (data and feature
+// objects are distinguished by Object.Kind, exactly as the Map functions
+// of the paper receive "x: input object" without assumptions on its
+// location or provenance). Canceling ctx aborts the underlying MapReduce
+// job promptly (see mapreduce.RunContext).
+func RunContext(ctx context.Context, alg Algorithm, src mapreduce.Source[data.Object], q Query, opts Options) (*Report, error) {
 	if err := Validate(alg, q, opts); err != nil {
 		return nil, err
 	}
@@ -214,7 +222,7 @@ func Run(alg Algorithm, src mapreduce.Source[data.Object], q Query, opts Options
 		job.Wire = &mapreduce.WireJob{Kind: WireKind, Spec: spec}
 	}
 
-	res, err := mapreduce.Run(opts.Cluster, job)
+	res, err := mapreduce.RunContext(ctx, opts.Cluster, job)
 	if err != nil {
 		return nil, err
 	}

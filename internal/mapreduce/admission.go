@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -51,15 +52,17 @@ func newSlotPool(slots int) *slotPool {
 	return &slotPool{free: slots}
 }
 
-// acquire blocks until a slot is available. It reports how long the task
-// waited and the queue depth observed at enqueue time (0 when admitted
-// immediately).
-func (p *slotPool) acquire(priority bool) (waited time.Duration, depth int) {
+// acquire blocks until a slot is available or ctx is done. It reports how
+// long the task waited and the queue depth observed at enqueue time (0
+// when admitted immediately). On cancellation no slot is held and the
+// returned error is ctx.Err(); a queued waiter leaves the queue, so an
+// abandoned query's tasks stop consuming admission positions.
+func (p *slotPool) acquire(ctx context.Context, priority bool) (waited time.Duration, depth int, err error) {
 	p.mu.Lock()
 	if p.free > 0 {
 		p.free--
 		p.mu.Unlock()
-		return 0, 0
+		return 0, 0, nil
 	}
 	w := &waiter{ch: make(chan struct{})}
 	if priority {
@@ -70,8 +73,41 @@ func (p *slotPool) acquire(priority bool) (waited time.Duration, depth int) {
 	depth = len(p.prio) + len(p.fifo)
 	p.mu.Unlock()
 	start := time.Now()
-	<-w.ch
-	return time.Since(start), depth
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-w.ch:
+		return time.Since(start), depth, nil
+	case <-done:
+	}
+	// Canceled while queued: remove the waiter. If release already granted
+	// it the slot (it is no longer in either lane), accept the grant and
+	// hand the slot straight back so it is not leaked.
+	p.mu.Lock()
+	removed := false
+	if priority {
+		p.prio, removed = removeWaiter(p.prio, w)
+	} else {
+		p.fifo, removed = removeWaiter(p.fifo, w)
+	}
+	p.mu.Unlock()
+	if !removed {
+		<-w.ch
+		p.release()
+	}
+	return time.Since(start), depth, ctx.Err()
+}
+
+// removeWaiter removes w from lane, reporting whether it was still queued.
+func removeWaiter(lane []*waiter, w *waiter) ([]*waiter, bool) {
+	for i, cand := range lane {
+		if cand == w {
+			return append(lane[:i], lane[i+1:]...), true
+		}
+	}
+	return lane, false
 }
 
 // release returns a slot, waking the next waiter if any: the priority

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -14,8 +15,8 @@ import (
 func TestSlotPoolImmediateWhenFree(t *testing.T) {
 	p := newSlotPool(2)
 	for i := 0; i < 2; i++ {
-		waited, depth := p.acquire(false)
-		if waited != 0 || depth != 0 {
+		waited, depth, err := p.acquire(context.Background(), false)
+		if waited != 0 || depth != 0 || err != nil {
 			t.Fatalf("acquire %d: waited=%v depth=%d, want immediate", i, waited, depth)
 		}
 	}
@@ -24,7 +25,7 @@ func TestSlotPoolImmediateWhenFree(t *testing.T) {
 	}
 	p.release()
 	p.release()
-	if waited, depth := p.acquire(false); waited != 0 || depth != 0 {
+	if waited, depth, err := p.acquire(context.Background(), false); waited != 0 || depth != 0 || err != nil {
 		t.Fatalf("post-release acquire: waited=%v depth=%d", waited, depth)
 	}
 }
@@ -34,7 +35,7 @@ func TestSlotPoolImmediateWhenFree(t *testing.T) {
 // within each lane.
 func TestSlotPoolFIFOAndPriority(t *testing.T) {
 	p := newSlotPool(1)
-	p.acquire(false) // hold the slot
+	p.acquire(context.Background(), false) // hold the slot
 
 	var (
 		mu    sync.Mutex
@@ -46,7 +47,7 @@ func TestSlotPoolFIFOAndPriority(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p.acquire(prio)
+			p.acquire(context.Background(), prio) //nolint:errcheck // background ctx never cancels
 			mu.Lock()
 			order = append(order, name)
 			mu.Unlock()
@@ -82,7 +83,7 @@ func TestSlotPoolFIFOAndPriority(t *testing.T) {
 // priority grants — the starvation bound.
 func TestSlotPoolPriorityAging(t *testing.T) {
 	p := newSlotPool(1)
-	p.acquire(false) // hold the slot
+	p.acquire(context.Background(), false) // hold the slot
 
 	var (
 		mu    sync.Mutex
@@ -94,7 +95,7 @@ func TestSlotPoolPriorityAging(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p.acquire(prio)
+			p.acquire(context.Background(), prio) //nolint:errcheck // background ctx never cancels
 			mu.Lock()
 			order = append(order, name)
 			mu.Unlock()

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -119,20 +120,42 @@ type partitionData[K, V any] struct {
 // job's shuffle files in the DFS so two executions never collide.
 var jobSeq atomic.Int64
 
-// Run executes the job on the cluster and returns its result. It is the
-// entry point of the framework.
+// Run executes the job on the cluster and returns its result. It is
+// RunContext with a background context: the job runs to completion or
+// failure and can never be canceled from outside.
+func Run[I, K, V, O any](c *Cluster, job *Job[I, K, V, O]) (*Result[O], error) {
+	return RunContext(context.Background(), c, job)
+}
+
+// RunContext executes the job on the cluster and returns its result. It
+// is the entry point of the framework.
 //
-// Run is orchestration only: it enumerates the input splits exactly once,
-// assigns tasks to executor lanes, dispatches self-describing task
+// RunContext is orchestration only: it enumerates the input splits exactly
+// once, assigns tasks to executor lanes, dispatches self-describing task
 // descriptors, gathers results and drives the per-task retry loop — but
 // has no knowledge of where an attempt executes. The executor decides
 // that: in-process on the cluster's slot pools (the default), or on
 // remote worker processes over RPC when the cluster carries an Executor
 // and the job is remotable (it has a WireJob and every split serializes
 // a SplitRef).
-func Run[I, K, V, O any](c *Cluster, job *Job[I, K, V, O]) (*Result[O], error) {
+//
+// Canceling ctx stops the job promptly: no further task attempts start
+// (tasks queued for slot admission leave the queue without consuming a
+// slot), running local map and reduce tasks notice the cancellation at
+// record granularity and abort, retry backoffs are cut short, and
+// RunContext returns ctx.Err() (wrapped) instead of a task error. Task
+// attempts already dispatched to a remote worker run to completion there
+// — their results are discarded — so cancellation bounds new work, not
+// in-flight RPCs.
+func RunContext[I, K, V, O any](ctx context.Context, c *Cluster, job *Job[I, K, V, O]) (*Result[O], error) {
 	if err := job.validate(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
 	}
 	start := time.Now()
 	counters := NewCounters()
@@ -148,6 +171,7 @@ func Run[I, K, V, O any](c *Cluster, job *Job[I, K, V, O]) (*Result[O], error) {
 		jobID:    fmt.Sprintf("j%06d", jobSeq.Add(1)),
 		priority: job.Priority,
 		counters: counters,
+		ctx:      ctx,
 		shuffle:  make([][]ShuffleRef, r),
 	}
 
@@ -193,17 +217,17 @@ func Run[I, K, V, O any](c *Cluster, job *Job[I, K, V, O]) (*Result[O], error) {
 		}()
 		mapStates := make([]slotState, exec.Lanes(MapTask))
 		b.localMap = func(lane, task, attempt int, host string) error {
-			lc, ctx := mapStates[lane].get(MapTask, host)
+			lc, tctx := mapStates[lane].get(MapTask, host)
 			lc.reset()
-			ctx.rebind(task, attempt)
-			return runMapAttempt(job, splits[task], parts, counters, lc, ctx, task, attempt, r)
+			tctx.rebind(task, attempt)
+			return runMapAttempt(ctx, job, splits[task], parts, counters, lc, tctx, task, attempt, r)
 		}
 		reduceStates := make([]slotState, exec.Lanes(ReduceTask))
 		b.localReduce = func(lane, task, attempt int, host string) error {
-			lc, ctx := reduceStates[lane].get(ReduceTask, host)
+			lc, tctx := reduceStates[lane].get(ReduceTask, host)
 			lc.reset()
-			ctx.rebind(task, attempt)
-			out, rerr := runReduceAttempt(job, parts[task], counters, lc, ctx, task, attempt)
+			tctx.rebind(task, attempt)
+			out, rerr := runReduceAttempt(ctx, job, parts[task], counters, lc, tctx, task, attempt)
 			if rerr != nil {
 				return rerr
 			}
@@ -241,6 +265,12 @@ func Run[I, K, V, O any](c *Cluster, job *Job[I, K, V, O]) (*Result[O], error) {
 			b.addShuffle(res.Shuffle)
 			return nil
 		})
+	if cerr := ctx.Err(); cerr != nil {
+		// Cancellation outranks task errors: a canceled job's attempts may
+		// fail for any number of secondary reasons, but the caller asked
+		// for exactly this outcome and gets the context error back.
+		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, cerr)
+	}
 	if len(errs) > 0 {
 		return nil, newJobError(job.Name, MapTask, errs)
 	}
@@ -263,6 +293,9 @@ func Run[I, K, V, O any](c *Cluster, job *Job[I, K, V, O]) (*Result[O], error) {
 			outputs[task] = out
 			return nil
 		})
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, cerr)
+	}
 	if len(errs) > 0 {
 		return nil, newJobError(job.Name, ReduceTask, errs)
 	}
@@ -373,7 +406,7 @@ func runPhase(exec Executor, b *Binding, kind TaskKind, perLane [][]int, budget 
 		go func(lane int) {
 			defer wg.Done()
 			for _, task := range perLane[lane] {
-				if b.failed.Load() {
+				if b.failed.Load() || b.Context().Err() != nil {
 					return
 				}
 				te := runTaskAttempts(exec, b, kind, lane, task, budget, backoffBase, retryCounter, mkDesc, call, onResult)
@@ -415,6 +448,15 @@ func runTaskAttempts(exec Executor, b *Binding, kind TaskKind, lane, task, budge
 			// task silently — its outcome is irrelevant.
 			return nil
 		}
+		if b.Context().Err() != nil {
+			// The job was canceled: whatever this attempt's proximate error
+			// was (a context error from admission, an aborted read, a task
+			// body noticing the cancellation), its outcome is irrelevant.
+			// Mark the job failed so concurrently queued attempts drop too,
+			// and report no task error — RunContext returns ctx.Err().
+			b.failed.Store(true)
+			return nil
+		}
 		worker := exec.LaneHost(kind, lane)
 		if res != nil && res.Worker != "" {
 			worker = res.Worker
@@ -427,7 +469,7 @@ func runTaskAttempts(exec Executor, b *Binding, kind TaskKind, lane, task, budge
 			return &TaskError{Job: b.job, Kind: kind, Task: task, Worker: worker, Attempts: attempt, Budget: budget, Exhausted: true, Err: err}
 		}
 		b.counters.Add(retryCounter, 1)
-		backoff(backoffBase, attempt, b.counters)
+		backoff(b.Context(), backoffBase, attempt, b.counters)
 	}
 }
 
@@ -472,18 +514,31 @@ func (s *slotState) get(kind TaskKind, host string) (*Counters, *TaskContext) {
 }
 
 // backoff sleeps the capped exponential delay before retry number
-// failed+1 and meters the time slept.
-func backoff(base time.Duration, failed int, counters *Counters) {
+// failed+1 and meters the time slept. A canceled context cuts the sleep
+// short — a canceled job must not keep its caller waiting out a backoff.
+func backoff(ctx context.Context, base time.Duration, failed int, counters *Counters) {
 	if d := retryDelay(base, failed); d > 0 {
 		counters.Add(CounterRetryBackoffMicros, d.Microseconds())
-		time.Sleep(d)
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
 	}
 }
 
+// cancelCheckEvery is the record granularity at which local task bodies
+// poll the job context: coarse enough that the atomic load never shows up
+// in profiles, fine enough that a canceled query stops within microseconds.
+const cancelCheckEvery = 4096
+
 // runMapAttempt runs one attempt of one map task. All side effects (counter
 // deltas, buffered records, spill runs) are kept attempt-local and
-// published only on success, so a failed attempt leaves no trace.
-func runMapAttempt[I, K, V, O any](job *Job[I, K, V, O], split SourceSplit[I], parts []*partitionData[K, V], counters, local *Counters, ctx *TaskContext, task, attempt, r int) (err error) {
+// published only on success, so a failed attempt leaves no trace. jctx is
+// the job's cancellation context, polled every cancelCheckEvery records so
+// a canceled job stops mid-split instead of finishing the read.
+func runMapAttempt[I, K, V, O any](jctx context.Context, job *Job[I, K, V, O], split SourceSplit[I], parts []*partitionData[K, V], counters, local *Counters, ctx *TaskContext, task, attempt, r int) (err error) {
 	if job.FaultInjector != nil {
 		if ferr := job.FaultInjector(MapTask, task, attempt); ferr != nil {
 			return ferr
@@ -581,6 +636,10 @@ func runMapAttempt[I, K, V, O any](job *Job[I, K, V, O], split SourceSplit[I], p
 	var mapErr error
 	eachErr := split.Each(func(rec I) bool {
 		recIn++
+		if recIn%cancelCheckEvery == 0 && jctx.Err() != nil {
+			mapErr = jctx.Err()
+			return false
+		}
 		if merr := job.Map(ctx, rec, emit); merr != nil {
 			mapErr = merr
 			return false
@@ -637,7 +696,10 @@ func runMapAttempt[I, K, V, O any](job *Job[I, K, V, O], split SourceSplit[I], p
 }
 
 // runReduceAttempt runs one attempt of one reduce task over its partition.
-func runReduceAttempt[I, K, V, O any](job *Job[I, K, V, O], part *partitionData[K, V], counters, local *Counters, ctx *TaskContext, task, attempt int) ([]O, error) {
+// jctx is the job's cancellation context; the merged input stream polls it
+// at record granularity (see cancelStream), so a canceled job aborts the
+// reduce mid-merge.
+func runReduceAttempt[I, K, V, O any](jctx context.Context, job *Job[I, K, V, O], part *partitionData[K, V], counters, local *Counters, ctx *TaskContext, task, attempt int) ([]O, error) {
 	if job.FaultInjector != nil {
 		if ferr := job.FaultInjector(ReduceTask, task, attempt); ferr != nil {
 			return nil, ferr
@@ -688,12 +750,33 @@ func runReduceAttempt[I, K, V, O any](job *Job[I, K, V, O], part *partitionData[
 	}
 	local.Add(CounterReduceValues, total)
 
-	out, err := reduceStream(job, merged, local, ctx)
+	out, err := reduceStream(job, &cancelStream[K, V]{ctx: jctx, inner: merged}, local, ctx)
 	if err != nil {
 		return nil, err
 	}
 	counters.Merge(local)
 	return out, nil
+}
+
+// cancelStream wraps a sorted record stream with a job-context poll every
+// cancelCheckEvery records, so local reduce tasks of a canceled job stop
+// at record granularity. The worker-side reduce path reads its streams
+// unwrapped — cancellation does not propagate into an in-flight RPC.
+type cancelStream[K, V any] struct {
+	ctx   context.Context
+	inner stream[K, V]
+	n     int
+}
+
+func (s *cancelStream[K, V]) next() (Pair[K, V], bool, error) {
+	s.n++
+	if s.n%cancelCheckEvery == 0 {
+		if err := s.ctx.Err(); err != nil {
+			var zero Pair[K, V]
+			return zero, false, err
+		}
+	}
+	return s.inner.next()
 }
 
 // reduceStream drives the job's Reduce function over a merged sorted

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -136,6 +137,9 @@ type Binding struct {
 	jobID    string
 	priority bool
 	counters *Counters
+	// ctx is the job's cancellation context (RunContext); nil bindings —
+	// worker-side reconstructions — read it as context.Background().
+	ctx context.Context
 	// failed flips once any task has failed; executors stop admitting
 	// queued attempts and the orchestrator stops dispatching.
 	failed atomic.Bool
@@ -167,6 +171,16 @@ func (b *Binding) Counters() *Counters { return b.counters }
 
 // Failed reports whether some task of the job has already failed.
 func (b *Binding) Failed() bool { return b.failed.Load() }
+
+// Context returns the job's cancellation context. Executors consult it
+// before spending resources on an attempt: a canceled job's queued tasks
+// are dropped instead of dispatched.
+func (b *Binding) Context() context.Context {
+	if b.ctx == nil {
+		return context.Background()
+	}
+	return b.ctx
+}
 
 // addShuffle records the shuffle runs written by a successful map attempt.
 func (b *Binding) addShuffle(refs []ShuffleRef) {
@@ -247,7 +261,13 @@ func (x *LocalExecutor) RunReduceTask(b *Binding, d *TaskDesc) (*TaskResult, err
 // run admits the attempt through the shared slot pool and executes the
 // bound closure on the lane's slot.
 func (x *LocalExecutor) run(b *Binding, d *TaskDesc, pool *slotPool, fn func(lane, task, attempt int, host string) error) (*TaskResult, error) {
-	waited, depth := pool.acquire(d.Priority)
+	waited, depth, err := pool.acquire(b.Context(), d.Priority)
+	if err != nil {
+		// Canceled while queued for admission: no slot is held and the
+		// job is being torn down; surface the context error so the
+		// orchestrator drops the task.
+		return nil, err
+	}
 	defer pool.release()
 	var sched schedStats
 	sched.observe(waited, depth)

@@ -138,6 +138,11 @@ func (e *RPCExecutor) dispatch(b *Binding, d *TaskDesc) (*TaskResult, error) {
 	if b.Failed() {
 		return nil, errTaskAborted
 	}
+	if err := b.Context().Err(); err != nil {
+		// The job was canceled while this attempt queued; don't spend a
+		// worker round-trip on work whose output is discarded.
+		return nil, err
+	}
 	w, primary := e.route(d.Lane)
 	if w == nil {
 		// Nothing left to run on; retrying cannot help.

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"spq"
+)
+
+// Serving-side admission control. The engine's slot pools (PR 3) already
+// arbitrate map/reduce tasks between admitted queries; the serving gate
+// sits one layer above and bounds how many queries are admitted at all.
+// Beyond MaxInflight concurrent queries, requests wait in a bounded queue;
+// beyond the queue bound — or once a queued request's deadline would
+// expire before it could run — the request is shed with ErrOverloaded
+// instead of queue-collapsing, which is what keeps p99 bounded at 2x
+// capacity: the clients that are served see slot-pool latency, the rest
+// see a fast 429 they can back off on.
+
+// gate is a counting semaphore of MaxInflight admissions with a bounded
+// FIFO-ish waiting room (Go's runtime does not guarantee FIFO wakeup on a
+// contended channel, but waiters are bounded and deadline-evicted, which
+// is what matters for tail latency).
+type gate struct {
+	slots    chan struct{}
+	maxQueue int
+
+	mu     sync.Mutex
+	queued int
+}
+
+func newGate(maxInflight, maxQueue int) *gate {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &gate{slots: make(chan struct{}, maxInflight), maxQueue: maxQueue}
+}
+
+// enter admits one request, blocking in the waiting room while the gate is
+// full. It sheds with ErrOverloaded when the room is full or ctx is done
+// first (a queued request whose deadline expired was evicted, not served).
+// A nil return means the caller holds an admission and must leave().
+func (g *gate) enter(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	g.mu.Lock()
+	if g.queued >= g.maxQueue {
+		g.mu.Unlock()
+		return fmt.Errorf("%w: admission queue full (%d waiting)", spq.ErrOverloaded, g.maxQueue)
+	}
+	g.queued++
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.queued--
+		g.mu.Unlock()
+	}()
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		if ctx.Err() == context.DeadlineExceeded {
+			// Deadline-based eviction: the request would have timed out
+			// inside the engine anyway; shedding it now costs nothing and
+			// frees the queue position.
+			return fmt.Errorf("%w: deadline expired while queued", spq.ErrOverloaded)
+		}
+		return fmt.Errorf("%w: %w", spq.ErrCanceled, ctx.Err())
+	}
+}
+
+// leave returns an admission.
+func (g *gate) leave() { <-g.slots }
+
+// inflight returns the number of admitted (running) requests.
+func (g *gate) inflight() int { return len(g.slots) }
+
+// queueDepth returns the number of requests in the waiting room.
+func (g *gate) queueDepth() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.queued
+}
+
+// QuotaConfig bounds per-tenant query admission with a token bucket:
+// sustained RatePerSec queries per second per tenant, with bursts up to
+// Burst. The zero value disables quotas.
+type QuotaConfig struct {
+	// RatePerSec is each tenant's sustained admission rate; <= 0 disables
+	// quota enforcement entirely.
+	RatePerSec float64
+	// Burst is the bucket capacity (default: max(RatePerSec, 1)).
+	Burst float64
+}
+
+// quotaTable holds one token bucket per tenant, refilled lazily on use.
+type quotaTable struct {
+	rate  float64
+	burst float64
+	now   func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotaTable(cfg QuotaConfig) *quotaTable {
+	if cfg.RatePerSec <= 0 {
+		return nil
+	}
+	burst := cfg.Burst
+	if burst <= 0 {
+		burst = max(cfg.RatePerSec, 1)
+	}
+	return &quotaTable{
+		rate:    cfg.RatePerSec,
+		burst:   burst,
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow consumes one token from the tenant's bucket, reporting whether it
+// had one. Unknown tenants start with a full bucket.
+func (t *quotaTable) allow(tenant string) bool {
+	if t == nil {
+		return true
+	}
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: t.burst, last: now}
+		t.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = min(t.burst, b.tokens+dt*t.rate)
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

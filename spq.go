@@ -80,26 +80,30 @@ type Feature struct {
 	Keywords []string
 }
 
-// Query is a spatial preference query using keywords.
+// Query is a spatial preference query using keywords. The json tags are
+// its canonical wire form, shared by the serving daemon (cmd/spqd), its
+// clients and the load harness (cmd/spqload); see QueryRequest.
 type Query struct {
 	// K is the number of data objects to return.
-	K int
+	K int `json:"k"`
 	// Radius is the neighborhood distance threshold r: only feature
 	// objects within this distance of a data object influence its score.
-	Radius float64
+	Radius float64 `json:"radius"`
 	// Keywords is the query keyword set W.
-	Keywords []string
+	Keywords []string `json:"keywords"`
 	// Mode selects the scoring variant; the zero value is the paper's
 	// range mode (best Jaccard score within the radius).
-	Mode ScoringMode
+	Mode ScoringMode `json:"mode,omitempty"`
 }
 
 // Result is one ranked data object. A query returns at most K results;
 // data objects with no relevant feature in range score 0 and are omitted.
+// The json tags are its canonical wire form (see QueryResponse).
 type Result struct {
-	ID    uint64
-	X, Y  float64
-	Score float64
+	ID    uint64  `json:"id"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Score float64 `json:"score"`
 }
 
 // Report is the full outcome of a query: ranked results plus execution
@@ -125,7 +129,43 @@ type Report struct {
 	ReduceMillis float64
 	// TotalMillis is the end-to-end job duration.
 	TotalMillis float64
+
+	// effective records the settings the query actually ran with, resolved
+	// from the defaults and the QueryOptions; see Options.
+	effective EffectiveOptions
 }
+
+// EffectiveOptions are the resolved execution settings of one query: the
+// defaults overlaid with every QueryOption the caller passed. The serving
+// daemon echoes them back to clients, so a caller can see what a query
+// actually ran with without reverse-engineering the option list.
+type EffectiveOptions struct {
+	// Algorithm is the processing algorithm the query ran.
+	Algorithm Algorithm `json:"algorithm"`
+	// AutoPlan reports whether the query planner was enabled.
+	AutoPlan bool `json:"auto_plan"`
+	// Cache reports whether this execution participated in the query cache
+	// (an engine with the cache disabled reports false even without
+	// WithCache(false)).
+	Cache bool `json:"cache"`
+	// Delta reports whether appended-but-uncompacted records were visible.
+	Delta bool `json:"delta"`
+	// GridN is the query-time grid edge requested by WithGrid; 0 when the
+	// default or a planner-chosen grid applied (Plan.GridN has the final
+	// value for planned queries).
+	GridN int `json:"grid_n,omitempty"`
+	// Reducers is the reduce-task override from WithReducers; 0 = default.
+	Reducers int `json:"reducers,omitempty"`
+	// SpillEvery is the map-side spill threshold from WithSpill; 0 = off.
+	SpillEvery int `json:"spill_every,omitempty"`
+	// SealGridN is the seal-grid override from WithSealGrid; 0 = default.
+	SealGridN int `json:"seal_grid_n,omitempty"`
+}
+
+// Options returns the effective execution settings the query ran with.
+// Reports served from the query cache return the settings of the original
+// execution, which — by cache-key construction — resolve identically.
+func (r *Report) Options() EffectiveOptions { return r.effective }
 
 // PlanStats describes one planned query execution: how much of the sealed,
 // partitioned storage the planner proved irrelevant, and the execution
@@ -211,23 +251,38 @@ func WithSealGrid(n int) QueryOption {
 	return func(c *queryConfig) { c.sealGridN = n; c.sealGridSet = true }
 }
 
-// WithoutCache bypasses the engine's query cache for this execution: the
-// query neither reads a cached report nor stores its own. Use it when the
-// actual execution matters — benchmarking, or reading fresh job counters
-// and timings for a query that may already be cached.
-func WithoutCache() QueryOption {
-	return func(c *queryConfig) { c.noCache = true }
+// WithCache controls this execution's participation in the engine's query
+// cache. WithCache(false) bypasses it entirely: the query neither reads a
+// cached report nor stores its own — use it when the actual execution
+// matters (benchmarking, or reading fresh job counters for a query that
+// may already be cached). WithCache(true) restores the default, so a later
+// option can override an earlier one.
+func WithCache(enabled bool) QueryOption {
+	return func(c *queryConfig) { c.noCache = !enabled }
 }
 
-// WithoutDelta restricts this query to the sealed base generation,
-// ignoring records appended since the last seal or compaction. Useful for
-// repeatable reads while a writer is streaming appends, or to measure the
-// delta's cost: the same query with and without the option isolates the
-// delta's contribution to results and timings. Cached separately from
-// delta-inclusive executions.
-func WithoutDelta() QueryOption {
-	return func(c *queryConfig) { c.noDelta = true }
+// WithDelta controls the visibility of appended-but-uncompacted records.
+// WithDelta(false) restricts this query to the sealed base generation,
+// ignoring records appended since the last seal or compaction — useful for
+// repeatable reads while a writer is streaming appends, or to isolate the
+// delta's contribution to results and timings. Such executions are cached
+// separately from delta-inclusive ones. WithDelta(true) restores the
+// default.
+func WithDelta(enabled bool) QueryOption {
+	return func(c *queryConfig) { c.noDelta = !enabled }
 }
+
+// WithoutCache bypasses the engine's query cache for this execution.
+//
+// Deprecated: use WithCache(false), which also composes with a later
+// WithCache(true).
+func WithoutCache() QueryOption { return WithCache(false) }
+
+// WithoutDelta restricts this query to the sealed base generation.
+//
+// Deprecated: use WithDelta(false), which also composes with a later
+// WithDelta(true).
+func WithoutDelta() QueryOption { return WithDelta(false) }
 
 // WithReducers overrides the number of reduce tasks (default: one per grid
 // cell, the paper's configuration).
@@ -268,22 +323,42 @@ func toFeatureObject(f Feature, dict *text.Dict) data.Object {
 	}
 }
 
+// validateQuery rejects malformed queries at the API boundary, before any
+// snapshot, cache or job work. Every rejection wraps ErrInvalidQuery and
+// names the offending field, so serving layers map it to a 400 and clients
+// see what to fix.
 func validateQuery(q Query) error {
 	if q.K <= 0 {
-		return fmt.Errorf("spq: query K = %d, must be positive", q.K)
+		return fmt.Errorf("%w: field K = %d, must be positive", ErrInvalidQuery, q.K)
 	}
 	if math.IsNaN(q.Radius) || math.IsInf(q.Radius, 0) {
 		// `q.Radius < 0` is false for NaN, so without this check a NaN
 		// radius used to slip through and silently return wrong results
 		// (every distance comparison against NaN is false); +Inf put every
 		// feature in range of every object. Reject both with a clear error.
-		return fmt.Errorf("spq: query radius = %g, must be finite", q.Radius)
+		return fmt.Errorf("%w: field Radius = %g, must be finite", ErrInvalidQuery, q.Radius)
 	}
 	if q.Radius < 0 {
-		return fmt.Errorf("spq: query radius = %g, must be non-negative", q.Radius)
+		return fmt.Errorf("%w: field Radius = %g, must be non-negative", ErrInvalidQuery, q.Radius)
 	}
 	if len(q.Keywords) == 0 {
-		return fmt.Errorf("spq: query has no keywords")
+		return fmt.Errorf("%w: field Keywords is empty", ErrInvalidQuery)
 	}
 	return nil
+}
+
+// effectiveOptions resolves one parsed option set into the introspection
+// form attached to reports (Report.Options). cacheEnabled is whether the
+// engine's query cache exists at all.
+func (c *queryConfig) effectiveOptions(cacheEnabled bool) EffectiveOptions {
+	return EffectiveOptions{
+		Algorithm:  c.alg,
+		AutoPlan:   c.autoPlan,
+		Cache:      cacheEnabled && !c.noCache,
+		Delta:      !c.noDelta,
+		GridN:      c.gridN,
+		Reducers:   c.reducers,
+		SpillEvery: c.spillEvery,
+		SealGridN:  c.sealGridN,
+	}
 }
