@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"spq"
 	"spq/internal/bench"
@@ -198,5 +199,149 @@ func runDistributed(workers int, quick bool) error {
 		float64(counters.get(spq.CounterExecRPCBytes))/(1<<20),
 		counters.get(spq.CounterExecFallbackLocal))
 	fmt.Println("results: distributed engine identical to in-process, query by query")
+	return nil
+}
+
+// runChurn is the elastic-membership smoke (-churn): the distributed
+// workload runs on 3 worker processes under a seeded churn schedule — one
+// worker killed, one gracefully drained, a fourth joining mid-run, and one
+// straggling at 20x the reference query latency — with speculative
+// execution racing backups against the straggler. It proves query-by-query
+// fingerprint identity against the in-process engine and requires at least
+// one speculative win.
+func runChurn(seed int64, quick bool) error {
+	size, queries := 30000, 120
+	if quick {
+		size, queries = 8000, 48
+	}
+	// MapSlots=4 yields ~16 map tasks per job dispatched 4 at a time:
+	// speculation needs completed-task duration samples from the first
+	// dispatch waves before it can spot the straggler in later ones, so
+	// each phase must span several waves.
+	base := spq.Config{
+		Storage:   spq.StorageDFSBinary,
+		Nodes:     4,
+		BlockSize: 8 << 10,
+		MapSlots:  4, ReduceSlots: 2,
+		QueryCache:  -1,
+		MaxAttempts: 5,
+	}
+	build := func(cfg spq.Config) (*spq.Engine, error) {
+		e := spq.NewEngine(cfg)
+		if err := e.LoadSynthetic("clustered", size); err != nil {
+			return nil, err
+		}
+		if err := e.Seal(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+
+	ref, err := build(base)
+	if err != nil {
+		return err
+	}
+	kws := ref.FrequentKeywords(64)
+	if len(kws) < 16 {
+		return fmt.Errorf("churn workload: only %d keywords", len(kws))
+	}
+	query := func(i int) spq.Query {
+		return spq.Query{K: 10, Radius: 0.02, Keywords: bench.RotatingKeywords(kws, i)}
+	}
+
+	fmt.Printf("# churn — clustered %d objects, %d distinct queries, 3+1 worker processes, seed %d\n",
+		size, queries, seed)
+	refPoint, refFPs, err := bench.RunConcurrent(queries, 1, func(i int) (string, error) {
+		res, err := ref.Query(query(i%queries), spq.WithAutoPlan())
+		return fmt.Sprint(res), err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.FormatConcurrencyPoint("in-process", refPoint, refPoint))
+
+	// The straggler runs 20x slower than the reference query latency
+	// (clamped to keep wall clock sane); speculation must beat it.
+	slow := time.Duration(20*refPoint.Millis/float64(refPoint.Queries)) * time.Millisecond
+	if slow < 50*time.Millisecond {
+		slow = 50 * time.Millisecond
+	}
+	if slow > 250*time.Millisecond {
+		slow = 250 * time.Millisecond
+	}
+
+	// Two slots per worker keeps lanes scarcer than tasks, forcing
+	// multi-wave dispatch within each job.
+	addrs, stopWorkers, err := spawnWorkers(4, 2)
+	if err != nil {
+		return err
+	}
+	defer stopWorkers()
+
+	cfg := base
+	cfg.Workers = addrs[:3]
+	cfg.Speculation = &spq.SpeculationConfig{Multiple: 2, MinTasks: 2, MinDelay: 5 * time.Millisecond}
+	cfg.Faults = &spq.FaultPlan{
+		Seed: seed,
+		WorkerKills: []spq.WorkerKillEvent{
+			{Worker: "worker-1", AfterTasks: 10 + int(seed%10)},
+		},
+		WorkerJoins: []spq.WorkerJoinEvent{
+			{Addr: addrs[3], Name: "joiner", AfterTasks: 6 + int(seed%5)},
+		},
+		WorkerDrains: []spq.WorkerDrainEvent{
+			{Worker: "worker-2", AfterTasks: 20 + int(seed%10)},
+		},
+		WorkerSlowdowns: []spq.WorkerSlowdownEvent{
+			{Worker: "worker-3", AfterTasks: 1, Delay: slow},
+		},
+	}
+	churned, err := build(cfg)
+	if err != nil {
+		return err
+	}
+	defer churned.Close()
+
+	var counters execCounters
+	churnPoint, churnFPs, err := bench.RunConcurrent(queries, 4, func(i int) (string, error) {
+		rep, err := churned.QueryReport(query(i%queries), spq.WithAutoPlan())
+		if err != nil {
+			return "", err
+		}
+		counters.add(rep.Counters)
+		return fmt.Sprint(rep.Results), nil
+	})
+	if err != nil {
+		return fmt.Errorf("churn query: %w", err)
+	}
+	fmt.Println(bench.FormatConcurrencyPoint(fmt.Sprintf("under churn (%v straggler)", slow), churnPoint, refPoint))
+
+	if i := bench.DiffFingerprints(refFPs, churnFPs); i >= 0 {
+		return fmt.Errorf("query %d differs between the churned engine and the in-process reference", i)
+	}
+	var tasks strings.Builder
+	counters.printTasks(&tasks)
+	fmt.Printf("exec: tasks%s\n", tasks.String())
+	fmt.Printf("churn: %d lost, %d joined, %d drained, %d quarantined; speculation: %d launched, %d won, %d wasted\n",
+		counters.get(spq.CounterExecWorkersLost),
+		counters.get(spq.CounterExecWorkersJoined),
+		counters.get(spq.CounterExecWorkersDrained),
+		counters.get(spq.CounterExecWorkersQuarantined),
+		counters.get(spq.CounterExecSpecLaunched),
+		counters.get(spq.CounterExecSpecWon),
+		counters.get(spq.CounterExecSpecWasted))
+	if counters.get(spq.CounterExecWorkersJoined) == 0 {
+		return fmt.Errorf("scheduled join never fired")
+	}
+	if counters.get(spq.CounterExecWorkersDrained) == 0 {
+		return fmt.Errorf("scheduled drain never fired")
+	}
+	if counters.get(spq.CounterExecSpecWon) == 0 {
+		return fmt.Errorf("no speculative win against a %v straggler", slow)
+	}
+	if counters.get(spq.CounterExecTasksPrefix+"joiner") == 0 {
+		return fmt.Errorf("joined worker executed no tasks")
+	}
+	fmt.Println("results: churned engine identical to in-process, query by query")
 	return nil
 }

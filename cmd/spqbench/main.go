@@ -16,6 +16,10 @@
 //	spqbench -chaos -chaos-seed 7     # replay the workload under seeded
 //	                                  # fault injection and node loss,
 //	                                  # proving result identity
+//	spqbench -churn -chaos-seed 7     # distributed workload under seeded
+//	                                  # worker churn (kill/drain/join) and
+//	                                  # a 20x straggler; requires at least
+//	                                  # one speculative win
 package main
 
 import (
@@ -52,6 +56,7 @@ func main() {
 		chaos    = flag.Bool("chaos", false, "chaos mode: replay the query workload under seeded DFS fault injection and node loss, proving result identity against a fault-free reference (skips the figures)")
 		chaosSd  = flag.Int64("chaos-seed", 1, "fault-plan seed for -chaos; every run replays deterministically from it")
 		workers  = flag.Int("workers", 0, "distributed mode: run the query workload on this many spawned worker processes over net/rpc, proving result identity against the in-process engine (skips the figures)")
+		churn    = flag.Bool("churn", false, "churn mode: run the distributed workload while workers are killed, drained, joined, and slowed 20x under -chaos-seed, proving result identity and speculative wins (skips the figures)")
 
 		// Internal flags of the worker child processes behind -workers.
 		runWorker   = flag.Bool("run-worker", false, "internal: serve as a spawned worker process")
@@ -68,6 +73,13 @@ func main() {
 	}
 	if *workers > 0 {
 		if err := runDistributed(*workers, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "spqbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *churn {
+		if err := runChurn(*chaosSd, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "spqbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -50,6 +50,7 @@ func main() {
 		qcache     = flag.Int("query-cache", 0, "query cache size in reports (0 default, negative disables)")
 		inflight   = flag.Int("max-inflight", 0, "max concurrently executing queries (default 2x GOMAXPROCS)")
 		queue      = flag.Int("queue", 0, "max queries waiting for admission (default 4x max-inflight)")
+		maxConns   = flag.Int("max-conns", 0, "max concurrent binary-protocol connections; beyond it new conns are shed with a typed overloaded frame (default 8x max-inflight, negative disables)")
 		deadline   = flag.Duration("deadline", 10*time.Second, "default per-query deadline, queueing included")
 		quotaRPS   = flag.Float64("quota-rps", 0, "per-tenant sustained queries/sec (0 disables quotas)")
 		quotaBurst = flag.Float64("quota-burst", 0, "per-tenant burst size (default max(quota-rps, 1))")
@@ -76,6 +77,7 @@ func main() {
 	srv := serve.New(eng, serve.Config{
 		MaxInflight:    *inflight,
 		MaxQueue:       *queue,
+		MaxBinaryConns: *maxConns,
 		DefaultTimeout: *deadline,
 		Quota:          serve.QuotaConfig{RatePerSec: *quotaRPS, Burst: *quotaBurst},
 	})

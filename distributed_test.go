@@ -3,6 +3,7 @@ package spq
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"spq/internal/mapreduce"
 )
@@ -206,6 +207,189 @@ func TestDistributedAttachError(t *testing.T) {
 	}
 	if _, err := eng.Query(Query{K: 1, Radius: 0.1, Keywords: []string{"k"}}); err == nil {
 		t.Fatal("query succeeded with unreachable workers")
+	}
+}
+
+// Distributed columnar queries must account the workers' segment reads:
+// the spq.seg.bytes.{read,decoded} totals include the per-worker deltas
+// that rode the task results home, and the per-worker breakdown
+// (suffixed counters) attributes them.
+func TestDistributedSegCounters(t *testing.T) {
+	base := Config{Storage: StorageDFSBinary, Nodes: 4, BlockSize: 8 << 10, MapSlots: 4, ReduceSlots: 2, QueryCache: -1}
+	ref := distEngine(t, base, 1200)
+	kws := ref.FrequentKeywords(8)
+	cfg := base
+	cfg.Workers = distWorkers(t, 2, 2)
+	eng := distEngine(t, cfg, 1200)
+
+	q := distQueries(kws, 1)[0]
+	rep, err := eng.QueryReport(q, WithoutCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counters[CounterExecFallbackLocal] != 0 {
+		t.Fatal("columnar query fell back to local execution")
+	}
+	if rep.Counters[CounterSegBytesRead] == 0 || rep.Counters[CounterSegBytesDecoded] == 0 {
+		t.Fatalf("distributed columnar query lost its segment I/O counters: read=%d decoded=%d",
+			rep.Counters[CounterSegBytesRead], rep.Counters[CounterSegBytesDecoded])
+	}
+	var workerRead, workerDecoded int64
+	for _, w := range eng.Workers() {
+		workerRead += rep.Counters[CounterSegBytesRead+"."+w]
+		workerDecoded += rep.Counters[CounterSegBytesDecoded+"."+w]
+	}
+	if workerRead == 0 || workerDecoded == 0 {
+		t.Errorf("no per-worker segment I/O attribution: read=%d decoded=%d", workerRead, workerDecoded)
+	}
+	if workerRead > rep.Counters[CounterSegBytesRead] || workerDecoded > rep.Counters[CounterSegBytesDecoded] {
+		t.Errorf("per-worker segment I/O (%d/%d) exceeds the query totals (%d/%d)",
+			workerRead, workerDecoded, rep.Counters[CounterSegBytesRead], rep.Counters[CounterSegBytesDecoded])
+	}
+}
+
+// Full-churn chaos property: under a seeded schedule of kills, joins,
+// graceful drains and straggler slowdowns that always leaves at least one
+// live worker, every algorithm × storage format must return results
+// byte-identical to the undisturbed in-process reference. The slowdown
+// must trip speculative execution (spec.won > 0), the scheduled join and
+// drain must be metered, and a worker added mid-engine through the public
+// API must be observed executing tasks via its per-worker attribution
+// counter.
+func TestDistributedChurn(t *testing.T) {
+	storages := []struct {
+		name string
+		cfg  Config
+	}{
+		{"text", Config{Storage: StorageDFS}},
+		{"binary", Config{Storage: StorageDFSBinary, Segment: SegmentRecord}},
+		{"columnar", Config{Storage: StorageDFSBinary}},
+	}
+	algs := []struct {
+		name string
+		alg  Algorithm
+	}{{"pspq", PSPQ}, {"espq-len", ESPQLen}, {"espq-sco", ESPQSco}}
+	const size = 1200
+
+	for _, st := range storages {
+		t.Run(st.name, func(t *testing.T) {
+			base := st.cfg
+			base.Nodes = 4
+			base.BlockSize = 8 << 10
+			base.MapSlots, base.ReduceSlots = 4, 2
+			base.QueryCache = -1
+			base.MaxAttempts = 5
+			ref := distEngine(t, base, size)
+			kws := ref.FrequentKeywords(16)
+			queries := distQueries(kws, 4)
+
+			var want [][]Result
+			for _, a := range algs {
+				for _, q := range queries {
+					res, err := ref.Query(q, WithAlgorithm(a.alg))
+					if err != nil {
+						t.Fatal(err)
+					}
+					want = append(want, res)
+				}
+			}
+
+			for _, seed := range chaosSeeds(t) {
+				t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+					// The joiner process is up before the engine exists; the
+					// churn schedule attaches it mid-run.
+					joiner, err := mapreduce.StartWorker("127.0.0.1:0", 2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					t.Cleanup(joiner.Stop)
+
+					cfg := base
+					cfg.Workers = distWorkers(t, 3, 2)
+					cfg.Speculation = &SpeculationConfig{
+						Multiple: 2, MinTasks: 2, MinDelay: 5 * time.Millisecond,
+					}
+					// worker-3 straggles but stays alive (speculation must
+					// win, not rerouting); worker-1 dies; worker-2 drains
+					// gracefully; the joiner arrives in between. At least
+					// worker-3 and the joiner always survive.
+					cfg.Faults = &FaultPlan{
+						Seed: seed,
+						WorkerKills: []WorkerKillEvent{
+							{Worker: "worker-1", AfterTasks: 3 + int(seed%5)},
+						},
+						WorkerJoins: []WorkerJoinEvent{
+							{Addr: joiner.Addr(), Name: "joiner", AfterTasks: 2 + int(seed%3)},
+						},
+						WorkerDrains: []WorkerDrainEvent{
+							{Worker: "worker-2", AfterTasks: 8 + int(seed%6)},
+						},
+						WorkerSlowdowns: []WorkerSlowdownEvent{
+							{Worker: "worker-3", AfterTasks: 1, Delay: 100 * time.Millisecond},
+						},
+					}
+					eng := distEngine(t, cfg, size)
+
+					churn := make(map[string]int64)
+					i := 0
+					for _, a := range algs {
+						for qi, q := range queries {
+							rep, err := eng.QueryReport(q, WithAlgorithm(a.alg), WithoutCache())
+							if err != nil {
+								t.Fatalf("%s q%d under churn: %v", a.name, qi, err)
+							}
+							if d := diffResults(rep.Results, want[i]); d != "" {
+								t.Errorf("%s q%d under churn: %s", a.name, qi, d)
+							}
+							for k, v := range rep.Counters {
+								churn[k] += v
+							}
+							i++
+						}
+					}
+					if churn[CounterExecWorkersJoined] == 0 {
+						t.Error("scheduled join not metered")
+					}
+					if churn[CounterExecWorkersDrained] == 0 {
+						t.Error("scheduled drain not metered")
+					}
+					if churn[CounterExecWorkersLost] == 0 {
+						t.Error("scheduled kill not metered as a loss")
+					}
+					if churn[CounterExecSpecLaunched] == 0 {
+						t.Error("straggling worker launched no speculative backups")
+					}
+					if churn[CounterExecSpecWon] == 0 {
+						t.Error("no speculative backup won against a 100ms straggler")
+					}
+					if churn[CounterExecTasksPrefix+"joiner"] == 0 {
+						t.Error("chaos-joined worker executed no tasks")
+					}
+
+					// Mid-engine membership through the public API: a fresh
+					// worker added now must serve the next query.
+					late, err := mapreduce.StartWorker("127.0.0.1:0", 2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					t.Cleanup(late.Stop)
+					name, err := eng.AddWorker(late.Addr(), "late")
+					if err != nil {
+						t.Fatal(err)
+					}
+					rep, err := eng.QueryReport(queries[0], WithAlgorithm(algs[0].alg), WithoutCache())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := diffResults(rep.Results, want[0]); d != "" {
+						t.Errorf("post-AddWorker query: %s", d)
+					}
+					if rep.Counters[CounterExecTasksPrefix+name] == 0 {
+						t.Errorf("worker %q added mid-engine executed no tasks", name)
+					}
+				})
+			}
+		})
 	}
 }
 

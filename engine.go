@@ -75,11 +75,15 @@ const (
 // produced from those reads.
 const (
 	// CounterSegBytesRead is the compressed frame bytes this query
-	// fetched from storage for its columnar block reads.
-	CounterSegBytesRead = "spq.seg.bytes.read"
+	// fetched from storage for its columnar block reads. On a distributed
+	// engine it totals the master's and every worker's reads; the
+	// per-worker share additionally appears under the same name with a
+	// "."+worker suffix.
+	CounterSegBytesRead = data.CounterSegBytesRead
 	// CounterSegBytesDecoded is the decoded in-memory size of the blocks
-	// produced from those reads.
-	CounterSegBytesDecoded = "spq.seg.bytes.decoded"
+	// produced from those reads (master + workers on a distributed
+	// engine, with the same per-worker breakdown).
+	CounterSegBytesDecoded = data.CounterSegBytesDecoded
 	// CounterSegBytesSelected is the stored (compressed) size of every
 	// block the query selected, independent of segment-cache warmth —
 	// the deterministic quantity for comparing segment formats.
@@ -163,7 +167,18 @@ type Config struct {
 	// storage, delta-merged sources — transparently fall back to local
 	// execution (spq.exec.fallback.local). Empty (the default) runs
 	// everything in-process. Engines with workers should be Closed.
+	//
+	// The worker set is elastic: AddWorker attaches more (or rejoins
+	// crashed ones) while the engine serves, and DrainWorker detaches one
+	// gracefully.
 	Workers []string
+	// Speculation enables speculative straggler execution on distributed
+	// engines: a task attempt running longer than a multiple of its
+	// phase's median completion time gets a backup attempt on a different
+	// worker, first result wins, loser is canceled (metered as
+	// spq.exec.spec.{launched,won,wasted}). Nil (the default) disables
+	// speculation. Ignored by in-process engines.
+	Speculation *SpeculationConfig
 }
 
 // DefaultMaxAttempts is the per-task execution budget used when
@@ -336,7 +351,10 @@ func NewEngine(cfg Config) *Engine {
 			e.exec = exec
 			e.cluster.Executor = exec
 			if cfg.Faults != nil {
-				exec.SetWorkerKills(cfg.Faults.WorkerKills)
+				exec.SetChurn(cfg.Faults)
+			}
+			if cfg.Speculation != nil {
+				exec.SetSpeculation(cfg.Speculation)
 			}
 		}
 	}
@@ -355,6 +373,46 @@ func (e *Engine) Workers() []string {
 		return nil
 	}
 	return e.exec.Workers()
+}
+
+// ErrNotDistributed rejects membership operations on engines that run
+// everything in-process (no Config.Workers).
+var ErrNotDistributed = errors.New("spq: engine has no distributed executor")
+
+// AddWorker attaches the worker process listening at addr to a running
+// distributed engine under the given name ("" auto-assigns the next
+// worker-N) and returns the registered name. A name that previously
+// belonged to a lost or drained worker rejoins in place — its lanes
+// route to the fresh connection immediately; a brand-new worker starts
+// executing tasks from the next query job on. Workers may equivalently
+// join themselves via the master's Join RPC (spqworker -master).
+func (e *Engine) AddWorker(addr, name string) (string, error) {
+	if e.exec == nil {
+		return "", ErrNotDistributed
+	}
+	return e.exec.AddWorker(addr, name)
+}
+
+// DrainWorker gracefully detaches a named worker from a running
+// distributed engine: new tasks route around it immediately, in-flight
+// tasks finish, then the connection closes. The worker process keeps
+// running and may rejoin later (AddWorker with the same name). Draining
+// the last live worker is refused.
+func (e *Engine) DrainWorker(name string) error {
+	if e.exec == nil {
+		return ErrNotDistributed
+	}
+	return e.exec.DrainWorker(name)
+}
+
+// MasterAddr returns the listen address of the engine's RPC master ("",
+// for in-process engines). Worker processes started with
+// `spqworker -master <addr>` join it on their own.
+func (e *Engine) MasterAddr() string {
+	if e.exec == nil {
+		return ""
+	}
+	return e.exec.MasterAddr()
 }
 
 // Close shuts the engine down: it waits for in-flight queries to finish,
@@ -1030,8 +1088,12 @@ func (e *Engine) queryReport(ctx context.Context, q Query, opts []QueryOption) (
 		if rep.Counters == nil {
 			rep.Counters = make(map[string]int64, 3)
 		}
-		rep.Counters[CounterSegBytesRead] = segIO.BytesRead.Load()
-		rep.Counters[CounterSegBytesDecoded] = segIO.BytesDecoded.Load()
+		// Accumulate (not overwrite): on distributed engines the workers'
+		// own segment reads already rode the task counter deltas into
+		// rep.Counters, and the master-side stats cover only what this
+		// process read (split enumeration, delta scans).
+		rep.Counters[CounterSegBytesRead] += segIO.BytesRead.Load()
+		rep.Counters[CounterSegBytesDecoded] += segIO.BytesDecoded.Load()
 		rep.Counters[CounterSegBytesSelected] = selBytes(colsData) + selBytes(colsFeat)
 	}
 	rep.Counters = addFaultCounters(rep.Counters, e.fs.FaultStats().Sub(fault0))

@@ -109,6 +109,37 @@ func buildWireJob(spec []byte, env *mapreduce.WorkerEnv) (mapreduce.RemoteJob, e
 		// dictionaries. Disabled-prune ablations must see every record.
 		colKeywords = s.Keywords
 	}
+	// Per-attempt segment I/O stats: one SegIOStats per TaskIO, folded
+	// into the attempt's counter deltas when it finishes — so a worker's
+	// columnar reads ride TaskResult.Counters back to the master instead
+	// of vanishing (only the winning attempt of a speculative race is
+	// absorbed, so counts never double). The per-worker breakdown rides
+	// under the same names with a "."+worker suffix.
+	var segMu sync.Mutex
+	segStats := make(map[*mapreduce.TaskIO]*data.SegIOStats)
+	segStatsFor := func(io *mapreduce.TaskIO) *data.SegIOStats {
+		segMu.Lock()
+		defer segMu.Unlock()
+		st, ok := segStats[io]
+		if !ok {
+			st = &data.SegIOStats{}
+			segStats[io] = st
+			io.OnFinish(func(c *mapreduce.Counters) {
+				read, dec := st.BytesRead.Load(), st.BytesDecoded.Load()
+				c.Add(data.CounterSegBytesRead, read)
+				c.Add(data.CounterSegBytesDecoded, dec)
+				if w := io.Env.Worker; w != "" {
+					c.Add(data.CounterSegBytesRead+"."+w, read)
+					c.Add(data.CounterSegBytesDecoded+"."+w, dec)
+				}
+				segMu.Lock()
+				delete(segStats, io)
+				segMu.Unlock()
+			})
+		}
+		return st
+	}
+
 	var dictMu sync.Mutex
 	var dict *text.Dict
 	ensureDict := func(io *mapreduce.TaskIO) (*text.Dict, error) {
@@ -150,7 +181,7 @@ func buildWireJob(spec []byte, env *mapreduce.WorkerEnv) (mapreduce.RemoteJob, e
 			}
 			return data.OpenSeqRef(fs, ref)
 		case "col":
-			in := &data.ColInput{R: io, Cache: blocks, Gen: s.Gen, Keywords: colKeywords}
+			in := &data.ColInput{R: io, Cache: blocks, Gen: s.Gen, Keywords: colKeywords, IO: segStatsFor(io)}
 			return in.OpenRef(ref)
 		default:
 			return nil, mapreduce.Permanent(fmt.Errorf("core: unknown split kind %q", ref.Kind))

@@ -9,6 +9,16 @@ import (
 	"spq/internal/mapreduce"
 )
 
+// Counter names segment-read instrumentation is reported under. The
+// engine owns the master-side totals; worker processes fold their own
+// SegIOStats under the same names (plus a ".<worker>" suffix for the
+// per-worker split) into task counter deltas, and the two add up in the
+// query report.
+const (
+	CounterSegBytesRead    = "spq.seg.bytes.read"
+	CounterSegBytesDecoded = "spq.seg.bytes.decoded"
+)
+
 // SegIOStats accumulates the storage traffic of one query's columnar
 // reads: BytesRead is what was fetched from storage (compressed frame
 // bytes; zero on a segment-cache hit), BytesDecoded the in-memory size of

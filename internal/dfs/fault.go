@@ -3,6 +3,7 @@ package dfs
 import (
 	"sort"
 	"sync/atomic"
+	"time"
 )
 
 // FaultPlan is a seeded, deterministic fault-injection schedule. All
@@ -46,12 +47,53 @@ type FaultPlan struct {
 	// fault plan so a chaos run's storage and execution faults replay from
 	// one seeded schedule.
 	WorkerKills []WorkerKillEvent
+
+	// WorkerJoins, WorkerDrains and WorkerSlowdowns schedule membership
+	// and straggler churn for the distributed execution layer, keyed on
+	// the cluster-global task dispatch count (joins/drains) or the named
+	// worker's own dispatch count (slowdowns). Like WorkerKills, the DFS
+	// ignores them; mapreduce.RPCExecutor interprets them so one seeded
+	// plan replays a whole churn schedule.
+	WorkerJoins     []WorkerJoinEvent
+	WorkerDrains    []WorkerDrainEvent
+	WorkerSlowdowns []WorkerSlowdownEvent
 }
 
 // WorkerKillEvent is one scheduled execution-worker crash.
 type WorkerKillEvent struct {
 	Worker     string // worker name as registered with the master
 	AfterTasks int    // fires when the worker's task dispatch count reaches this
+}
+
+// WorkerJoinEvent schedules a worker process joining the running engine
+// mid-workload: once the cluster-global task dispatch count reaches
+// AfterTasks, the execution layer attaches the worker listening at Addr
+// under Name (empty auto-assigns the next worker-N name). Joining a name
+// that previously died rejoins it in place: its lanes route to the fresh
+// connection.
+type WorkerJoinEvent struct {
+	Addr       string
+	Name       string
+	AfterTasks int
+}
+
+// WorkerDrainEvent schedules a graceful drain: once the cluster-global
+// task dispatch count reaches AfterTasks, the named worker stops
+// receiving new tasks, finishes its in-flight ones, and detaches.
+type WorkerDrainEvent struct {
+	Worker     string
+	AfterTasks int
+}
+
+// WorkerSlowdownEvent makes a worker a straggler: from its AfterTasks-th
+// dispatch on, every task dispatched to it is delayed by Delay before the
+// call is issued (the loopback equivalent of a slow machine). The delay
+// is injected master-side, so it trips speculative execution rather than
+// the per-call RPC deadline.
+type WorkerSlowdownEvent struct {
+	Worker     string
+	AfterTasks int
+	Delay      time.Duration
 }
 
 // CrashEvent is one scheduled node crash or revival.

@@ -57,6 +57,21 @@ const (
 	CounterExecFallbackLocal = "spq.exec.fallback.local"
 )
 
+// Speculative-execution and membership counters (spq.exec.*): backups
+// launched against suspected stragglers, how many beat their primary
+// (won) versus were overtaken by it (wasted), workers quarantined after
+// consecutive call timeouts (a subset of workers.lost — slow-loss, as
+// opposed to transport death), and workers that joined or gracefully
+// drained while a job was dispatching.
+const (
+	CounterExecSpecLaunched       = "spq.exec.spec.launched"
+	CounterExecSpecWon            = "spq.exec.spec.won"
+	CounterExecSpecWasted         = "spq.exec.spec.wasted"
+	CounterExecWorkersQuarantined = "spq.exec.workers.quarantined"
+	CounterExecWorkersJoined      = "spq.exec.workers.joined"
+	CounterExecWorkersDrained     = "spq.exec.workers.drained"
+)
+
 // Counters is a concurrency-safe registry of named int64 counters,
 // mirroring Hadoop job counters.
 type Counters struct {

@@ -73,6 +73,22 @@ type WorkerEnv struct {
 
 	jobsMu sync.Mutex
 	jobs   map[string]RemoteJob
+
+	// running tracks the cancel flags of in-flight task attempts, so the
+	// master can abandon the losing side of a speculative race.
+	runMu   sync.Mutex
+	running map[attemptKey]*atomic.Bool
+}
+
+// attemptKey identifies one runnable attempt on this worker. Backup
+// distinguishes a speculative backup from the primary it races — the two
+// run on different workers, but the key keeps a late cancel for one from
+// ever hitting the other after a rejoin.
+type attemptKey struct {
+	jobID  string
+	kind   TaskKind
+	task   int
+	backup int
 }
 
 // NewWorkerEnv builds a worker environment over the given transport.
@@ -83,8 +99,34 @@ func NewWorkerEnv(worker string, fs RemoteFS) *WorkerEnv {
 		// One-node, unreplicated mirror: block size only shapes the
 		// mirror's internal chunking, never split boundaries (references
 		// carry explicit byte ranges).
-		mirror: dfs.New(dfs.Config{NumNodes: 1, Replication: 1}),
-		jobs:   make(map[string]RemoteJob),
+		mirror:  dfs.New(dfs.Config{NumNodes: 1, Replication: 1}),
+		jobs:    make(map[string]RemoteJob),
+		running: make(map[attemptKey]*atomic.Bool),
+	}
+}
+
+// registerAttempt publishes a fresh cancel flag for a starting attempt;
+// the returned release removes it when the attempt finishes.
+func (e *WorkerEnv) registerAttempt(k attemptKey) (flag *atomic.Bool, release func()) {
+	flag = new(atomic.Bool)
+	e.runMu.Lock()
+	e.running[k] = flag
+	e.runMu.Unlock()
+	return flag, func() {
+		e.runMu.Lock()
+		delete(e.running, k)
+		e.runMu.Unlock()
+	}
+}
+
+// cancelTask flips the cancel flag of a running attempt (no-op when the
+// attempt already finished or never ran here).
+func (e *WorkerEnv) cancelTask(jobID string, kind TaskKind, task, backup int) {
+	e.runMu.Lock()
+	flag := e.running[attemptKey{jobID: jobID, kind: kind, task: task, backup: backup}]
+	e.runMu.Unlock()
+	if flag != nil {
+		flag.Store(true)
 	}
 }
 
@@ -119,6 +161,9 @@ func (e *WorkerEnv) RunTask(d *TaskDesc) (*TaskResult, error) {
 		return nil, err
 	}
 	io := &TaskIO{Env: e}
+	flag, release := e.registerAttempt(attemptKey{jobID: d.JobID, kind: d.Kind, task: d.Task, backup: d.Backup})
+	io.cancel = flag
+	defer release()
 	if d.Kind == MapTask {
 		return job.RunMapTask(io, d)
 	}
@@ -133,10 +178,40 @@ func (e *WorkerEnv) RunTask(d *TaskDesc) (*TaskResult, error) {
 type TaskIO struct {
 	Env   *WorkerEnv
 	bytes atomic.Int64
+
+	// cancel is the attempt's abandon flag (set via Worker.CancelTask when
+	// this attempt lost a speculative race); nil when untracked.
+	cancel *atomic.Bool
+
+	// finishers run when the attempt completes successfully, folding
+	// late-bound instrumentation (for example columnar segment I/O stats)
+	// into the attempt's counter deltas.
+	finMu     sync.Mutex
+	finishers []func(*Counters)
 }
 
 // Bytes returns the RPC payload bytes this task moved so far.
 func (t *TaskIO) Bytes() int64 { return t.bytes.Load() }
+
+// Canceled reports whether the master abandoned this attempt. Task
+// bodies poll it at record granularity and bail out early; the result of
+// a canceled attempt is discarded master-side regardless.
+func (t *TaskIO) Canceled() bool { return t.cancel != nil && t.cancel.Load() }
+
+// errAttemptCanceled aborts a task body whose attempt lost a speculative
+// race. The master never surfaces it: the winning twin's result already
+// resolved the task.
+var errAttemptCanceled = errors.New("mapreduce: task attempt canceled by master")
+
+// OnFinish registers a hook run when the attempt completes successfully,
+// with the attempt's local counter registry. Split openers use it to
+// attach per-attempt instrumentation whose totals are only known at the
+// end (so they ride the TaskResult counter deltas back to the master).
+func (t *TaskIO) OnFinish(fn func(*Counters)) {
+	t.finMu.Lock()
+	t.finishers = append(t.finishers, fn)
+	t.finMu.Unlock()
+}
 
 // File ensures name is present in the worker's local mirror (fetching it
 // from the master once; later tasks hit the mirror) and returns the
@@ -218,10 +293,18 @@ func (t *TaskIO) DictWords(n int) ([]string, error) {
 	return out, nil
 }
 
-// finish folds the task's RPC byte meter into its counter deltas.
+// finish folds the task's RPC byte meter and registered finisher hooks
+// into its counter deltas.
 func (t *TaskIO) finish(local *Counters) {
 	if b := t.bytes.Load(); b > 0 {
 		local.Add(CounterExecRPCBytes, b)
+	}
+	t.finMu.Lock()
+	fins := t.finishers
+	t.finishers = nil
+	t.finMu.Unlock()
+	for _, fn := range fins {
+		fn(local)
 	}
 }
 
@@ -252,10 +335,12 @@ func (r *remoteJob[I, K, V, O]) openRef(io *TaskIO, ref *SplitRef) (SourceSplit[
 }
 
 // shuffleFile names the run one map attempt writes for one partition.
-// Attempt-qualified names keep retried attempts clear of the write-once
-// semantics of the DFS; zero-padded indices make name order deterministic.
-func shuffleFile(jobID string, task, attempt, part int) string {
-	return fmt.Sprintf("shuffle/%s/m%05d.a%02d.p%05d", jobID, task, attempt, part)
+// Attempt- and backup-qualified names keep retried attempts and
+// speculative twins clear of the write-once semantics of the DFS (a
+// primary and its backup share task and attempt numbers); zero-padded
+// indices make name order deterministic.
+func shuffleFile(jobID string, task, attempt, backup, part int) string {
+	return fmt.Sprintf("shuffle/%s/m%05d.a%02d.b%d.p%05d", jobID, task, attempt, backup, part)
 }
 
 // ShufflePrefix returns the DFS name prefix of a job's shuffle files, for
@@ -306,6 +391,10 @@ func (r *remoteJob[I, K, V, O]) RunMapTask(io *TaskIO, d *TaskDesc) (*TaskResult
 	var mapErr error
 	eachErr := split.Each(func(rec I) bool {
 		recIn++
+		if recIn%cancelCheckEvery == 0 && io.Canceled() {
+			mapErr = errAttemptCanceled
+			return false
+		}
 		if merr := job.Map(ctx, rec, emit); merr != nil {
 			mapErr = merr
 			return false
@@ -344,7 +433,7 @@ func (r *remoteJob[I, K, V, O]) RunMapTask(io *TaskIO, d *TaskDesc) (*TaskResult
 		if err := w.Flush(); err != nil {
 			return nil, err
 		}
-		name := shuffleFile(d.JobID, d.Task, d.Attempt, p)
+		name := shuffleFile(d.JobID, d.Task, d.Attempt, d.Backup, p)
 		data := append([]byte(nil), buf.Bytes()...)
 		if err := io.Store(name, data); err != nil {
 			return nil, err
@@ -368,6 +457,9 @@ func (r *remoteJob[I, K, V, O]) RunReduceTask(io *TaskIO, d *TaskDesc) (*TaskRes
 	chunks := make([][]Pair[K, V], 0, len(d.Shuffle))
 	var total int64
 	for _, ref := range d.Shuffle {
+		if io.Canceled() {
+			return nil, errAttemptCanceled
+		}
 		data, err := io.Fetch(ref.File)
 		if err != nil {
 			return nil, err
@@ -390,7 +482,7 @@ func (r *remoteJob[I, K, V, O]) RunReduceTask(io *TaskIO, d *TaskDesc) (*TaskRes
 	}
 	local.Add(CounterReduceValues, total)
 
-	out, err := reduceStream(job, merged, local, ctx)
+	out, err := reduceStream(job, &abandonStream[K, V]{io: io, inner: merged}, local, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -400,6 +492,25 @@ func (r *remoteJob[I, K, V, O]) RunReduceTask(io *TaskIO, d *TaskDesc) (*TaskRes
 	}
 	io.finish(local)
 	return &TaskResult{Worker: io.Env.Worker, Counters: local.Snapshot(), Output: buf.Bytes()}, nil
+}
+
+// abandonStream wraps a worker-side reduce input stream with a poll of
+// the attempt's cancel flag every cancelCheckEvery records, so a reduce
+// attempt that lost its speculative race stops mid-merge instead of
+// finishing work whose output is discarded.
+type abandonStream[K, V any] struct {
+	io    *TaskIO
+	inner stream[K, V]
+	n     int
+}
+
+func (s *abandonStream[K, V]) next() (Pair[K, V], bool, error) {
+	s.n++
+	if s.n%cancelCheckEvery == 0 && s.io.Canceled() {
+		var zero Pair[K, V]
+		return zero, false, errAttemptCanceled
+	}
+	return s.inner.next()
 }
 
 // decodePairs decodes a shuffle run back into its sorted pair slice.

@@ -12,10 +12,12 @@
 package mapreduce
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spq/internal/dfs"
@@ -68,6 +70,31 @@ type RunTaskReply struct {
 type PingArgs struct{}
 type PingReply struct{}
 
+// JoinArgs/JoinReply let a worker process register itself with a running
+// master (worker-initiated membership, the inverse of AttachWorker). Addr
+// is the worker's own listen address the master should dial back; Name is
+// the name the worker wants ("" lets the master assign one). The reply
+// carries the name the master registered the worker under, which the
+// worker reuses when it rejoins after a crash.
+type JoinArgs struct {
+	Addr string
+	Name string
+}
+type JoinReply struct{ Name string }
+
+// CancelTaskArgs asks a worker to abandon a running task attempt: the
+// speculative-execution race sends it to the losing side once a winner's
+// result is in. Cancellation is best-effort and advisory — the attempt
+// stops at record granularity and its result is discarded master-side
+// either way.
+type CancelTaskArgs struct {
+	JobID  string
+	Kind   TaskKind
+	Task   int
+	Backup int
+}
+type CancelTaskReply struct{}
+
 // ForgetJobArgs tells a worker a job finished, releasing its cached
 // reconstruction.
 type ForgetJobArgs struct{ JobID string }
@@ -79,6 +106,8 @@ type MasterService struct {
 	// dictWords snapshots words [0, n) of the engine's keyword dictionary
 	// in id order; nil when the cluster has no dictionary.
 	dictWords func(n int) []string
+	// m backs the Join RPC (worker-initiated membership).
+	m *Master
 }
 
 // Fetch serves a whole-file read from the master DFS.
@@ -108,6 +137,23 @@ func (s *MasterService) DictWords(args *DictArgs, reply *DictReply) error {
 // Ping answers worker liveness probes.
 func (s *MasterService) Ping(args *PingArgs, reply *PingReply) error { return nil }
 
+// Join registers a worker that introduced itself (see JoinArgs). The
+// heavy lifting — dialing the worker back, assigning a name, rejoining a
+// previously lost name in place — is done by the join handler the
+// executor installed.
+func (s *MasterService) Join(args *JoinArgs, reply *JoinReply) error {
+	fn := s.m.joinHandler()
+	if fn == nil {
+		return fmt.Errorf("mapreduce: master does not accept worker joins")
+	}
+	name, err := fn(args.Addr, args.Name)
+	if err != nil {
+		return err
+	}
+	reply.Name = name
+	return nil
+}
+
 // Master hosts the cluster-side half of distributed execution: the
 // callback listener plus the registry of attached workers.
 type Master struct {
@@ -118,43 +164,144 @@ type Master struct {
 	workers []*workerConn
 	closed  bool
 	done    chan struct{}
+	joinFn  func(addr, name string) (string, error)
+}
+
+// Per-call deadlines. A hung (but not dead) worker would otherwise stall
+// a call forever: net/rpc has no timeouts of its own, and the heartbeat
+// only catches connections that fail, not ones that stop answering.
+const (
+	// taskCallTimeout bounds Worker.RunTask: generous, because task
+	// attempts legitimately run for a while.
+	taskCallTimeout = 2 * time.Minute
+	// ctrlCallTimeout bounds small control-plane calls (Fetch/Store/
+	// DictWords/ForgetJob/Attach) in either direction.
+	ctrlCallTimeout = 15 * time.Second
+	// pingCallTimeout bounds heartbeat probes.
+	pingCallTimeout = 2 * time.Second
+	// quarantineAfter is the number of consecutive timed-out calls after
+	// which a worker is quarantined: treated as lost (its lanes reroute)
+	// even though its TCP connection never failed.
+	quarantineAfter = 3
+)
+
+// callOutcome classifies the transport-level result of one worker call,
+// so the dispatcher can meter live→dead transitions exactly once and
+// distinguish how the worker was lost.
+type callOutcome int
+
+const (
+	// callOK: the call completed (successfully or with an application
+	// error), or failed without a liveness transition.
+	callOK callOutcome = iota
+	// callLost: this call's transport fault performed the live→dead
+	// transition.
+	callLost
+	// callQuarantined: this call's timeout was the worker's
+	// quarantineAfter-th consecutive one and performed the transition.
+	callQuarantined
+)
+
+// errCallTimeout marks a per-call deadline expiry.
+var errCallTimeout = errors.New("mapreduce: rpc call timed out")
+
+// callWithTimeout invokes one RPC with a deadline. On expiry it abandons
+// the in-flight call (the pending rpc.Call completes into its buffered
+// channel later, leaking nothing) and returns errCallTimeout.
+func callWithTimeout(c *rpc.Client, method string, args, reply any, timeout time.Duration) error {
+	if timeout <= 0 {
+		return c.Call(method, args, reply)
+	}
+	call := c.Go(method, args, reply, make(chan *rpc.Call, 1))
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-call.Done:
+		return call.Error
+	case <-t.C:
+		return fmt.Errorf("%w: %s after %v", errCallTimeout, method, timeout)
+	}
 }
 
 // workerConn is the master's handle of one attached worker.
 type workerConn struct {
-	name  string
+	name string
+
+	mu    sync.Mutex
 	addr  string
 	slots int
 
-	mu     sync.Mutex
 	client *rpc.Client
 	dead   bool
+	// draining blocks new task dispatches while in-flight ones finish;
+	// drained records that the eventual detach was graceful (so it is not
+	// metered as a loss).
+	draining bool
+	drained  bool
 	// dispatched counts task dispatches to this worker (drives the
-	// seeded worker-kill plan of the chaos harness).
+	// seeded worker-kill and slowdown plans of the chaos harness).
 	dispatched int
+	// slowCalls counts consecutive timed-out calls; reaching
+	// quarantineAfter treats the worker as lost.
+	slowCalls int
+
+	// inflight counts task dispatches currently executing on this worker,
+	// so a graceful drain knows when the worker is idle.
+	inflight atomic.Int64
 }
 
-// call invokes an RPC on the worker. Any failure that is not an
-// application error returned by the remote method (rpc.ServerError) is a
-// transport fault: the worker is marked dead and lost reports whether
-// this call performed the live->dead transition (so the caller can meter
-// the loss exactly once).
-func (w *workerConn) call(method string, args, reply any) (err error, lost bool) {
+// call invokes an RPC on the worker under a deadline. Any failure that is
+// not an application error returned by the remote method
+// (rpc.ServerError) is a transport fault or a deadline expiry: a
+// transport fault marks the worker dead immediately; a timeout counts
+// toward consecutive-slow-call quarantine. The outcome reports whether
+// this call performed the live→dead transition, and how.
+func (w *workerConn) call(method string, args, reply any, timeout time.Duration) (error, callOutcome) {
 	w.mu.Lock()
 	c, dead := w.client, w.dead
 	w.mu.Unlock()
 	if dead || c == nil {
-		return fmt.Errorf("mapreduce: worker %s is down", w.name), false
+		return fmt.Errorf("mapreduce: worker %s is down", w.name), callOK
 	}
-	err = c.Call(method, args, reply)
+	err := callWithTimeout(c, method, args, reply, timeout)
 	if err == nil {
-		return nil, false
+		w.resetSlow()
+		return nil, callOK
 	}
 	if _, server := err.(rpc.ServerError); server {
-		return err, false
+		// The worker answered; it is alive, just unhappy.
+		w.resetSlow()
+		return err, callOK
 	}
-	lost = w.markDead()
-	return fmt.Errorf("mapreduce: worker %s lost: %w", w.name, err), lost
+	if errors.Is(err, errCallTimeout) {
+		if w.noteSlow() {
+			return fmt.Errorf("mapreduce: worker %s quarantined after %d consecutive call timeouts: %w", w.name, quarantineAfter, err), callQuarantined
+		}
+		return fmt.Errorf("mapreduce: worker %s: %w", w.name, err), callOK
+	}
+	if w.markDead() {
+		return fmt.Errorf("mapreduce: worker %s lost: %w", w.name, err), callLost
+	}
+	return fmt.Errorf("mapreduce: worker %s lost: %w", w.name, err), callOK
+}
+
+// resetSlow clears the consecutive-timeout counter: any answered call
+// proves the worker is responsive.
+func (w *workerConn) resetSlow() {
+	w.mu.Lock()
+	w.slowCalls = 0
+	w.mu.Unlock()
+}
+
+// noteSlow records one timed-out call and quarantines the worker when it
+// is the quarantineAfter-th consecutive one, reporting whether this call
+// performed the live→dead transition.
+func (w *workerConn) noteSlow() bool {
+	w.mu.Lock()
+	w.slowCalls++
+	fire := w.slowCalls >= quarantineAfter
+	w.mu.Unlock()
+	return fire && w.markDead()
 }
 
 // markDead closes the client and flags the worker unusable, reporting
@@ -179,6 +326,55 @@ func (w *workerConn) isDead() bool {
 	return w.dead
 }
 
+// available reports whether the worker accepts new task dispatches (alive
+// and not draining).
+func (w *workerConn) available() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return !w.dead && !w.draining
+}
+
+// setDraining flips the worker in or out of draining mode. New task
+// dispatches route around a draining worker while its in-flight tasks
+// finish.
+func (w *workerConn) setDraining(v bool) {
+	w.mu.Lock()
+	w.draining = v
+	w.mu.Unlock()
+}
+
+// detach closes the connection at the end of a graceful drain; unlike
+// markDead it records the departure as intentional.
+func (w *workerConn) detach() {
+	w.mu.Lock()
+	w.drained = true
+	w.mu.Unlock()
+	w.markDead()
+}
+
+// rebind points the handle at a fresh connection to a rejoined worker:
+// same name, possibly a new address and process. Lanes that referenced
+// the worker route to the new connection on their next dispatch. The
+// dispatch count is preserved so seeded churn schedules keyed on it stay
+// monotone across rejoins.
+func (w *workerConn) rebind(addr string, client *rpc.Client, slots int) {
+	w.mu.Lock()
+	old := w.client
+	w.addr = addr
+	w.client = client
+	if slots > 0 {
+		w.slots = slots
+	}
+	w.dead = false
+	w.draining = false
+	w.drained = false
+	w.slowCalls = 0
+	w.mu.Unlock()
+	if old != nil && old != client {
+		old.Close()
+	}
+}
+
 // Kill severs the master's connection to the worker: the client closes,
 // so every in-flight and subsequent call to it fails at the transport
 // level — from the master's perspective, exactly a machine loss. It
@@ -194,7 +390,7 @@ func NewMaster(fs *dfs.FileSystem, dictWords func(n int) []string) (*Master, err
 	}
 	m := &Master{addr: ln.Addr().String(), ln: ln, done: make(chan struct{})}
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Master", &MasterService{fs: fs, dictWords: dictWords}); err != nil {
+	if err := srv.RegisterName("Master", &MasterService{fs: fs, dictWords: dictWords, m: m}); err != nil {
 		ln.Close()
 		return nil, err
 	}
@@ -213,27 +409,59 @@ func NewMaster(fs *dfs.FileSystem, dictWords func(n int) []string) (*Master, err
 // Addr returns the master's callback address.
 func (m *Master) Addr() string { return m.addr }
 
-// AttachWorker dials a worker process at addr, introduces the master and
-// registers the worker under the given name. The returned handle is
-// already part of the master's registry.
-func (m *Master) AttachWorker(addr, name string) (*workerConn, error) {
+// SetJoinHandler installs the function backing the Master.Join RPC. The
+// executor installs one that attaches (or rejoins) the worker and wires
+// it into the lane table.
+func (m *Master) SetJoinHandler(fn func(addr, name string) (string, error)) {
+	m.mu.Lock()
+	m.joinFn = fn
+	m.mu.Unlock()
+}
+
+func (m *Master) joinHandler() func(addr, name string) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.joinFn
+}
+
+// dialWorker performs the attach handshake with a worker process at addr
+// — dial, introduce the master, learn the slot capacity — without
+// touching the registry, so it serves both first attaches and rejoins.
+func (m *Master) dialWorker(addr, name string) (*rpc.Client, int, error) {
 	client, err := rpc.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("mapreduce: dial worker %s: %w", addr, err)
+		return nil, 0, fmt.Errorf("mapreduce: dial worker %s: %w", addr, err)
 	}
 	var reply AttachReply
-	if err := client.Call("Worker.Attach", &AttachArgs{Master: m.addr, Name: name}, &reply); err != nil {
+	if err := callWithTimeout(client, "Worker.Attach", &AttachArgs{Master: m.addr, Name: name}, &reply, ctrlCallTimeout); err != nil {
 		client.Close()
-		return nil, fmt.Errorf("mapreduce: attach worker %s: %w", addr, err)
+		return nil, 0, fmt.Errorf("mapreduce: attach worker %s: %w", addr, err)
 	}
 	slots := reply.Slots
 	if slots <= 0 {
 		slots = 1
 	}
-	w := &workerConn{name: name, addr: addr, slots: slots, client: client}
+	return client, slots, nil
+}
+
+// register adds an already-connected worker handle to the heartbeat
+// registry.
+func (m *Master) register(w *workerConn) {
 	m.mu.Lock()
 	m.workers = append(m.workers, w)
 	m.mu.Unlock()
+}
+
+// AttachWorker dials a worker process at addr, introduces the master and
+// registers the worker under the given name. The returned handle is
+// already part of the master's registry.
+func (m *Master) AttachWorker(addr, name string) (*workerConn, error) {
+	client, slots, err := m.dialWorker(addr, name)
+	if err != nil {
+		return nil, err
+	}
+	w := &workerConn{name: name, addr: addr, slots: slots, client: client}
+	m.register(w)
 	return w, nil
 }
 
@@ -255,7 +483,7 @@ func (m *Master) Heartbeat(interval time.Duration) {
 					if w.isDead() {
 						continue
 					}
-					w.call("Worker.Ping", &PingArgs{}, &PingReply{}) //nolint:errcheck // a failed ping already marked the worker dead
+					w.call("Worker.Ping", &PingArgs{}, &PingReply{}, pingCallTimeout) //nolint:errcheck // a failed ping already marked the worker dead (timeouts count toward quarantine)
 				}
 			}
 		}
@@ -318,6 +546,16 @@ func (s *WorkerService) RunTask(args *RunTaskArgs, reply *RunTaskReply) error {
 func (s *WorkerService) ForgetJob(args *ForgetJobArgs, reply *ForgetJobReply) error {
 	if env := s.w.env(); env != nil {
 		env.forgetJob(args.JobID)
+	}
+	return nil
+}
+
+// CancelTask flags a running task attempt for abandonment (the losing
+// side of a speculative race). Unknown attempts — already finished, or
+// never started here — are a no-op.
+func (s *WorkerService) CancelTask(args *CancelTaskArgs, reply *CancelTaskReply) error {
+	if env := s.w.env(); env != nil {
+		env.cancelTask(args.JobID, args.Kind, args.Task, args.Backup)
 	}
 	return nil
 }
@@ -420,25 +658,58 @@ func (w *WorkerNode) Stop() {
 }
 
 // rpcRemoteFS implements RemoteFS over the worker's client connection to
-// the master.
+// the master. Every call carries the control-plane deadline: a master
+// that stops answering fails the running task attempt (transiently — the
+// orchestrator retries it) instead of hanging the worker slot forever.
 type rpcRemoteFS struct{ client *rpc.Client }
 
 func (r *rpcRemoteFS) Fetch(name string) ([]byte, error) {
 	var reply FetchReply
-	if err := r.client.Call("Master.Fetch", &FetchArgs{Name: name}, &reply); err != nil {
+	if err := callWithTimeout(r.client, "Master.Fetch", &FetchArgs{Name: name}, &reply, ctrlCallTimeout); err != nil {
 		return nil, err
 	}
 	return reply.Data, nil
 }
 
 func (r *rpcRemoteFS) Store(name string, data []byte) error {
-	return r.client.Call("Master.Store", &StoreArgs{Name: name, Data: data}, &StoreReply{})
+	return callWithTimeout(r.client, "Master.Store", &StoreArgs{Name: name, Data: data}, &StoreReply{}, ctrlCallTimeout)
 }
 
 func (r *rpcRemoteFS) DictWords(n int) ([]string, error) {
 	var reply DictReply
-	if err := r.client.Call("Master.DictWords", &DictArgs{N: n}, &reply); err != nil {
+	if err := callWithTimeout(r.client, "Master.DictWords", &DictArgs{N: n}, &reply, ctrlCallTimeout); err != nil {
 		return nil, err
 	}
 	return reply.Words, nil
+}
+
+// JoinMaster introduces the worker listening at workerAddr to the master
+// at masterAddr (the worker-initiated inverse of AttachWorker) and
+// returns the name the master registered it under. The master dials the
+// worker back during the call, so when JoinMaster returns the worker is
+// attached and routable. cmd/spqworker drives this from its reconnect
+// loop; rejoining after a crash passes the previously assigned name so
+// the worker reclaims its identity (and its lanes).
+func JoinMaster(masterAddr, workerAddr, name string) (string, error) {
+	client, err := rpc.Dial("tcp", masterAddr)
+	if err != nil {
+		return "", fmt.Errorf("mapreduce: dial master %s: %w", masterAddr, err)
+	}
+	defer client.Close()
+	var reply JoinReply
+	if err := callWithTimeout(client, "Master.Join", &JoinArgs{Addr: workerAddr, Name: name}, &reply, ctrlCallTimeout); err != nil {
+		return "", fmt.Errorf("mapreduce: join master %s: %w", masterAddr, err)
+	}
+	return reply.Name, nil
+}
+
+// PingMaster probes a master's liveness from outside (the worker
+// reconnect loop uses it to detect a lost master and rejoin).
+func PingMaster(masterAddr string) error {
+	client, err := rpc.Dial("tcp", masterAddr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	return callWithTimeout(client, "Master.Ping", &PingArgs{}, &PingReply{}, pingCallTimeout)
 }

@@ -53,6 +53,13 @@ type Config struct {
 	// Quota configures per-tenant token buckets; the zero value disables
 	// quota enforcement.
 	Quota QuotaConfig
+	// MaxBinaryConns bounds concurrently open binary-protocol connections
+	// (default 8×MaxInflight; negative disables the cap). A connection
+	// beyond the cap is shed at accept time with a typed overloaded frame
+	// and closed — connection-level backpressure, so a client herd cannot
+	// pin unbounded goroutines and sockets while the request gate is the
+	// actual bottleneck. Shed connections are metered in /stats.
+	MaxBinaryConns int
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +74,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultTimeout == 0 {
 		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxBinaryConns == 0 {
+		c.MaxBinaryConns = 8 * c.MaxInflight
+	}
+	if c.MaxBinaryConns < 0 {
+		c.MaxBinaryConns = 0 // unlimited
 	}
 	return c
 }
@@ -127,8 +140,16 @@ func (s *Server) Stats() Stats {
 	st := s.metrics.snapshot(true)
 	st.Inflight = s.gate.inflight()
 	st.Queued = s.gate.queueDepth()
+	st.BinaryConns = s.binaryConns()
 	st.Generation = s.eng.Generation()
 	return st
+}
+
+// binaryConns returns the number of currently open binary connections.
+func (s *Server) binaryConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
 }
 
 // do runs one query request through quota, admission and the engine,
@@ -282,7 +303,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
-	s.metrics.render(&b, s.gate.inflight(), s.gate.queueDepth(), s.eng.Generation())
+	s.metrics.render(&b, s.gate.inflight(), s.gate.queueDepth(), s.binaryConns(), s.eng.Generation())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, b.String()) //nolint:errcheck // best-effort response
 }
@@ -325,10 +346,34 @@ func (s *Server) ServeBinary(l net.Listener) error {
 			return err
 		}
 		s.mu.Lock()
+		if s.cfg.MaxBinaryConns > 0 && len(s.conns) >= s.cfg.MaxBinaryConns {
+			s.mu.Unlock()
+			go s.shedConn(conn)
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
+}
+
+// shedConn refuses a binary connection over the MaxBinaryConns cap: the
+// client gets one typed overloaded frame (so it can distinguish
+// backpressure from a crash and back off) and the socket closes. Off the
+// accept loop so a stalled client write can't block further accepts.
+func (s *Server) shedConn(conn net.Conn) {
+	defer conn.Close()
+	s.metrics.connShed()
+	resp := &spq.QueryResponse{
+		Error: fmt.Sprintf("%v: binary connection limit (%d) reached", spq.ErrOverloaded, s.cfg.MaxBinaryConns),
+		Code:  spq.CodeOverloaded,
+	}
+	out, err := json.Marshal(resp)
+	if err != nil {
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck // best-effort shed notice
+	writeFrame(conn, out)                                  //nolint:errcheck // best-effort shed notice
 }
 
 func (s *Server) serveConn(conn net.Conn) {
